@@ -1,0 +1,90 @@
+// Command lrasm assembles LibertyRISC (lr32) source into an LR32 object
+// file, or disassembles an object file back to text.
+//
+// Usage:
+//
+//	lrasm [-o out.lr32] prog.s
+//	lrasm -d prog.lr32
+//	lrasm -syms prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"liberty/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "output object file (default: input with .lr32)")
+	disasm := flag.Bool("d", false, "disassemble an object file")
+	syms := flag.Bool("syms", false, "print the symbol table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lrasm [-o out.lr32] prog.s | lrasm -d prog.lr32")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+
+	if *disasm {
+		f, err := os.Open(in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		p, err := isa.ReadObject(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("entry %#08x\n", p.Entry)
+		for _, seg := range p.Segments {
+			fmt.Printf("segment %#08x (%d bytes)\n", seg.Addr, len(seg.Data))
+			for off := 0; off+4 <= len(seg.Data); off += 4 {
+				w := uint32(seg.Data[off]) | uint32(seg.Data[off+1])<<8 |
+					uint32(seg.Data[off+2])<<16 | uint32(seg.Data[off+3])<<24
+				in, err := isa.Decode(w)
+				if err != nil {
+					fmt.Printf("  %08x: %08x  .word\n", seg.Addr+uint32(off), w)
+					continue
+				}
+				fmt.Printf("  %08x: %08x  %s\n", seg.Addr+uint32(off), w, isa.Disassemble(in))
+			}
+		}
+		return
+	}
+
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := isa.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *syms {
+		for _, line := range p.SymbolsSorted() {
+			fmt.Println(line)
+		}
+		return
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".s") + ".lr32"
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := isa.WriteObject(f, p); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d bytes, entry %#08x, %d symbols\n", dst, p.Size(), p.Entry, len(p.Symbols))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lrasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command lrrun executes an lr32 program (assembly source or LR32 object
+// file) on the functional emulator and prints the architectural state.
+//
+// Usage:
+//
+//	lrrun [-max N] [-regs] prog.s|prog.lr32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"liberty/internal/isa"
+)
+
+func main() {
+	max := flag.Uint64("max", 10_000_000, "instruction budget")
+	regs := flag.Bool("regs", false, "dump all registers (default: v0/v1 only)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lrrun [-max N] prog.s|prog.lr32")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+
+	var prog *isa.Program
+	if strings.HasSuffix(in, ".lr32") {
+		f, err := os.Open(in)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = isa.ReadObject(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		src, err := os.ReadFile(in)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = isa.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cpu := isa.NewCPU()
+	prog.LoadInto(cpu.Mem)
+	cpu.Reset(prog.Entry)
+	if err := cpu.Run(*max); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("halted after %d instructions at pc %#08x\n", cpu.Instret, cpu.PC)
+	if *regs {
+		for r := 0; r < isa.NumRegs; r++ {
+			fmt.Printf("r%-2d = %#08x (%d)\n", r, cpu.R[r], int32(cpu.R[r]))
+		}
+	} else {
+		fmt.Printf("v0 = %#08x (%d)  v1 = %#08x (%d)\n",
+			cpu.R[isa.RegV0], int32(cpu.R[isa.RegV0]),
+			cpu.R[isa.RegV0+1], int32(cpu.R[isa.RegV0+1]))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lrrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Command lsc is the Liberty simulator constructor (Figure 1): it reads a
+// Liberty Simulator Specification, elaborates it against the component
+// libraries' template registry into an executable simulator, runs it, and
+// reports statistics.
+//
+// Usage:
+//
+//	lsc [flags] spec.lss
+//	lsc -templates
+//
+// Flags:
+//
+//	-cycles N     cycles to simulate (default 1000)
+//	-seed N       deterministic random seed (default 0)
+//	-workers N    scheduler workers; >1 selects the parallel scheduler
+//	-trace        dump the signal trace to stderr
+//	-templates    list registered module templates and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"liberty/internal/lss"
+	"liberty/lse"
+)
+
+// defines collects repeated -D name=value flags.
+type defines map[string]any
+
+func (d defines) String() string { return "" }
+
+func (d defines) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	if n, err := strconv.ParseInt(val, 0, 64); err == nil {
+		d[name] = n
+		return nil
+	}
+	if f, err := strconv.ParseFloat(val, 64); err == nil {
+		d[name] = f
+		return nil
+	}
+	if b, err := strconv.ParseBool(val); err == nil {
+		d[name] = b
+		return nil
+	}
+	d[name] = val
+	return nil
+}
+
+func main() {
+	cycles := flag.Uint64("cycles", 1000, "cycles to simulate")
+	seed := flag.Int64("seed", 0, "deterministic random seed")
+	workers := flag.Int("workers", 1, "scheduler workers (>1 = parallel scheduler)")
+	trace := flag.Bool("trace", false, "dump the signal trace to stderr")
+	dot := flag.String("dot", "", "write the netlist as a Graphviz digraph to this file")
+	vcd := flag.String("vcd", "", "write a VCD waveform of every connection to this file")
+	stats := flag.String("stats", "", "only dump statistics whose names start with this prefix")
+	defs := defines{}
+	flag.Var(defs, "D", "override a top-level let binding: -D name=value (repeatable)")
+	listTemplates := flag.Bool("templates", false, "list registered module templates and exit")
+	flag.Parse()
+
+	if *listTemplates {
+		for _, name := range lse.DefaultRegistry.Names() {
+			t, _ := lse.DefaultRegistry.Lookup(name)
+			fmt.Printf("%-16s %s\n", name, t.Doc)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lsc [flags] spec.lss")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b := lse.NewBuilder().SetSeed(*seed).SetWorkers(*workers)
+	if *trace {
+		b.SetTracer(&lse.TextTracer{W: os.Stderr})
+	}
+	var vcdFile *os.File
+	if *vcd != "" {
+		var err error
+		vcdFile, err = os.Create(*vcd)
+		if err != nil {
+			fatal(err)
+		}
+		defer vcdFile.Close()
+		b.SetTracer(lse.NewVCDTracer(vcdFile))
+	}
+	sim, err := lss.BuildWith(string(src), b, defs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("constructed simulator: %d instances, %d connections\n",
+		len(sim.Instances()), len(sim.Conns()))
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		lse.WriteDot(f, sim)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote netlist graph to %s\n", *dot)
+	}
+	if err := sim.Run(*cycles); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated %d cycles\n\n", sim.Now())
+	sim.Stats().DumpPrefix(os.Stdout, *stats)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command orion characterizes an interconnection network's load/latency/
+// power behavior, regenerating the classic Orion curves (experiment C5):
+// a table of delivered throughput, mean packet latency and network power
+// (dynamic + leakage) against offered load.
+//
+// Usage:
+//
+//	orion [-w 8] [-h 8] [-torus] [-pattern uniform] [-size 4]
+//	      [-cycles 2000] [-rates 0.05,0.1,...] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"liberty/internal/ccl"
+)
+
+func main() {
+	w := flag.Int("w", 8, "mesh width")
+	h := flag.Int("h", 8, "mesh height")
+	torus := flag.Bool("torus", false, "wrap into a torus")
+	adaptive := flag.Bool("adaptive", false, "minimal-adaptive routing")
+	vcs := flag.Int("vcs", 1, "virtual channels per router input")
+	pattern := flag.String("pattern", "uniform", "traffic pattern: uniform|transpose|complement|hotspot|neighbor")
+	size := flag.Int("size", 4, "packet size in flits")
+	cycles := flag.Uint64("cycles", 2000, "measured cycles per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	ratesFlag := flag.String("rates", "0.02,0.05,0.1,0.15,0.2,0.3,0.4,0.6,0.8,0.95",
+		"comma-separated offered loads (packets/node/cycle)")
+	flag.Parse()
+
+	var rates []float64
+	for _, f := range strings.Split(*ratesFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orion: bad rate %q: %v\n", f, err)
+			os.Exit(2)
+		}
+		rates = append(rates, v)
+	}
+	cfg := ccl.SweepCfg{
+		W: *w, H: *h, Torus: *torus, Adaptive: *adaptive, VCs: *vcs,
+		Pattern: *pattern, Size: *size, Cycles: *cycles, Seed: *seed,
+	}
+	topo := "mesh"
+	if *torus {
+		topo = "torus"
+	}
+	fmt.Printf("orion: %dx%d %s, %s traffic, %d-flit packets, %d cycles/point\n\n",
+		*w, *h, topo, *pattern, *size, *cycles)
+	pts, err := ccl.RunSweep(cfg, rates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orion:", err)
+		os.Exit(1)
+	}
+	ccl.PrintSweep(os.Stdout, pts)
+}

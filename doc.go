@@ -1,0 +1,12 @@
+// Package liberty is a Go reproduction of the Liberty Simulation
+// Environment (LSE) from "Achieving Structural and Composable Modeling of
+// Complex Systems" (August, Malik, Peh, Pai — IPDPS 2004): a structural,
+// composable modeling system that constructs executable simulators from
+// descriptions resembling the hardware, plus the component libraries
+// (PCL, UPL, CCL/Orion, MPL, NIL) the paper describes.
+//
+// The public API lives in liberty/lse; the engine and libraries are under
+// internal/; runnable systems are under examples/ and specs/; the
+// benchmark harness in bench_test.go regenerates every figure and claim
+// of the paper's evaluation (see EXPERIMENTS.md).
+package liberty

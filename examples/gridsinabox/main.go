@@ -1,0 +1,53 @@
+// Figure 2(c): a petaflops "grid-in-a-box" — the same GP/NI/coherence
+// modules as the chip multiprocessor, re-parameterized and re-composed
+// onto a board-to-board torus fabric. That a CMP and a machine-room grid
+// are the *same components at a different scale* is exactly the reuse
+// argument of §3's "careful generalization of modules".
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"liberty/internal/ccl"
+	core "liberty/internal/core"
+	"liberty/internal/systems"
+)
+
+func main() {
+	b := core.NewBuilder().SetSeed(3)
+	grid, err := systems.BuildCMP(b, "grid", systems.CMPCfg{
+		W: 4, H: 2, Torus: true, // 8 boards on a wraparound backplane
+		RefsPer: 120, SharedPct: 20, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := sim.RunUntil(func(*core.Sim) bool { return grid.Done() }, 500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		log.Fatalf("grid did not finish: %d refs completed", grid.Completed())
+	}
+
+	fmt.Printf("8-board grid finished %d references in %d cycles\n",
+		grid.Completed(), sim.Now())
+	fmt.Printf("mean remote-memory latency: %.1f cycles\n", grid.MeanLatency())
+
+	var pkts, flits int64
+	for _, l := range grid.Dir.Net.Links {
+		pkts += sim.Stats().CounterValue(l.Name() + ".packets")
+		flits += sim.Stats().CounterValue(l.Name() + ".flits")
+	}
+	fmt.Printf("backplane traffic: %d coherence messages, %d flits over %d links\n",
+		pkts, flits, len(grid.Dir.Net.Links))
+
+	fmt.Println("\nfabric power (Orion model):")
+	ccl.MeasurePower(sim, grid.Dir.Net, ccl.DefaultPowerParams()).Dump(os.Stdout)
+}

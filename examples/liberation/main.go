@@ -1,0 +1,77 @@
+// "Liberation" (§1): the paper proposes a smooth transition for existing
+// simulators "through encapsulation into LSE modules". Here the
+// hand-written monolithic five-stage pipeline from internal/mono — the
+// stand-in for a SimpleScalar/RSIM-class legacy simulator — is wrapped as
+// an ordinary LSE module. Its retirement events flow out of a port under
+// the 3-signal contract, and a slow downstream consumer genuinely stalls
+// the legacy simulator's writeback stage through handshake backpressure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	core "liberty/internal/core"
+	"liberty/internal/isa"
+	"liberty/internal/liberate"
+	"liberty/internal/pcl"
+	"liberty/internal/upl"
+)
+
+func run(queueCap int, everyN uint64) (legacyCycles uint64, stalls int64, events int64) {
+	prog := isa.MustAssemble(isa.ProgSum)
+	lp, err := liberate.NewLiberatedPipeline(prog, upl.CPUCfg{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod := liberate.New("legacy", lp, 2)
+
+	b := core.NewBuilder()
+	b.Add(mod)
+	q, err := pcl.NewQueue("q", core.Params{"capacity": queueCap})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.Add(q)
+	b.Connect(mod, "out", q, "in")
+	// A throttled consumer: accepts one event every everyN cycles.
+	gate, err := pcl.NewClockGate("gate", core.Params{"divisor": int(everyN)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snk, err := pcl.NewSink("snk", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.Add(gate)
+	b.Add(snk)
+	b.Connect(q, "out", gate, "in")
+	b.Connect(gate, "out", snk, "in")
+
+	sim, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := sim.RunUntil(func(*core.Sim) bool {
+		return mod.Done() && snk.Received() > 0 && q.Len() == 0
+	}, 1_000_000)
+	if err != nil || !ok {
+		log.Fatalf("run incomplete: ok=%v err=%v", ok, err)
+	}
+	return lp.Pipeline().Cycle(), sim.Stats().CounterValue("legacy.stall_cycles"), snk.Received()
+}
+
+func main() {
+	fmt.Println("legacy monolithic pipeline encapsulated as an LSE module")
+	fmt.Println("(retire events -> queue -> clock-gated consumer)")
+	fmt.Println()
+	for _, everyN := range []uint64{1, 4, 16} {
+		cycles, stalls, events := run(4, everyN)
+		fmt.Printf("consumer accepts every %2d cycles: legacy ran %5d cycles, "+
+			"stalled %5d, delivered %d retire events\n", everyN, cycles, stalls, events)
+	}
+	fmt.Println()
+	fmt.Println("the slower the LSE-side consumer, the longer the unmodified")
+	fmt.Println("legacy simulator takes — backpressure crosses the encapsulation")
+	fmt.Println("boundary exactly as if the code had been rewritten structurally.")
+}

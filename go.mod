@@ -1,0 +1,3 @@
+module liberty
+
+go 1.22

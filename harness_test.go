@@ -1,0 +1,401 @@
+package liberty_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"liberty/internal/ccl"
+	core "liberty/internal/core"
+	"liberty/internal/isa"
+	"liberty/internal/mpl"
+	"liberty/internal/nilib"
+	"liberty/internal/pcl"
+	"liberty/internal/upl"
+	"liberty/lse"
+)
+
+// commitNI wraps a pipeline as a packet source: one packet per eight
+// committed instructions (shared by the C2 benchmark and tests).
+type commitNI struct {
+	core.Base
+	Out *core.Port
+
+	cpu     *upl.InOrderCPU
+	last    uint64
+	backlog int
+	seq     uint64
+}
+
+func newCommitNI(name string, cpu *upl.InOrderCPU) *commitNI {
+	n := &commitNI{cpu: cpu}
+	n.Init(name, n)
+	n.Out = n.AddOutPort("out", core.PortOpts{MinWidth: 1, MaxWidth: 1})
+	n.OnCycleStart(n.cycleStart)
+	n.OnCycleEnd(n.cycleEnd)
+	return n
+}
+
+func (n *commitNI) cycleStart() {
+	if batches := n.cpu.Retired() / 8; batches > n.last {
+		n.backlog += int(batches - n.last)
+		n.last = batches
+	}
+	if n.backlog > 0 {
+		n.Out.Send(0, &ccl.Packet{ID: n.seq, Src: 0, Dst: 1, Size: 2, Injected: n.Now()})
+		n.Out.Enable(0)
+	} else {
+		n.Out.SendNothing(0)
+		n.Out.Disable(0)
+	}
+}
+
+func (n *commitNI) cycleEnd() {
+	if n.backlog > 0 && n.Out.Transferred(0) {
+		n.backlog--
+		n.seq++
+	}
+}
+
+// nicThroughput runs `frames` equal-size frames through the programmable
+// NIC and returns delivered frames per thousand cycles.
+func nicThroughput(tb testing.TB, payload, frames int) float64 {
+	tb.Helper()
+	b := core.NewBuilder().SetSeed(1)
+	nic, err := nilib.NewNIC(b, "nic", nilib.NICCfg{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.Add(nic)
+	hostMem, err := pcl.NewMemArray("host", core.Params{"words": 32 * 2048 / 4, "latency": 2, "queue": 8})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.Add(hostMem)
+	var items []any
+	for i := 0; i < frames; i++ {
+		p := make([]byte, payload)
+		items = append(items, &nilib.Frame{
+			Src: nilib.MACAddr{0, 0, 0, 0, 0, byte(i)}, EtherType: 0x0800, Payload: p,
+		})
+	}
+	wireSrc := newFrameProducer("wire", items)
+	b.Add(wireSrc)
+	b.Connect(wireSrc, "out", nic, "wire")
+	b.Connect(nic, "hostreq", hostMem, "req")
+	b.Connect(hostMem, "resp", nic, "hostresp")
+	sim, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ok, err := sim.RunUntil(func(*core.Sim) bool {
+		return nic.Delivered() >= int64(frames)
+	}, 2_000_000)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if !ok {
+		tb.Fatalf("NIC delivered %d of %d frames", nic.Delivered(), frames)
+	}
+	return float64(frames) / float64(sim.Now()) * 1000
+}
+
+// frameProducer offers items in order, retrying until accepted (local
+// copy of simtest.Producer, which is test-internal to internal/).
+type frameProducer struct {
+	core.Base
+	Out *core.Port
+
+	items []any
+	pos   int
+}
+
+func newFrameProducer(name string, items []any) *frameProducer {
+	p := &frameProducer{items: items}
+	p.Init(name, p)
+	p.Out = p.AddOutPort("out", core.PortOpts{MinWidth: 1, MaxWidth: 1})
+	p.OnCycleStart(func() {
+		if p.pos < len(p.items) {
+			p.Out.Send(0, p.items[p.pos])
+			p.Out.Enable(0)
+		} else {
+			p.Out.SendNothing(0)
+			p.Out.Disable(0)
+		}
+	})
+	p.OnCycleEnd(func() {
+		if p.Out.Transferred(0) {
+			p.pos++
+		}
+	})
+	return p
+}
+
+// BenchmarkC6Coherence compares the pluggable coherence engines —
+// bus-based snooping versus directory-over-mesh — on an identical
+// producer/consumer sharing workload.
+func BenchmarkC6Coherence(b *testing.B) {
+	mkTraces := func(n int) [][]mpl.MemRef {
+		traces := make([][]mpl.MemRef, n)
+		for c := range traces {
+			for k := 0; k < 25; k++ {
+				traces[c] = append(traces[c], mpl.MemRef{
+					Write: k%3 == 0,
+					Addr:  uint32((k + c) % 8 * 32),
+					Data:  uint32(c<<16 | k),
+				})
+			}
+		}
+		return traces
+	}
+	allDone := func(cores []*mpl.TraceCore) func() bool {
+		return func() bool {
+			for _, c := range cores {
+				if !c.Done() {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	b.Run("snooping-bus", func(b *testing.B) {
+		var cycles uint64
+		var lat float64
+		for i := 0; i < b.N; i++ {
+			bld := core.NewBuilder()
+			sys, err := mpl.BuildSnoopSystem(bld, "coh", 4, mpl.CacheCtrlCfg{MESI: true}, mpl.SnoopBusCfg{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cores []*mpl.TraceCore
+			for c, tr := range mkTraces(4) {
+				tc := mpl.NewTraceCore(fmt.Sprintf("core%d", c), tr, 1)
+				bld.Add(tc)
+				bld.Connect(tc, "req", sys.Ctrls[c], "cpu")
+				bld.Connect(sys.Ctrls[c], "resp", tc, "resp")
+				cores = append(cores, tc)
+			}
+			sim, err := bld.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = runToDone(b, sim, allDone(cores), 200_000)
+			lat = cores[0].MeanLatency()
+		}
+		b.ReportMetric(float64(cycles), "simcycles")
+		b.ReportMetric(lat, "memlat_cycles")
+	})
+	b.Run("directory-mesh", func(b *testing.B) {
+		var cycles uint64
+		var lat float64
+		for i := 0; i < b.N; i++ {
+			bld := core.NewBuilder()
+			sys, err := mpl.BuildDirectorySystem(bld, "coh", ccl.MeshCfg{W: 2, H: 2}, upl.CacheCfg{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cores []*mpl.TraceCore
+			for c, tr := range mkTraces(4) {
+				tc := mpl.NewTraceCore(fmt.Sprintf("core%d", c), tr, 1)
+				bld.Add(tc)
+				bld.Connect(tc, "req", sys.L1s[c], "cpu")
+				bld.Connect(sys.L1s[c], "resp", tc, "resp")
+				cores = append(cores, tc)
+			}
+			sim, err := bld.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = runToDone(b, sim, allDone(cores), 200_000)
+			lat = cores[0].MeanLatency()
+		}
+		b.ReportMetric(float64(cycles), "simcycles")
+		b.ReportMetric(lat, "memlat_cycles")
+	})
+}
+
+// BenchmarkC8ControlOverride measures a queue chain under default control
+// semantics versus a user control function that throttles acceptance — the
+// §2.1 claim that control is overridable without touching the datapath.
+func BenchmarkC8ControlOverride(b *testing.B) {
+	run := func(b *testing.B, control core.ControlFn) float64 {
+		bld := core.NewBuilder()
+		src, _ := pcl.NewSource("src", nil)
+		q, _ := pcl.NewQueue("q", core.Params{"capacity": 4})
+		snk := newThrottledSink("snk", control)
+		bld.Add(src)
+		bld.Add(q)
+		bld.Add(snk)
+		bld.Connect(src, "out", q, "in")
+		bld.Connect(q, "out", snk, "in")
+		sim, err := bld.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sim.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return float64(snk.received) / float64(b.N)
+	}
+	b.Run("default-control", func(b *testing.B) {
+		rate := run(b, nil)
+		b.ReportMetric(rate, "items/cycle")
+	})
+	b.Run("throttling-control", func(b *testing.B) {
+		n := 0
+		throttle := core.ControlFn(func(data, enable core.Status, v any) core.Status {
+			n++
+			if n%2 == 0 {
+				return core.No
+			}
+			return core.Unknown // defer to the default
+		})
+		rate := run(b, throttle)
+		b.ReportMetric(rate, "items/cycle")
+	})
+}
+
+// throttledSink counts transfers; its in-port control function is
+// caller-supplied.
+type throttledSink struct {
+	core.Base
+	In       *core.Port
+	received int64
+}
+
+func newThrottledSink(name string, control core.ControlFn) *throttledSink {
+	s := &throttledSink{}
+	s.Init(name, s)
+	s.In = s.AddInPort("in", core.PortOpts{Control: control})
+	s.OnCycleEnd(func() {
+		for i := 0; i < s.In.Width(); i++ {
+			if s.In.Transferred(i) {
+				s.received++
+			}
+		}
+	})
+	return s
+}
+
+// TestC3IterativeRefinement asserts the §2.2 claim: every refinement
+// stage of the processor model compiles and runs to completion.
+func TestC3IterativeRefinement(t *testing.T) {
+	prog := isa.MustAssemble(isa.ProgSum)
+	var cyclesByStage []uint64
+
+	// Stage 1: fetch only, sink under default control.
+	{
+		b := core.NewBuilder()
+		emu := isa.NewCPU()
+		prog.LoadInto(emu.Mem)
+		emu.Reset(prog.Entry)
+		f, err := upl.NewFetchStage("cpu/fetch", emu, upl.FetchCfg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snk, _ := pcl.NewSink("drain", nil)
+		b.Add(f)
+		b.Add(snk)
+		b.Connect(f, "out", snk, "in")
+		sim, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := sim.RunUntil(func(*core.Sim) bool { return f.Done() }, 1_000_000)
+		if err != nil || !ok {
+			t.Fatalf("stage 1: ok=%v err=%v", ok, err)
+		}
+		cyclesByStage = append(cyclesByStage, sim.Now())
+	}
+	// Stage 2: fetch + decode.
+	{
+		b := core.NewBuilder()
+		emu := isa.NewCPU()
+		prog.LoadInto(emu.Mem)
+		emu.Reset(prog.Entry)
+		f, err := upl.NewFetchStage("cpu/fetch", emu, upl.FetchCfg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := upl.NewDecodeStage("cpu/decode", upl.DefaultLatencies())
+		snk, _ := pcl.NewSink("drain", nil)
+		b.Add(f)
+		b.Add(d)
+		b.Add(snk)
+		b.Connect(f, "out", d, "in")
+		b.Connect(d, "out", snk, "in")
+		sim, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := sim.RunUntil(func(*core.Sim) bool { return f.Done() }, 1_000_000)
+		if err != nil || !ok {
+			t.Fatalf("stage 2: ok=%v err=%v", ok, err)
+		}
+		cyclesByStage = append(cyclesByStage, sim.Now())
+	}
+	// Stage 3: the full pipeline.
+	{
+		b := core.NewBuilder()
+		cpu, err := upl.NewInOrderCPU(b, "cpu", prog, upl.CPUCfg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := sim.RunUntil(func(*core.Sim) bool { return cpu.Done() }, 1_000_000)
+		if err != nil || !ok {
+			t.Fatalf("stage 3: ok=%v err=%v", ok, err)
+		}
+		if v := cpu.Emu().R[isa.RegV0]; v != 136 {
+			t.Fatalf("sum = %d, want 136", v)
+		}
+		cyclesByStage = append(cyclesByStage, sim.Now())
+	}
+	// Detail can only slow the model down.
+	for i := 1; i < len(cyclesByStage); i++ {
+		if cyclesByStage[i] < cyclesByStage[i-1] {
+			t.Fatalf("stage %d (%d cycles) faster than stage %d (%d): refinement should add detail",
+				i, cyclesByStage[i], i-1, cyclesByStage[i-1])
+		}
+	}
+}
+
+// TestSpecsElaborate builds every shipped specification end to end.
+func TestSpecsElaborate(t *testing.T) {
+	matches, err := filepath.Glob("specs/*.lss")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no specs found: %v", err)
+	}
+	for _, path := range matches {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := lse.BuildLSS(string(src), lse.NewBuilder().SetSeed(1))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if err := sim.Run(200); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
+// TestC7ThroughputShape asserts the NIC claim qualitatively: bigger
+// frames mean fewer frames per cycle (the per-frame rate is bounded by
+// serialization and DMA, not constant).
+func TestC7ThroughputShape(t *testing.T) {
+	small := nicThroughput(t, 46, 20)
+	large := nicThroughput(t, 1400, 20)
+	if large >= small {
+		t.Fatalf("frame rate should fall with frame size: small=%.2f large=%.2f frames/kcycle",
+			small, large)
+	}
+}

@@ -1,0 +1,16 @@
+// Package ccl is the Communication Component Library — the repository's
+// rendition of Orion, the power-performance interconnection-network
+// library the paper describes (§3.3). It provides packets and links,
+// routers composed hierarchically out of pcl primitives (the router I/O
+// buffers are literal pcl.Queue instances — the paper's C1 reuse claim),
+// mesh/torus/bus/ring topology builders, the classic synthetic traffic
+// patterns, an activity-based dynamic + leakage power model with a lumped
+// RC thermal model, and a collision-prone shared wireless channel for
+// sensor-network systems.
+//
+// Flow control is packet-granularity virtual cut-through: a packet's flit
+// count is accounted as serialization time on every link, and handshake
+// backpressure stands in for credits. This preserves the load/latency
+// shape Orion reports (plateau, knee, saturation) at far lower modeling
+// cost than flit-level wormhole.
+package ccl

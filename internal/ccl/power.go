@@ -1,0 +1,172 @@
+package ccl
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	core "liberty/internal/core"
+)
+
+// PowerParams are the per-event energies (picojoules) and per-component
+// leakage powers (milliwatts) of the activity-based router/link power
+// model, in the style of Orion. The defaults are representative
+// 100nm-class constants; absolute joules are not the claim — the model
+// preserves how power scales with traffic, buffering and topology, and
+// that buffer energy dominates as depth grows while leakage scales with
+// instantiated area.
+type PowerParams struct {
+	// Dynamic energy per event, picojoules.
+	EBufWrite float64 // one packet written into an input buffer
+	EBufRead  float64 // one packet read out of an input buffer
+	EArb      float64 // one arbitration decision
+	EXbar     float64 // one crossbar traversal (per packet)
+	ELinkFlit float64 // one flit crossing a link
+
+	// Leakage power per instantiated component, milliwatts.
+	PLeakBufSlot float64 // per buffer slot
+	PLeakArb     float64 // per arbiter
+	PLeakXbar    float64 // per crossbar port
+	PLeakLink    float64 // per link
+
+	// ClockHz converts cycles to seconds for leakage energy.
+	ClockHz float64
+}
+
+// DefaultPowerParams returns the representative constant set used by the
+// benchmarks.
+func DefaultPowerParams() PowerParams {
+	return PowerParams{
+		EBufWrite:    1.2,
+		EBufRead:     1.0,
+		EArb:         0.18,
+		EXbar:        2.4,
+		ELinkFlit:    1.6,
+		PLeakBufSlot: 0.020,
+		PLeakArb:     0.004,
+		PLeakXbar:    0.060,
+		PLeakLink:    0.050,
+		ClockHz:      1e9,
+	}
+}
+
+// PowerReport breaks network power into dynamic and leakage components,
+// in milliwatts, over an observed window.
+type PowerReport struct {
+	Cycles uint64
+
+	// Dynamic power by component class, mW.
+	DynBuffer, DynArb, DynXbar, DynLink float64
+	// Leakage power by component class, mW.
+	LeakBuffer, LeakArb, LeakXbar, LeakLink float64
+}
+
+// DynamicTotal returns total dynamic power in mW.
+func (r PowerReport) DynamicTotal() float64 {
+	return r.DynBuffer + r.DynArb + r.DynXbar + r.DynLink
+}
+
+// LeakageTotal returns total leakage power in mW.
+func (r PowerReport) LeakageTotal() float64 {
+	return r.LeakBuffer + r.LeakArb + r.LeakXbar + r.LeakLink
+}
+
+// Total returns total power in mW.
+func (r PowerReport) Total() float64 { return r.DynamicTotal() + r.LeakageTotal() }
+
+// Dump writes the breakdown to w.
+func (r PowerReport) Dump(w io.Writer) {
+	rows := []struct {
+		name    string
+		dyn, lk float64
+	}{
+		{"buffer", r.DynBuffer, r.LeakBuffer},
+		{"arbiter", r.DynArb, r.LeakArb},
+		{"crossbar", r.DynXbar, r.LeakXbar},
+		{"link", r.DynLink, r.LeakLink},
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Fprintf(w, "%-10s %12s %12s\n", "component", "dynamic(mW)", "leakage(mW)")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-10s %12.4f %12.4f\n", row.name, row.dyn, row.lk)
+	}
+	fmt.Fprintf(w, "%-10s %12.4f %12.4f\n", "total", r.DynamicTotal(), r.LeakageTotal())
+}
+
+// MeasurePower derives a power report from a finished (or running)
+// simulation's activity counters over the cycles elapsed so far.
+func MeasurePower(sim *core.Sim, nw *Network, p PowerParams) PowerReport {
+	st := sim.Stats()
+	cycles := sim.Now()
+	rep := PowerReport{Cycles: cycles}
+	if cycles == 0 {
+		return rep
+	}
+	seconds := float64(cycles) / p.ClockHz
+	mw := func(pj float64) float64 { return pj * 1e-12 / seconds * 1e3 }
+
+	var bufSlots, arbs, xbarPorts int
+	for _, r := range nw.Routers {
+		for _, q := range r.InQ {
+			name := q.Name()
+			rep.DynBuffer += mw(p.EBufWrite * float64(st.CounterValue(name+".enqueues")))
+			rep.DynBuffer += mw(p.EBufRead * float64(st.CounterValue(name+".dequeues")))
+			bufSlots += q.Cap()
+		}
+		for _, a := range r.Arb {
+			name := a.Name()
+			grants := float64(st.CounterValue(name + ".grants"))
+			rep.DynArb += mw(p.EArb * (grants + float64(st.CounterValue(name+".denials"))))
+			rep.DynXbar += mw(p.EXbar * grants)
+			arbs++
+			xbarPorts++
+		}
+	}
+	for _, l := range nw.Links {
+		rep.DynLink += mw(p.ELinkFlit * float64(st.CounterValue(l.Name()+".flits")))
+	}
+	rep.LeakBuffer = p.PLeakBufSlot * float64(bufSlots)
+	rep.LeakArb = p.PLeakArb * float64(arbs)
+	rep.LeakXbar = p.PLeakXbar * float64(xbarPorts)
+	rep.LeakLink = p.PLeakLink * float64(len(nw.Links))
+	return rep
+}
+
+// ThermalModel is a lumped RC thermal model: a single thermal mass heated
+// by network power through a junction-to-ambient resistance, the thermal
+// characterization §3.3 mentions Orion gained.
+type ThermalModel struct {
+	// RthCperW is the junction-to-ambient thermal resistance, °C/W.
+	RthCperW float64
+	// TauSeconds is the RC time constant.
+	TauSeconds float64
+	// AmbientC is the ambient temperature, °C.
+	AmbientC float64
+
+	tempC float64
+}
+
+// NewThermalModel returns a model initialized to ambient.
+func NewThermalModel(rth, tau, ambient float64) *ThermalModel {
+	return &ThermalModel{RthCperW: rth, TauSeconds: tau, AmbientC: ambient, tempC: ambient}
+}
+
+// Step advances the junction temperature by dt seconds under powerMw
+// milliwatts of dissipation and returns the new temperature.
+func (t *ThermalModel) Step(powerMw, dt float64) float64 {
+	tss := t.AmbientC + t.RthCperW*(powerMw*1e-3)
+	alpha := dt / t.TauSeconds
+	if alpha > 1 {
+		alpha = 1
+	}
+	t.tempC += (tss - t.tempC) * alpha
+	return t.tempC
+}
+
+// Temp returns the current junction temperature, °C.
+func (t *ThermalModel) Temp() float64 { return t.tempC }
+
+// SteadyState returns the equilibrium temperature for powerMw.
+func (t *ThermalModel) SteadyState(powerMw float64) float64 {
+	return t.AmbientC + t.RthCperW*(powerMw*1e-3)
+}

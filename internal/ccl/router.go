@@ -1,0 +1,175 @@
+package ccl
+
+import (
+	"fmt"
+
+	core "liberty/internal/core"
+	"liberty/internal/pcl"
+)
+
+// RouterCfg configures a composite router.
+type RouterCfg struct {
+	// Ports is the number of input/output port pairs.
+	Ports int
+	// BufDepth is the per-input buffer capacity in packets (default 4).
+	BufDepth int
+	// VCs is the number of virtual channels per input (default 1). With
+	// more than one, each input demultiplexes arriving packets across VC
+	// buffers so a blocked head packet cannot head-of-line-block traffic
+	// bound for other outputs — the router microarchitecture Orion
+	// characterizes.
+	VCs int
+	// Route maps an arriving packet to its output port index. It must be
+	// pure: the reactive scheduler may consult it repeatedly.
+	Route func(pkt *Packet) int
+	// VCSelect maps a packet to its virtual channel (default: ID % VCs).
+	VCSelect func(pkt *Packet) int
+	// Arb selects the output arbitration policy ("roundrobin" default,
+	// "fixed", or a pcl.PickFn).
+	Arb any
+}
+
+// Router is an input-buffered packet router assembled hierarchically from
+// PCL primitives: each input is one or more pcl.Queue virtual-channel
+// buffers (the paper's reused buffer template) behind an optional VC
+// demultiplexer, feeding pcl.Route stages whose lanes converge on one
+// pcl.Arbiter per output — the arbiter grant is the crossbar traversal.
+//
+// Exported ports: "in0".."in<P-1>" and "out0".."out<P-1>".
+type Router struct {
+	core.Composite
+
+	cfg RouterCfg
+	InQ []*pcl.Queue // all VC buffers, input-major
+	Rt  []*pcl.Route
+	Arb []*pcl.Arbiter
+}
+
+// NewRouter builds a router's sub-instances into b and returns the
+// composite.
+func NewRouter(b *core.Builder, name string, cfg RouterCfg) (*Router, error) {
+	if cfg.Ports < 1 {
+		return nil, &core.ParamError{Param: "ports", Detail: "must be >= 1"}
+	}
+	if cfg.BufDepth == 0 {
+		cfg.BufDepth = 4
+	}
+	if cfg.VCs <= 0 {
+		cfg.VCs = 1
+	}
+	if cfg.Route == nil {
+		return nil, &core.ParamError{Param: "route", Detail: "routing function required"}
+	}
+	if cfg.VCSelect == nil {
+		vcs := cfg.VCs
+		cfg.VCSelect = func(pkt *Packet) int { return int(pkt.ID % uint64(vcs)) }
+	}
+	r := &Router{cfg: cfg}
+	r.Init(name, r)
+
+	routeFn := pcl.RouteFn(func(v any) int {
+		pkt, ok := v.(*Packet)
+		if !ok {
+			panic(&core.ContractError{Op: "route", Where: name,
+				Detail: fmt.Sprintf("expected *ccl.Packet, got %T", v)})
+		}
+		return cfg.Route(pkt)
+	})
+	vcFn := pcl.RouteFn(func(v any) int { return cfg.VCSelect(v.(*Packet)) })
+
+	for i := 0; i < cfg.Ports; i++ {
+		// One buffer+route lane per virtual channel; with VCs > 1 a
+		// demultiplexer steers arriving packets to their VC buffer.
+		var feed func(vc int) (*pcl.Queue, error)
+		if cfg.VCs > 1 {
+			demux, err := pcl.NewRoute(core.Sub(name, fmt.Sprintf("vca%d", i)),
+				core.Params{"route": vcFn})
+			if err != nil {
+				return nil, err
+			}
+			b.Add(demux)
+			r.AddChild(demux)
+			r.Export(fmt.Sprintf("in%d", i), demux.In)
+			feed = func(vc int) (*pcl.Queue, error) {
+				q, err := pcl.NewQueue(core.Sub(name, fmt.Sprintf("buf%d_%d", i, vc)),
+					core.Params{"capacity": cfg.BufDepth})
+				if err != nil {
+					return nil, err
+				}
+				b.Add(q)
+				if err := b.Connect(demux, "out", q, "in"); err != nil {
+					return nil, err
+				}
+				return q, nil
+			}
+		} else {
+			feed = func(vc int) (*pcl.Queue, error) {
+				q, err := pcl.NewQueue(core.Sub(name, fmt.Sprintf("buf%d", i)),
+					core.Params{"capacity": cfg.BufDepth})
+				if err != nil {
+					return nil, err
+				}
+				b.Add(q)
+				r.Export(fmt.Sprintf("in%d", i), q.In)
+				return q, nil
+			}
+		}
+		for vc := 0; vc < cfg.VCs; vc++ {
+			q, err := feed(vc)
+			if err != nil {
+				return nil, err
+			}
+			rtName := fmt.Sprintf("rt%d", i)
+			if cfg.VCs > 1 {
+				rtName = fmt.Sprintf("rt%d_%d", i, vc)
+			}
+			rt, err := pcl.NewRoute(core.Sub(name, rtName), core.Params{"route": routeFn})
+			if err != nil {
+				return nil, err
+			}
+			b.Add(rt)
+			r.AddChild(q)
+			r.AddChild(rt)
+			r.InQ = append(r.InQ, q)
+			r.Rt = append(r.Rt, rt)
+			if err := b.Connect(q, "out", rt, "in"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for o := 0; o < cfg.Ports; o++ {
+		params := core.Params{}
+		switch a := cfg.Arb.(type) {
+		case nil:
+		case string:
+			params["policy"] = a
+		case pcl.PickFn:
+			params["pick"] = a
+		default:
+			return nil, &core.ParamError{Param: "arb", Detail: fmt.Sprintf("unsupported type %T", a)}
+		}
+		arb, err := pcl.NewArbiter(core.Sub(name, fmt.Sprintf("arb%d", o)), params)
+		if err != nil {
+			return nil, err
+		}
+		b.Add(arb)
+		r.AddChild(arb)
+		r.Arb = append(r.Arb, arb)
+		r.Export(fmt.Sprintf("out%d", o), arb.Out)
+	}
+	// Route lane o of every (input, VC) pair converges on output o's
+	// arbiter. The connection order fixes the lane/output correspondence:
+	// each route stage's o'th out connection is created when wiring
+	// output o.
+	for o := 0; o < cfg.Ports; o++ {
+		for _, rt := range r.Rt {
+			if err := b.Connect(rt, "out", r.Arb[o], "in"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// PortCount returns the number of port pairs.
+func (r *Router) PortCount() int { return r.cfg.Ports }

@@ -1,0 +1,175 @@
+package ccl
+
+import (
+	"fmt"
+	"io"
+
+	core "liberty/internal/core"
+	"liberty/internal/pcl"
+)
+
+// SweepCfg configures a load/latency/power characterization run — the
+// classic Orion experiment.
+type SweepCfg struct {
+	W, H     int
+	Torus    bool
+	Adaptive bool
+	VCs      int
+	Pattern  string // uniform, transpose, complement, hotspot, neighbor
+	Size     int    // flits per packet
+	Cycles   uint64
+	Warmup   uint64
+	Seed     int64
+	BufDepth int
+	Power    PowerParams
+}
+
+func (c *SweepCfg) fill() {
+	if c.W == 0 {
+		c.W = 8
+	}
+	if c.H == 0 {
+		c.H = 8
+	}
+	if c.Pattern == "" {
+		c.Pattern = "uniform"
+	}
+	if c.Size == 0 {
+		c.Size = 4
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 2000
+	}
+	if c.Power == (PowerParams{}) {
+		c.Power = DefaultPowerParams()
+	}
+}
+
+// SweepPoint is one measured operating point.
+type SweepPoint struct {
+	OfferedRate float64 // packets/node/cycle offered
+	Throughput  float64 // packets/node/cycle delivered
+	MeanLatency float64 // cycles, injection to ejection
+	PowerMw     float64 // total network power
+	DynamicMw   float64
+	LeakageMw   float64
+}
+
+func patternByName(name string, nodes int) (PatternFn, error) {
+	switch name {
+	case "uniform":
+		return UniformPattern, nil
+	case "transpose":
+		w := 1
+		for w*w < nodes {
+			w++
+		}
+		if w*w != nodes {
+			return nil, fmt.Errorf("ccl: transpose requires a square network")
+		}
+		return TransposePattern(w), nil
+	case "complement":
+		return BitComplementPattern, nil
+	case "hotspot":
+		return HotspotPattern(0, 0.3), nil
+	case "neighbor":
+		return NeighborPattern, nil
+	}
+	return nil, fmt.Errorf("ccl: unknown traffic pattern %q", name)
+}
+
+// MeasurePoint runs one operating point and returns its measurements.
+func MeasurePoint(cfg SweepCfg, rate float64) (SweepPoint, error) {
+	cfg.fill()
+	b := core.NewBuilder().SetSeed(cfg.Seed)
+	nw, err := BuildMesh(b, "net", MeshCfg{
+		W: cfg.W, H: cfg.H, Torus: cfg.Torus, BufDepth: cfg.BufDepth,
+		Adaptive: cfg.Adaptive, VCs: cfg.VCs,
+	})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	pattern, err := patternByName(cfg.Pattern, nw.Nodes)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	sinks := make([]*pcl.Sink, nw.Nodes)
+	for i := 0; i < nw.Nodes; i++ {
+		src, err := pcl.NewSource(fmt.Sprintf("src%d", i), core.Params{
+			"rate": rate,
+			"gen":  PacketGen(i, nw.Nodes, pattern, FixedSize(cfg.Size)),
+		})
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		snk, err := pcl.NewSink(fmt.Sprintf("snk%d", i), nil)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		b.Add(src)
+		b.Add(snk)
+		if err := nw.ConnectSource(b, i, src, "out"); err != nil {
+			return SweepPoint{}, err
+		}
+		if err := nw.ConnectSink(b, i, snk, "in"); err != nil {
+			return SweepPoint{}, err
+		}
+		sinks[i] = snk
+	}
+	sim, err := b.Build()
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	if err := sim.Run(cfg.Warmup + cfg.Cycles); err != nil {
+		return SweepPoint{}, err
+	}
+	var received int64
+	var latSum float64
+	var latN int64
+	for _, s := range sinks {
+		received += s.Received()
+		h := sim.Stats().Histogram(s.Name() + ".latency")
+		if h != nil && h.Count() > 0 {
+			latSum += h.Sum()
+			latN += h.Count()
+		}
+	}
+	pow := MeasurePower(sim, nw, cfg.Power)
+	pt := SweepPoint{
+		OfferedRate: rate,
+		Throughput:  float64(received) / float64(sim.Now()) / float64(nw.Nodes),
+		PowerMw:     pow.Total(),
+		DynamicMw:   pow.DynamicTotal(),
+		LeakageMw:   pow.LeakageTotal(),
+	}
+	if latN > 0 {
+		pt.MeanLatency = latSum / float64(latN)
+	}
+	return pt, nil
+}
+
+// RunSweep measures every rate and returns the curve.
+func RunSweep(cfg SweepCfg, rates []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(rates))
+	for _, r := range rates {
+		pt, err := MeasurePoint(cfg, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PrintSweep writes the curve as the table cmd/orion and the benchmarks
+// report.
+func PrintSweep(w io.Writer, pts []SweepPoint) {
+	fmt.Fprintf(w, "%10s %12s %12s %10s %10s %10s\n",
+		"offered", "throughput", "latency", "power", "dynamic", "leakage")
+	fmt.Fprintf(w, "%10s %12s %12s %10s %10s %10s\n",
+		"pkt/n/cyc", "pkt/n/cyc", "cycles", "mW", "mW", "mW")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%10.3f %12.4f %12.2f %10.3f %10.3f %10.3f\n",
+			p.OfferedRate, p.Throughput, p.MeanLatency, p.PowerMw, p.DynamicMw, p.LeakageMw)
+	}
+}

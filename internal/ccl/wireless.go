@@ -1,0 +1,189 @@
+package ccl
+
+import (
+	"fmt"
+
+	core "liberty/internal/core"
+)
+
+// Wireless is a shared broadcast medium for sensor-network models: radios
+// contend for the air each cycle, a single winner's packet propagates to
+// its destination radio after the air time (Size flits ≙ symbols), and
+// simultaneous offers collide (all contenders are refused and must back
+// off and retry). Optional random loss models a noisy channel.
+//
+// Ports:
+//
+//	in  (In,  width = radios) — transmit from radio i
+//	out (Out, width = radios) — receive at radio i
+type Wireless struct {
+	core.Base
+	In  *core.Port
+	Out *core.Port
+
+	lossProb float64
+	csma     bool
+	lastWin  int
+	airUntil uint64
+	inflight []wirelessEntry
+	collided bool
+
+	cSent      *core.Counter
+	cCollision *core.Counter
+	cLost      *core.Counter
+}
+
+type wirelessEntry struct {
+	pkt   *Packet
+	ready uint64
+}
+
+// NewWireless constructs a shared wireless channel. Parameters:
+//
+//	loss (float, default 0)    — probability a granted transmission is lost
+//	mac  (string, default "aloha") — "aloha": simultaneous offers collide
+//	     and everyone loses the slot; "csma": carrier-sense arbitration
+//	     grants one contender round-robin (contention still counted)
+func NewWireless(name string, p core.Params) (*Wireless, error) {
+	w := &Wireless{lossProb: p.Float("loss", 0), lastWin: -1}
+	switch mac := p.Str("mac", "aloha"); mac {
+	case "aloha":
+	case "csma":
+		w.csma = true
+	default:
+		return nil, &core.ParamError{Param: "mac", Detail: "must be \"aloha\" or \"csma\""}
+	}
+	if w.lossProb < 0 || w.lossProb > 1 {
+		return nil, &core.ParamError{Param: "loss", Detail: "must be in [0,1]"}
+	}
+	w.Init(name, w)
+	w.In = w.AddInPort("in", core.PortOpts{MinWidth: 1, DefaultAck: core.No})
+	w.Out = w.AddOutPort("out", core.PortOpts{MinWidth: 1})
+	w.OnCycleStart(w.cycleStart)
+	w.OnReact(w.react)
+	w.OnCycleEnd(w.cycleEnd)
+	return w, nil
+}
+
+// Collisions returns the number of collision events observed.
+func (w *Wireless) Collisions() int64 {
+	if w.cCollision == nil {
+		return 0
+	}
+	return w.cCollision.Value()
+}
+
+func (w *Wireless) cycleStart() {
+	if w.cSent == nil {
+		w.cSent = w.Counter("sent")
+		w.cCollision = w.Counter("collisions")
+		w.cLost = w.Counter("lost")
+	}
+	for j := 0; j < w.Out.Width(); j++ {
+		var deliver *Packet
+		if len(w.inflight) > 0 && w.Now() >= w.inflight[0].ready &&
+			w.inflight[0].pkt.Dst == j {
+			deliver = w.inflight[0].pkt
+		}
+		if deliver != nil {
+			w.Out.Send(j, deliver)
+			w.Out.Enable(j)
+		} else {
+			w.Out.SendNothing(j)
+			w.Out.Disable(j)
+		}
+	}
+}
+
+func (w *Wireless) react() {
+	// Wait until every radio's offer is known, then grant at most one:
+	// exactly one offer while the air is free wins; two or more collide
+	// and all lose the slot.
+	n := w.In.Width()
+	offers := 0
+	winner := -1
+	for i := 0; i < n; i++ {
+		switch w.In.DataStatus(i) {
+		case core.Unknown:
+			return
+		case core.Yes:
+			offers++
+			winner = i
+		}
+	}
+	busy := w.Now() < w.airUntil || len(w.inflight) > 0
+	if w.csma && offers > 1 {
+		// Carrier-sense arbitration: round-robin among contenders.
+		for k := 1; k <= n; k++ {
+			i := (w.lastWin + k) % n
+			if w.In.DataStatus(i) == core.Yes {
+				winner = i
+				break
+			}
+		}
+	}
+	granted := offers == 1 || (w.csma && offers > 1)
+	for i := 0; i < n; i++ {
+		if w.In.AckStatus(i).Known() {
+			continue
+		}
+		if w.In.DataStatus(i) != core.Yes {
+			w.In.Nack(i)
+			continue
+		}
+		if granted && i == winner && !busy {
+			w.In.Ack(i)
+		} else {
+			w.In.Nack(i)
+		}
+	}
+	w.collided = offers > 1 && !busy
+}
+
+func (w *Wireless) cycleEnd() {
+	if w.collided {
+		w.cCollision.Inc()
+		w.collided = false
+	}
+	if len(w.inflight) > 0 && w.Out.Width() > w.inflight[0].pkt.Dst &&
+		w.Out.Transferred(w.inflight[0].pkt.Dst) {
+		w.inflight = w.inflight[1:]
+	}
+	for i := 0; i < w.In.Width(); i++ {
+		v, ok := w.In.TransferredData(i)
+		if !ok {
+			continue
+		}
+		w.lastWin = i
+		pkt, ok := v.(*Packet)
+		if !ok {
+			panic(&core.ContractError{Op: "wireless transmit", Where: w.Name(),
+				Detail: fmt.Sprintf("expected *ccl.Packet, got %T", v)})
+		}
+		size := pkt.Size
+		if size < 1 {
+			size = 1
+		}
+		w.airUntil = w.Now() + uint64(size)
+		if w.lossProb > 0 && w.Rand().Float64() < w.lossProb {
+			w.cLost.Inc()
+			continue // vanished into the ether
+		}
+		if pkt.Dst < 0 || pkt.Dst >= w.Out.Width() {
+			panic(&core.ContractError{Op: "wireless transmit", Where: w.Name(),
+				Detail: fmt.Sprintf("packet destination %d out of range (radios=%d)", pkt.Dst, w.Out.Width())})
+		}
+		w.cSent.Inc()
+		w.inflight = append(w.inflight, wirelessEntry{pkt: pkt, ready: w.Now() + uint64(size)})
+	}
+}
+
+func init() {
+	core.Register(&core.Template{
+		Name: "ccl.wireless",
+		Doc:  "shared collision-prone broadcast medium",
+		Build: func(b *core.Builder, name string, p core.Params) (core.Instance, error) {
+			return NewWireless(name, p)
+		},
+	})
+}

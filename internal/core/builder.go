@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder assembles a netlist — instances and their connections — and
+// constructs the simulator, the programmatic equivalent of the Liberty
+// simulator constructor consuming an LSS. Builder methods record errors
+// internally so wiring code can be written straight-line; Build returns
+// the accumulated errors.
+type Builder struct {
+	reg       *Registry
+	seed      int64
+	workers   int
+	tracer    Tracer
+	instances []Instance
+	byName    map[string]Instance
+	conns     []*Conn
+	errs      []error
+	built     bool
+}
+
+// NewBuilder returns a Builder using DefaultRegistry, seed 0 and the
+// sequential scheduler.
+func NewBuilder() *Builder {
+	return &Builder{reg: DefaultRegistry, workers: 1, byName: make(map[string]Instance)}
+}
+
+// SetRegistry selects the template registry used by Instantiate.
+func (b *Builder) SetRegistry(r *Registry) *Builder { b.reg = r; return b }
+
+// SetSeed sets the simulator's deterministic random seed.
+func (b *Builder) SetSeed(seed int64) *Builder { b.seed = seed; return b }
+
+// SetWorkers selects the number of scheduler workers. Values above one
+// enable the parallel fixed-point scheduler, which produces results
+// bit-identical to the sequential one.
+func (b *Builder) SetWorkers(n int) *Builder {
+	if n < 1 {
+		n = 1
+	}
+	b.workers = n
+	return b
+}
+
+// SetTracer attaches a Tracer to the simulator under construction.
+func (b *Builder) SetTracer(t Tracer) *Builder { b.tracer = t; return b }
+
+// Err returns the errors recorded so far, joined.
+func (b *Builder) Err() error { return errors.Join(b.errs...) }
+
+func (b *Builder) fail(err error) error {
+	b.errs = append(b.errs, err)
+	return err
+}
+
+// Add places a directly-constructed instance into the netlist. It returns
+// inst for chaining. Adding two distinct instances with the same name is
+// an error.
+func (b *Builder) Add(inst Instance) Instance {
+	if inst == nil || inst.base().self == nil {
+		b.fail(&BuildError{Op: "add", Where: "?", Detail: "instance is nil or Base.Init not called"})
+		return inst
+	}
+	name := inst.Name()
+	if prev, ok := b.byName[name]; ok {
+		if prev != inst {
+			b.fail(&BuildError{Op: "add", Where: name, Detail: "duplicate instance name"})
+		}
+		return inst
+	}
+	b.byName[name] = inst
+	b.instances = append(b.instances, inst)
+	return inst
+}
+
+// Instantiate constructs an instance of the named template, customized
+// with p, and adds it to the netlist.
+func (b *Builder) Instantiate(template, name string, p Params) (Instance, error) {
+	t, ok := b.reg.Lookup(template)
+	if !ok {
+		return nil, b.fail(&BuildError{Op: "instantiate", Where: name,
+			Detail: fmt.Sprintf("unknown template %q", template)})
+	}
+	inst, err := t.Build(b, name, p)
+	if err != nil {
+		return nil, b.fail(&BuildError{Op: "instantiate", Where: name,
+			Detail: fmt.Sprintf("template %q: %v", template, err)})
+	}
+	b.Add(inst)
+	return inst, nil
+}
+
+// Connect wires srcPort on src to dstPort on dst, appending one connection
+// at the next free index of each port. Composite exports resolve to the
+// underlying child ports.
+func (b *Builder) Connect(src Instance, srcPort string, dst Instance, dstPort string) error {
+	sp, err := resolvePort(src, srcPort)
+	if err != nil {
+		return b.fail(err)
+	}
+	dp, err := resolvePort(dst, dstPort)
+	if err != nil {
+		return b.fail(err)
+	}
+	return b.ConnectPorts(sp, dp)
+}
+
+// ConnectPorts wires two resolved ports directly.
+func (b *Builder) ConnectPorts(sp, dp *Port) error {
+	if sp == nil || dp == nil {
+		return b.fail(&BuildError{Op: "connect", Where: "?", Detail: "nil port"})
+	}
+	where := sp.fullName() + " -> " + dp.fullName()
+	if sp.dir != Out {
+		return b.fail(&BuildError{Op: "connect", Where: where, Detail: "source must be an Out port"})
+	}
+	if dp.dir != In {
+		return b.fail(&BuildError{Op: "connect", Where: where, Detail: "destination must be an In port"})
+	}
+	if max := sp.opts.MaxWidth; max > 0 && len(sp.conns) >= max {
+		return b.fail(&BuildError{Op: "connect", Where: where,
+			Detail: fmt.Sprintf("source port width limited to %d", max)})
+	}
+	if max := dp.opts.MaxWidth; max > 0 && len(dp.conns) >= max {
+		return b.fail(&BuildError{Op: "connect", Where: where,
+			Detail: fmt.Sprintf("destination port width limited to %d", max)})
+	}
+	c := &Conn{id: len(b.conns), src: sp, dst: dp, srcIdx: len(sp.conns), dstIdx: len(dp.conns)}
+	sp.conns = append(sp.conns, c)
+	dp.conns = append(dp.conns, c)
+	b.conns = append(b.conns, c)
+	return nil
+}
+
+// Build validates the netlist and constructs the simulator. The Builder
+// must not be reused afterwards.
+func (b *Builder) Build() (*Sim, error) {
+	if b.built {
+		return nil, &BuildError{Op: "build", Where: "?", Detail: "builder already built"}
+	}
+	for _, inst := range b.instances {
+		for _, p := range inst.base().portList {
+			if p.owner != inst.base() {
+				continue // composite export; validated on its owner
+			}
+			if len(p.conns) < p.opts.MinWidth {
+				b.fail(&BuildError{Op: "build", Where: p.fullName(),
+					Detail: fmt.Sprintf("port requires at least %d connection(s), has %d",
+						p.opts.MinWidth, len(p.conns))})
+			}
+		}
+	}
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	b.built = true
+	s := &Sim{
+		seed:      b.seed,
+		workers:   b.workers,
+		tracer:    b.tracer,
+		instances: b.instances,
+		byName:    b.byName,
+		conns:     b.conns,
+		stats:     newStatSet(),
+	}
+	for i, inst := range s.instances {
+		inst.base().attach(s, i)
+	}
+	for _, c := range s.conns {
+		c.sim = s
+	}
+	// Tracers that need the finished netlist (e.g. the VCD tracer's
+	// variable definitions) hook in here.
+	if at, ok := s.tracer.(interface{ Attach(*Sim) }); ok {
+		at.Attach(s)
+	}
+	return s, nil
+}
+
+// Sub composes a hierarchical child-instance name.
+func Sub(parent, child string) string { return parent + "/" + child }

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDot renders the netlist as a Graphviz digraph — the structural
+// view behind the paper's "interactive system visualizer": every module
+// instance is a node, every 3-signal connection an edge labeled with its
+// port endpoints. Composite children are clustered by hierarchical name
+// prefix.
+func WriteDot(w io.Writer, s *Sim) {
+	fmt.Fprintln(w, "digraph liberty {")
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\", fontsize=10];")
+	fmt.Fprintln(w, "  edge [fontname=\"monospace\", fontsize=8];")
+
+	// Group instances by their first hierarchy segment.
+	groups := map[string][]Instance{}
+	var order []string
+	for _, inst := range s.instances {
+		if _, isComposite := inst.(*Composite); isComposite {
+			continue // composites are rendered as clusters, not nodes
+		}
+		seg := ""
+		if i := strings.IndexByte(inst.Name(), '/'); i >= 0 {
+			seg = inst.Name()[:i]
+		}
+		if _, ok := groups[seg]; !ok {
+			order = append(order, seg)
+		}
+		groups[seg] = append(groups[seg], inst)
+	}
+	sort.Strings(order)
+	for gi, seg := range order {
+		indent := "  "
+		if seg != "" {
+			fmt.Fprintf(w, "  subgraph cluster_%d {\n    label=%q;\n    style=rounded;\n", gi, seg)
+			indent = "    "
+		}
+		for _, inst := range groups[seg] {
+			fmt.Fprintf(w, "%s%q;\n", indent, inst.Name())
+		}
+		if seg != "" {
+			fmt.Fprintln(w, "  }")
+		}
+	}
+	for _, c := range s.conns {
+		src := c.src.owner.name
+		dst := c.dst.owner.name
+		fmt.Fprintf(w, "  %q -> %q [label=\"%s[%d]→%s[%d]\"];\n",
+			src, dst, c.src.name, c.srcIdx, c.dst.name, c.dstIdx)
+	}
+	fmt.Fprintln(w, "}")
+}

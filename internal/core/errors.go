@@ -1,0 +1,52 @@
+package core
+
+import "fmt"
+
+// ContractError reports a violation of the engine's communication or
+// scheduling contract: raising a resolved signal to a different value,
+// driving a signal from the wrong endpoint, writing signals outside the
+// resolution phases, or leaving signals unresolved after defaulting.
+// Module handlers panic with a *ContractError; Sim.Step recovers it and
+// returns it as an ordinary error.
+type ContractError struct {
+	Op     string // the operation that failed, e.g. "raise ack"
+	Where  string // "instance.port[index]" or connection description
+	Detail string
+}
+
+func (e *ContractError) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("liberty: contract violation: %s at %s", e.Op, e.Where)
+	}
+	return fmt.Sprintf("liberty: contract violation: %s at %s: %s", e.Op, e.Where, e.Detail)
+}
+
+func contractPanic(op, where, detail string) {
+	panic(&ContractError{Op: op, Where: where, Detail: detail})
+}
+
+// BuildError reports a structural problem detected while assembling a
+// netlist: duplicate instance names, unknown templates or ports, direction
+// mismatches, or unconnected required ports.
+type BuildError struct {
+	Op     string
+	Where  string
+	Detail string
+}
+
+func (e *BuildError) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("liberty: build error: %s at %s", e.Op, e.Where)
+	}
+	return fmt.Sprintf("liberty: build error: %s at %s: %s", e.Op, e.Where, e.Detail)
+}
+
+// ParamError reports a missing or ill-typed module parameter.
+type ParamError struct {
+	Param  string
+	Detail string
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("liberty: parameter %q: %s", e.Param, e.Detail)
+}

@@ -1,0 +1,219 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	core "liberty/internal/core"
+)
+
+// cyclic is a module whose data output mirrors its data input — two of
+// them back-to-back form a genuine combinational dependency cycle that
+// only the engine's cycle-breaker can resolve.
+type cyclic struct {
+	core.Base
+	In  *core.Port
+	Out *core.Port
+}
+
+func newCyclic(name string) *cyclic {
+	c := &cyclic{}
+	c.Init(name, c)
+	c.In = c.AddInPort("in", core.PortOpts{MinWidth: 1, MaxWidth: 1})
+	c.Out = c.AddOutPort("out", core.PortOpts{MinWidth: 1, MaxWidth: 1})
+	c.OnReact(func() {
+		if c.In.DataStatus(0).Known() && c.Out.DataStatus(0) == core.Unknown {
+			if c.In.DataStatus(0) == core.Yes {
+				c.Out.Send(0, c.In.Data(0))
+			} else {
+				c.Out.SendNothing(0)
+			}
+		}
+	})
+	return c
+}
+
+func TestCombinationalCycleIsBrokenDeterministically(t *testing.T) {
+	a := newCyclic("a")
+	z := newCyclic("z")
+	b := core.NewBuilder()
+	b.Add(a)
+	b.Add(z)
+	b.Connect(a, "out", z, "in")
+	b.Connect(z, "out", a, "in")
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neither module can make the first move; the default rounds must
+	// break the cycle (pessimistically, to Nothing) rather than hang or
+	// error. Several cycles must behave identically.
+	for i := 0; i < 5; i++ {
+		if err := sim.Step(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	// The cycle resolved pessimistically: no transfers occurred.
+	for _, c := range sim.Conns() {
+		p, i := c.Dst()
+		if p.Transferred(i) {
+			t.Fatalf("connection %v transferred despite the combinational cycle", c)
+		}
+	}
+}
+
+func TestDuplicatePortPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("duplicate port name accepted")
+		}
+	}()
+	s := newSource("s")
+	s.AddOutPort("out")
+}
+
+func TestCompositeDuplicateExportPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("duplicate export accepted")
+		}
+	}()
+	c := &core.Composite{}
+	c.Init("c", c)
+	s := newSource("s")
+	c.Export("p", s.PortByName("out"))
+	c.Export("p", s.PortByName("out"))
+}
+
+func TestInitTwicePanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("double Init accepted")
+		}
+	}()
+	s := newSource("s")
+	s.Init("again", s)
+}
+
+func TestParamsTypeErrors(t *testing.T) {
+	p := core.Params{"n": "not-an-int", "b": 3, "s": 1, "f": "x", "l": 5}
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected a ParamError panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("Int", func() { p.Int("n", 0) })
+	expectPanic("Bool", func() { p.Bool("b", false) })
+	expectPanic("Str", func() { p.Str("s", "") })
+	expectPanic("Float", func() { p.Float("f", 0) })
+	expectPanic("List", func() { p.List("l") })
+	if _, err := p.RequireInt("missing"); err == nil {
+		t.Error("RequireInt on a missing parameter should error")
+	}
+	if _, err := p.RequireStr("missing"); err == nil {
+		t.Error("RequireStr on a missing parameter should error")
+	}
+	// Defaults and merging work.
+	if p.Int("absent", 7) != 7 {
+		t.Error("default not applied")
+	}
+	m := core.Params{"a": 1}.Merge(core.Params{"a": 2, "b": 3})
+	if m.Int("a", 0) != 2 || m.Int("b", 0) != 3 {
+		t.Errorf("merge wrong: %v", m)
+	}
+	if got := m.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("names wrong: %v", got)
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	src := newSource("src")
+	snk := newSink("snk", nil)
+	b := core.NewBuilder()
+	b.Add(src)
+	b.Add(snk)
+	b.Connect(src, "out", snk, "in")
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	core.WriteDot(&sb, sim)
+	out := sb.String()
+	for _, want := range []string{"digraph liberty", `"src"`, `"snk"`, `"src" -> "snk"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := core.NewRegistry()
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("nil template", func() { r.Register(nil) })
+	expectPanic("empty name", func() { r.Register(&core.Template{Build: nil}) })
+	tpl := &core.Template{Name: "x", Build: func(b *core.Builder, n string, p core.Params) (core.Instance, error) {
+		return nil, nil
+	}}
+	r.Register(tpl)
+	expectPanic("duplicate", func() { r.Register(tpl) })
+	if _, ok := r.Lookup("x"); !ok {
+		t.Error("registered template not found")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "x" {
+		t.Errorf("names: %v", names)
+	}
+}
+
+func TestBuilderReuseRejected(t *testing.T) {
+	b := core.NewBuilder()
+	src := newSource("src")
+	snk := newSink("snk", nil)
+	b.Add(src)
+	b.Add(snk)
+	b.Connect(src, "out", snk, "in")
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("second Build on the same builder accepted")
+	}
+}
+
+func TestVCDTracerEmitsWaveform(t *testing.T) {
+	var sb strings.Builder
+	src := newSource("src")
+	snk := newSink("snk", nil)
+	b := core.NewBuilder().SetTracer(core.NewVCDTracer(&sb))
+	b.Add(src)
+	b.Add(snk)
+	b.Connect(src, "out", snk, "in")
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale", "$var wire 2", "c0_data", "c0_enable", "c0_ack",
+		"$enddefinitions", "#0", "#2", "b10 ", // at least one yes-resolution
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, out[:min(len(out), 600)])
+		}
+	}
+}

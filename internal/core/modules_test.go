@@ -1,0 +1,214 @@
+package core_test
+
+import (
+	core "liberty/internal/core"
+)
+
+// Test modules exercising the 3-signal contract from outside the package,
+// the way component libraries use it.
+
+// source offers consecutive integers, retrying a value until it is acked.
+type source struct {
+	core.Base
+	out  *core.Port
+	next int
+	sent []int
+}
+
+func newSource(name string) *source {
+	s := &source{}
+	s.Init(name, s)
+	s.out = s.AddOutPort("out", core.PortOpts{MinWidth: 1})
+	s.OnCycleStart(s.cycleStart)
+	s.OnCycleEnd(s.cycleEnd)
+	return s
+}
+
+func (s *source) cycleStart() {
+	for i := 0; i < s.out.Width(); i++ {
+		s.out.Send(i, s.next+i)
+		s.out.Enable(i)
+	}
+}
+
+func (s *source) cycleEnd() {
+	base := s.next
+	for i := 0; i < s.out.Width(); i++ {
+		if s.out.Transferred(i) {
+			s.sent = append(s.sent, base+i)
+			s.next++
+		}
+	}
+}
+
+// sink accepts data according to accept (nil means rely on default ack)
+// and records every value transferred to it.
+type sink struct {
+	core.Base
+	in     *core.Port
+	accept func(cycle uint64, i int) bool
+	got    []int
+}
+
+func newSink(name string, accept func(cycle uint64, i int) bool) *sink {
+	k := &sink{accept: accept}
+	k.Init(name, k)
+	k.in = k.AddInPort("in")
+	if accept != nil {
+		k.OnReact(k.react)
+	}
+	k.OnCycleEnd(k.cycleEnd)
+	return k
+}
+
+func (k *sink) react() {
+	for i := 0; i < k.in.Width(); i++ {
+		if k.in.AckStatus(i).Known() {
+			continue
+		}
+		if k.in.DataStatus(i) == core.Yes {
+			if k.accept(k.Now(), i) {
+				k.in.Ack(i)
+			} else {
+				k.in.Nack(i)
+			}
+		} else if k.in.DataStatus(i) == core.No {
+			k.in.Nack(i)
+		}
+	}
+}
+
+func (k *sink) cycleEnd() {
+	for i := 0; i < k.in.Width(); i++ {
+		if v, ok := k.in.TransferredData(i); ok {
+			k.got = append(k.got, v.(int))
+		}
+	}
+}
+
+// gate is a zero-latency combinational pass-through: data and enable flow
+// forward, ack flows backward, all within one cycle.
+type gate struct {
+	core.Base
+	in, out *core.Port
+	passed  int
+}
+
+func newGate(name string) *gate {
+	g := &gate{}
+	g.Init(name, g)
+	g.in = g.AddInPort("in", core.PortOpts{MinWidth: 1, MaxWidth: 1})
+	g.out = g.AddOutPort("out", core.PortOpts{MinWidth: 1, MaxWidth: 1})
+	g.OnReact(g.react)
+	g.OnCycleEnd(g.cycleEnd)
+	return g
+}
+
+func (g *gate) react() {
+	switch g.in.DataStatus(0) {
+	case core.Yes:
+		if g.out.DataStatus(0) == core.Unknown {
+			g.out.Send(0, g.in.Data(0))
+		}
+	case core.No:
+		if g.out.DataStatus(0) == core.Unknown {
+			g.out.SendNothing(0)
+		}
+	}
+	if st := g.in.EnableStatus(0); st.Known() && g.out.EnableStatus(0) == core.Unknown {
+		if st == core.Yes {
+			g.out.Enable(0)
+		} else {
+			g.out.Disable(0)
+		}
+	}
+	if st := g.out.AckStatus(0); st.Known() && g.in.AckStatus(0) == core.Unknown {
+		if st == core.Yes {
+			g.in.Ack(0)
+		} else {
+			g.in.Nack(0)
+		}
+	}
+}
+
+func (g *gate) cycleEnd() {
+	if g.in.Transferred(0) {
+		g.passed++
+	}
+}
+
+// violator acks and then nacks the same connection.
+type violator struct {
+	core.Base
+	in *core.Port
+}
+
+func newViolator(name string) *violator {
+	v := &violator{}
+	v.Init(name, v)
+	v.in = v.AddInPort("in")
+	v.OnReact(func() {
+		if v.in.Width() > 0 && v.in.DataStatus(0) == core.Yes && !v.in.AckStatus(0).Known() {
+			v.in.Ack(0)
+			v.in.Nack(0)
+		}
+	})
+	return v
+}
+
+// register is a 1-entry pipeline stage: accepts a value when empty,
+// offers its held value downstream, frees the slot when the downstream
+// ack arrives. One-cycle latency, proper backpressure.
+type register struct {
+	core.Base
+	in, out *core.Port
+	held    any
+	full    bool
+}
+
+func newRegister(name string) *register {
+	r := &register{}
+	r.Init(name, r)
+	r.in = r.AddInPort("in", core.PortOpts{MinWidth: 1, MaxWidth: 1, DefaultAck: core.No})
+	r.out = r.AddOutPort("out", core.PortOpts{MinWidth: 1, MaxWidth: 1})
+	r.OnCycleStart(r.cycleStart)
+	r.OnReact(r.react)
+	r.OnCycleEnd(r.cycleEnd)
+	return r
+}
+
+func (r *register) cycleStart() {
+	if r.full {
+		r.out.Send(0, r.held)
+		r.out.Enable(0)
+	} else {
+		r.out.SendNothing(0)
+		r.out.Disable(0)
+	}
+}
+
+func (r *register) react() {
+	if r.in.AckStatus(0).Known() {
+		return
+	}
+	// Accept when the slot is free now or frees this cycle (downstream ack).
+	if r.in.DataStatus(0) == core.Yes {
+		if !r.full || r.out.AckStatus(0) == core.Yes {
+			r.in.Ack(0)
+		} else if r.out.AckStatus(0) == core.No {
+			r.in.Nack(0)
+		}
+	} else if r.in.DataStatus(0) == core.No {
+		r.in.Nack(0)
+	}
+}
+
+func (r *register) cycleEnd() {
+	if r.full && r.out.Transferred(0) {
+		r.full = false
+	}
+	if v, ok := r.in.TransferredData(0); ok {
+		r.held = v
+		r.full = true
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import "fmt"
+
+// Dir is a port direction.
+type Dir uint8
+
+const (
+	// In ports receive data and drive ack.
+	In Dir = iota
+	// Out ports drive data and enable and observe ack.
+	Out
+)
+
+func (d Dir) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// PortOpts customizes a port's arity constraints and default control
+// semantics. The zero value gives an optional port with engine defaults.
+type PortOpts struct {
+	// MinWidth is the minimum number of connections the port must have
+	// after netlist assembly. Leave 0 for a fully optional port (partial
+	// specification: module code iterates Width() and naturally adapts).
+	MinWidth int
+	// MaxWidth, when non-zero, bounds the number of connections.
+	MaxWidth int
+	// DefaultAck overrides the default-control resolution of the ack
+	// signal on an In port. Unknown selects the engine default: accept
+	// firm data (Ack iff data and enable resolved Yes). Set to No for a
+	// module that must opt in explicitly to every transfer.
+	DefaultAck Status
+	// DefaultEnable overrides the default-control resolution of the
+	// enable signal on an Out port. Unknown selects the engine default:
+	// enable follows data.
+	DefaultEnable Status
+	// Control, when set, is consulted during default resolution instead
+	// of the static defaults above, receiving the connection's current
+	// data and enable statuses. It implements the paper's user-specified
+	// control functions: any handshake policy can be expressed without
+	// touching the module that owns the port.
+	Control ControlFn
+}
+
+// ControlFn decides the default resolution of a connection's control
+// signal. For an In port it returns the ack status to apply; for an Out
+// port the enable status. Returning Unknown defers to the engine default.
+type ControlFn func(data, enable Status, v any) Status
+
+// Port is a named bundle of connections on a module instance. A port may
+// have any number of connections ("width"); each connection is an
+// independent 3-signal handshake, so widening a port scales a module's
+// bandwidth without changing its code.
+type Port struct {
+	name  string
+	dir   Dir
+	owner *Base
+	opts  PortOpts
+	conns []*Conn
+}
+
+// Name returns the port's name within its instance.
+func (p *Port) Name() string { return p.name }
+
+// Dir returns the port's direction.
+func (p *Port) Dir() Dir { return p.dir }
+
+// Width returns the number of connections attached to the port.
+func (p *Port) Width() int { return len(p.conns) }
+
+// Conn returns the i'th connection of the port.
+func (p *Port) Conn(i int) *Conn { return p.conns[p.check(i)] }
+
+// Owner returns the instance the port belongs to.
+func (p *Port) Owner() Instance { return p.owner.self }
+
+func (p *Port) fullName() string {
+	if p.owner == nil {
+		return "?." + p.name
+	}
+	return p.owner.name + "." + p.name
+}
+
+func (p *Port) check(i int) int {
+	if i < 0 || i >= len(p.conns) {
+		contractPanic("index", fmt.Sprintf("%s[%d]", p.fullName(), i),
+			fmt.Sprintf("port has width %d", len(p.conns)))
+	}
+	return i
+}
+
+func (p *Port) mustDir(d Dir, op string) {
+	if p.dir != d {
+		contractPanic(op, p.fullName(), fmt.Sprintf("not allowed on an %s port", p.dir))
+	}
+}
+
+// --- Receiver-side observations and actions (In ports) ---
+
+// DataStatus returns the resolution state of connection i's data signal.
+func (p *Port) DataStatus(i int) Status { return p.conns[p.check(i)].status(SigData) }
+
+// Data returns the value offered on connection i. It is valid only when
+// DataStatus(i) == Yes.
+func (p *Port) Data(i int) any { return p.conns[p.check(i)].data }
+
+// EnableStatus returns the resolution state of connection i's enable signal.
+func (p *Port) EnableStatus(i int) Status { return p.conns[p.check(i)].status(SigEnable) }
+
+// Ack accepts the datum offered on connection i this cycle.
+func (p *Port) Ack(i int) {
+	p.mustDir(In, "ack")
+	p.owner.mustWritePhase("ack", p)
+	p.conns[p.check(i)].raise(SigAck, Yes, nil)
+}
+
+// Nack refuses the datum offered on connection i this cycle.
+func (p *Port) Nack(i int) {
+	p.mustDir(In, "nack")
+	p.owner.mustWritePhase("nack", p)
+	p.conns[p.check(i)].raise(SigAck, No, nil)
+}
+
+// --- Sender-side observations and actions (Out ports) ---
+
+// Send offers v on connection i this cycle.
+func (p *Port) Send(i int, v any) {
+	p.mustDir(Out, "send")
+	p.owner.mustWritePhase("send", p)
+	p.conns[p.check(i)].raise(SigData, Yes, v)
+}
+
+// SendNothing resolves connection i's data signal to Nothing.
+func (p *Port) SendNothing(i int) {
+	p.mustDir(Out, "send nothing")
+	p.owner.mustWritePhase("send nothing", p)
+	p.conns[p.check(i)].raise(SigData, No, nil)
+}
+
+// Enable commits that the data offered on connection i is firm.
+func (p *Port) Enable(i int) {
+	p.mustDir(Out, "enable")
+	p.owner.mustWritePhase("enable", p)
+	p.conns[p.check(i)].raise(SigEnable, Yes, nil)
+}
+
+// Disable withdraws the data offered on connection i.
+func (p *Port) Disable(i int) {
+	p.mustDir(Out, "disable")
+	p.owner.mustWritePhase("disable", p)
+	p.conns[p.check(i)].raise(SigEnable, No, nil)
+}
+
+// AckStatus returns the resolution state of connection i's ack signal.
+func (p *Port) AckStatus(i int) Status { return p.conns[p.check(i)].status(SigAck) }
+
+// --- Post-resolution queries ---
+
+// Transferred reports whether the handshake on connection i completed
+// (data, enable and ack all affirmative). Meaningful during OnCycleEnd.
+func (p *Port) Transferred(i int) bool { return p.conns[p.check(i)].transferred() }
+
+// TransferredData returns the datum moved over connection i this cycle,
+// or (nil, false) when the handshake did not complete.
+func (p *Port) TransferredData(i int) (any, bool) {
+	c := p.conns[p.check(i)]
+	if !c.transferred() {
+		return nil, false
+	}
+	return c.data, true
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Conn is one connection between an output port and an input port. It
+// carries the three contract signals. Conn values are created by the
+// Builder; module code observes and drives them through Port methods.
+type Conn struct {
+	id     int
+	src    *Port // output side
+	dst    *Port // input side
+	srcIdx int   // index of this connection on src
+	dstIdx int   // index of this connection on dst
+
+	data  any // valid once dataS == Yes
+	dataS atomic.Uint32
+	enS   atomic.Uint32
+	ackS  atomic.Uint32
+
+	sim *Sim
+}
+
+// ID returns the connection's stable identifier within its netlist.
+func (c *Conn) ID() int { return c.id }
+
+// Src returns the output-side port and the connection's index on it.
+func (c *Conn) Src() (*Port, int) { return c.src, c.srcIdx }
+
+// Dst returns the input-side port and the connection's index on it.
+func (c *Conn) Dst() (*Port, int) { return c.dst, c.dstIdx }
+
+func (c *Conn) String() string {
+	return fmt.Sprintf("%s[%d]->%s[%d]", c.src.fullName(), c.srcIdx, c.dst.fullName(), c.dstIdx)
+}
+
+func (c *Conn) status(k SigKind) Status {
+	switch k {
+	case SigData:
+		return Status(c.dataS.Load())
+	case SigEnable:
+		return Status(c.enS.Load())
+	default:
+		return Status(c.ackS.Load())
+	}
+}
+
+// raise resolves signal k to status s (with value v when k is SigData).
+// It returns true when this call performed the resolution. Raising an
+// already-resolved signal to the same status is a no-op; to a different
+// status it is a contract violation.
+func (c *Conn) raise(k SigKind, s Status, v any) bool {
+	if s == Unknown {
+		contractPanic("raise "+k.String(), c.String(), "cannot raise a signal to Unknown")
+	}
+	var cell *atomic.Uint32
+	switch k {
+	case SigData:
+		cell = &c.dataS
+	case SigEnable:
+		cell = &c.enS
+	default:
+		cell = &c.ackS
+	}
+	if k == SigData && s == Yes {
+		// The data value must be visible before the status store; the
+		// acquire load in status() orders the read.
+		c.data = v
+	}
+	if cell.CompareAndSwap(uint32(Unknown), uint32(s)) {
+		c.sim.onResolve(c, k, s)
+		// Wake the endpoint that observes this signal.
+		if k == SigAck {
+			c.sim.wake(c.src.owner)
+		} else {
+			c.sim.wake(c.dst.owner)
+		}
+		return true
+	}
+	if prev := Status(cell.Load()); prev != s {
+		contractPanic("raise "+k.String(), c.String(),
+			fmt.Sprintf("already resolved to %s, cannot re-raise to %s", prev, s))
+	}
+	return false
+}
+
+// transferred reports whether the handshake completed this cycle. It is
+// meaningful only after resolution (during OnCycleEnd).
+func (c *Conn) transferred() bool {
+	return Status(c.dataS.Load()) == Yes &&
+		Status(c.enS.Load()) == Yes &&
+		Status(c.ackS.Load()) == Yes
+}
+
+// reset returns all three signals to Unknown at the start of a cycle.
+// Called only by the scheduler between cycles; never concurrently with
+// handler execution.
+func (c *Conn) reset() {
+	c.data = nil
+	c.dataS.Store(uint32(Unknown))
+	c.enS.Store(uint32(Unknown))
+	c.ackS.Store(uint32(Unknown))
+}

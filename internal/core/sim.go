@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+type phase uint8
+
+const (
+	phaseIdle phase = iota
+	phaseStart
+	phaseReact
+	phaseEnd
+)
+
+// Sim is an executable simulator constructed from a netlist. Simulated
+// time advances one cycle per Step; within a cycle, module reactive
+// handlers run to a monotonic fixed point, default control resolves the
+// remaining signals, and state commits.
+type Sim struct {
+	seed      int64
+	workers   int
+	tracer    Tracer
+	instances []Instance
+	byName    map[string]Instance
+	conns     []*Conn
+	stats     *StatSet
+
+	phase phase
+	cycle uint64
+
+	queue  []*Base // sequential work queue (FIFO by wake order)
+	qhead  int
+	par    bool // inside a parallel drain round
+	wakeMu sync.Mutex
+	wakes  []*Base // wakes collected during a parallel round
+}
+
+// Seed returns the simulator's random seed.
+func (s *Sim) Seed() int64 { return s.seed }
+
+// Now returns the current cycle number (the number of completed cycles).
+func (s *Sim) Now() uint64 { return s.cycle }
+
+// Stats returns the simulator's statistics set.
+func (s *Sim) Stats() *StatSet { return s.stats }
+
+// Instances returns the netlist's instances in assembly order.
+func (s *Sim) Instances() []Instance { return s.instances }
+
+// Instance returns the named instance, or nil.
+func (s *Sim) Instance(name string) Instance { return s.byName[name] }
+
+// Conns returns the netlist's connections.
+func (s *Sim) Conns() []*Conn { return s.conns }
+
+func (s *Sim) onResolve(c *Conn, k SigKind, st Status) {
+	if s.tracer != nil {
+		s.tracer.OnResolve(c, k, st)
+	}
+}
+
+// wake schedules an instance's reactive handler.
+func (s *Sim) wake(b *Base) {
+	if b == nil || b.react == nil {
+		return
+	}
+	if !b.scheduled.CompareAndSwap(false, true) {
+		return
+	}
+	if s.par {
+		s.wakeMu.Lock()
+		s.wakes = append(s.wakes, b)
+		s.wakeMu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, b)
+}
+
+func (s *Sim) drain() {
+	if s.workers > 1 {
+		s.drainParallel()
+		return
+	}
+	for s.qhead < len(s.queue) {
+		b := s.queue[s.qhead]
+		s.qhead++
+		b.scheduled.Store(false)
+		b.react()
+	}
+	s.queue = s.queue[:0]
+	s.qhead = 0
+}
+
+// drainParallel runs the reactive fixed point in barrier-synchronized
+// rounds. Within a round the ready set is partitioned across workers;
+// signal resolution is atomic and single-assignment, and each signal has a
+// unique driving instance, so rounds race only on wake bookkeeping.
+// Monotonic confluence makes the result identical to sequential execution.
+func (s *Sim) drainParallel() {
+	// Move any sequentially-queued wakes (from cycle-start) into the
+	// round set.
+	batch := make([]*Base, 0, len(s.queue))
+	batch = append(batch, s.queue[s.qhead:]...)
+	s.queue = s.queue[:0]
+	s.qhead = 0
+	s.par = true
+	defer func() { s.par = false }()
+	for len(batch) > 0 {
+		sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+		var wg sync.WaitGroup
+		n := s.workers
+		if n > len(batch) {
+			n = len(batch)
+		}
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(batch); i += n {
+					b := batch[i]
+					b.scheduled.Store(false)
+					b.react()
+				}
+			}(w)
+		}
+		wg.Wait()
+		batch = append(batch[:0], s.wakes...)
+		s.wakes = s.wakes[:0]
+	}
+}
+
+// applyDefaults resolves still-Unknown signals using default control
+// semantics, in three deterministic rounds (data, then enable, then ack),
+// re-running the reactive fixed point after every applied default so
+// modules can react to defaulted values before their own signals are
+// defaulted.
+//
+// Within a round, defaults are applied dependency-aware: a connection's
+// signal is only defaulted once the module that should have driven it has
+// every same-kind input it could be mirroring already resolved — data and
+// enable propagate forward, so their driver's dependencies are the
+// driver's input connections; acks propagate backward, so an ack's
+// dependencies are the receiving module's own downstream acks. This makes
+// arbitrarily deep combinational mirror chains (queue → route → arbiter →
+// sink) resolve from the leaves inward instead of being pessimistically
+// killed at the head. A genuine dependency cycle is broken at the
+// lowest-id unresolved connection.
+func (s *Sim) applyDefaults() {
+	s.defaultRound(SigData)
+	s.defaultRound(SigEnable)
+	s.defaultRound(SigAck)
+}
+
+func (s *Sim) defaultRound(k SigKind) {
+	for {
+		progress := false
+		unresolved := false
+		for _, c := range s.conns {
+			if c.status(k) != Unknown {
+				continue
+			}
+			if !s.defaultDepsResolved(c, k) {
+				unresolved = true
+				continue
+			}
+			s.applyDefault(c, k)
+			progress = true
+			s.drain()
+		}
+		if !unresolved {
+			return
+		}
+		if !progress {
+			for _, c := range s.conns {
+				if c.status(k) == Unknown {
+					s.applyDefault(c, k)
+					s.drain()
+					break
+				}
+			}
+		}
+	}
+}
+
+// defaultDepsResolved reports whether the module responsible for driving
+// connection c's signal k has all of its same-kind upstream inputs
+// resolved, i.e. whether defaulting now cannot pre-empt a mirror the
+// module would still perform.
+func (s *Sim) defaultDepsResolved(c *Conn, k SigKind) bool {
+	if k == SigAck {
+		owner := c.dst.owner
+		for _, p := range owner.portList {
+			if p.owner != owner || p.dir != Out {
+				continue
+			}
+			for _, oc := range p.conns {
+				if oc.status(SigAck) == Unknown {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	owner := c.src.owner
+	for _, p := range owner.portList {
+		if p.owner != owner || p.dir != In {
+			continue
+		}
+		for _, ic := range p.conns {
+			if ic.status(k) == Unknown {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *Sim) applyDefault(c *Conn, k SigKind) {
+	switch k {
+	case SigData:
+		c.raise(SigData, No, nil)
+	case SigEnable:
+		st := Unknown
+		if fn := c.src.opts.Control; fn != nil {
+			st = fn(c.status(SigData), Unknown, c.data)
+		}
+		if st == Unknown {
+			st = c.src.opts.DefaultEnable
+		}
+		if st == Unknown {
+			st = c.status(SigData)
+			if st == Unknown { // cannot happen after the data round
+				st = No
+			}
+		}
+		c.raise(SigEnable, st, nil)
+	case SigAck:
+		st := Unknown
+		if fn := c.dst.opts.Control; fn != nil {
+			st = fn(c.status(SigData), c.status(SigEnable), c.data)
+		}
+		if st == Unknown {
+			st = c.dst.opts.DefaultAck
+		}
+		if st == Unknown {
+			if c.status(SigData) == Yes && c.status(SigEnable) == Yes {
+				st = Yes
+			} else {
+				st = No
+			}
+		}
+		c.raise(SigAck, st, nil)
+	}
+}
+
+func (s *Sim) verifyResolved() {
+	for _, c := range s.conns {
+		for _, k := range [...]SigKind{SigData, SigEnable, SigAck} {
+			if c.status(k) == Unknown {
+				contractPanic("resolve", c.String(),
+					fmt.Sprintf("%s signal unresolved after default rounds", k))
+			}
+		}
+	}
+}
+
+// Step advances the simulation by one cycle. Contract violations raised by
+// module handlers are returned as *ContractError.
+func (s *Sim) Step() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ce, ok := r.(*ContractError)
+			if !ok {
+				panic(r)
+			}
+			s.phase = phaseIdle
+			err = ce
+		}
+	}()
+	if s.tracer != nil {
+		s.tracer.OnCycleBegin(s.cycle)
+	}
+	for _, c := range s.conns {
+		c.reset()
+	}
+	s.phase = phaseStart
+	for _, inst := range s.instances {
+		if fn := inst.base().start; fn != nil {
+			fn()
+		}
+	}
+	s.phase = phaseReact
+	for _, inst := range s.instances {
+		s.wake(inst.base())
+	}
+	s.drain()
+	s.applyDefaults()
+	s.verifyResolved()
+	s.phase = phaseEnd
+	if s.tracer != nil {
+		s.tracer.OnCycleEnd(s.cycle)
+	}
+	for _, inst := range s.instances {
+		if fn := inst.base().end; fn != nil {
+			fn()
+		}
+	}
+	s.phase = phaseIdle
+	s.cycle++
+	return nil
+}
+
+// Run advances the simulation n cycles, stopping at the first error.
+func (s *Sim) Run(n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		if err := s.Step(); err != nil {
+			return fmt.Errorf("cycle %d: %w", s.cycle, err)
+		}
+	}
+	return nil
+}
+
+// RunUntil advances the simulation until pred returns true or max cycles
+// elapse. It reports whether pred was satisfied.
+func (s *Sim) RunUntil(pred func(*Sim) bool, max uint64) (bool, error) {
+	for i := uint64(0); i < max; i++ {
+		if pred(s) {
+			return true, nil
+		}
+		if err := s.Step(); err != nil {
+			return false, fmt.Errorf("cycle %d: %w", s.cycle, err)
+		}
+	}
+	return pred(s), nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically written statistics counter. Counters are safe
+// for concurrent use, but module code should only touch them from the
+// once-per-cycle handlers (OnCycleStart/OnCycleEnd).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the counter's current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram accumulates sample values and reports count, mean, min and
+// max. It is not safe for concurrent use; update it only from the
+// once-per-cycle handlers.
+type Histogram struct {
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h.count == 0 {
+		h.min, h.max = v, v
+	} else {
+		h.min = math.Min(h.min, v)
+		h.max = math.Max(h.max, v)
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the sample mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() float64 { return h.max }
+
+// StatSet is the simulator-wide collection of named statistics.
+type StatSet struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	hists  map[string]*Histogram
+}
+
+func newStatSet() *StatSet {
+	return &StatSet{counts: make(map[string]*Counter), hists: make(map[string]*Histogram)}
+}
+
+func (s *StatSet) counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counts[name]
+	if !ok {
+		c = &Counter{}
+		s.counts[name] = c
+	}
+	return c
+}
+
+func (s *StatSet) histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Histogram{}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Counter returns the named counter, or nil when it does not exist.
+func (s *StatSet) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[name]
+}
+
+// Histogram returns the named histogram, or nil when it does not exist.
+func (s *StatSet) Histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hists[name]
+}
+
+// CounterValue returns the named counter's value, or 0 when absent.
+func (s *StatSet) CounterValue(name string) int64 {
+	if c := s.Counter(name); c != nil {
+		return c.Value()
+	}
+	return 0
+}
+
+// Names returns all statistic names, sorted.
+func (s *StatSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.counts)+len(s.hists))
+	for n := range s.counts {
+		names = append(names, n)
+	}
+	for n := range s.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dump writes all statistics to w in sorted order, one per line.
+func (s *StatSet) Dump(w io.Writer) { s.DumpPrefix(w, "") }
+
+// DumpPrefix writes the statistics whose names start with prefix.
+func (s *StatSet) DumpPrefix(w io.Writer, prefix string) {
+	for _, n := range s.Names() {
+		if prefix != "" && !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		s.mu.Lock()
+		if c, ok := s.counts[n]; ok {
+			s.mu.Unlock()
+			fmt.Fprintf(w, "%-48s %12d\n", n, c.Value())
+			continue
+		}
+		h := s.hists[n]
+		s.mu.Unlock()
+		fmt.Fprintf(w, "%-48s count=%d mean=%.4f min=%.4f max=%.4f\n",
+			n, h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+// Status is the resolution state of one handshake signal within a
+// time-step. Signals are single-assignment: each starts a cycle Unknown
+// and may be raised once to No or Yes, never lowered or changed.
+type Status uint8
+
+const (
+	// Unknown means the signal has not yet been resolved this cycle.
+	Unknown Status = iota
+	// No means the signal resolved negatively: Nothing (data),
+	// Disabled (enable) or Nack (ack).
+	No
+	// Yes means the signal resolved affirmatively: Something (data),
+	// Enabled (enable) or Ack (ack).
+	Yes
+)
+
+// Known reports whether the signal has been resolved this cycle.
+func (s Status) Known() bool { return s != Unknown }
+
+// Bool reports whether the signal resolved affirmatively. It is false for
+// both No and Unknown; callers that must distinguish should check Known.
+func (s Status) Bool() bool { return s == Yes }
+
+func (s Status) String() string {
+	switch s {
+	case Unknown:
+		return "unknown"
+	case No:
+		return "no"
+	case Yes:
+		return "yes"
+	}
+	return "invalid"
+}
+
+// SigKind identifies one of the three signals of a connection.
+type SigKind uint8
+
+const (
+	// SigData is the forward value-carrying signal.
+	SigData SigKind = iota
+	// SigEnable is the forward firmness signal.
+	SigEnable
+	// SigAck is the backward acceptance signal.
+	SigAck
+)
+
+func (k SigKind) String() string {
+	switch k {
+	case SigData:
+		return "data"
+	case SigEnable:
+		return "enable"
+	case SigAck:
+		return "ack"
+	}
+	return "invalid"
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer observes engine activity, the hook behind interactive system
+// visualization. Tracer methods are called from the scheduler; with the
+// parallel scheduler OnResolve may be called concurrently.
+type Tracer interface {
+	// OnCycleBegin is called as cycle n starts.
+	OnCycleBegin(n uint64)
+	// OnResolve is called when a signal resolves.
+	OnResolve(c *Conn, k SigKind, s Status)
+	// OnCycleEnd is called after resolution, before state commit. All
+	// completed transfers are observable via Conn at this point.
+	OnCycleEnd(n uint64)
+}
+
+// TextTracer writes a human-readable signal trace. Filter, when non-nil,
+// selects which connections to log.
+type TextTracer struct {
+	W      io.Writer
+	Filter func(*Conn) bool
+}
+
+// OnCycleBegin implements Tracer.
+func (t *TextTracer) OnCycleBegin(n uint64) {
+	fmt.Fprintf(t.W, "=== cycle %d\n", n)
+}
+
+// OnResolve implements Tracer.
+func (t *TextTracer) OnResolve(c *Conn, k SigKind, s Status) {
+	if t.Filter != nil && !t.Filter(c) {
+		return
+	}
+	if k == SigData && s == Yes {
+		fmt.Fprintf(t.W, "  %s %s=%s (%v)\n", c, k, s, c.data)
+		return
+	}
+	fmt.Fprintf(t.W, "  %s %s=%s\n", c, k, s)
+}
+
+// OnCycleEnd implements Tracer.
+func (t *TextTracer) OnCycleEnd(n uint64) {}

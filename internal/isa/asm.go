@@ -1,0 +1,840 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Program is the output of the assembler: positioned byte segments plus
+// the symbol table.
+type Program struct {
+	// Entry is the start PC: the "main" or "_start" symbol when defined,
+	// otherwise the first text address.
+	Entry    uint32
+	Segments []Segment
+	Symbols  map[string]uint32
+}
+
+// Segment is a contiguous run of assembled bytes.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// LoadInto copies all segments into m.
+func (p *Program) LoadInto(m *Memory) {
+	for _, s := range p.Segments {
+		m.LoadBytes(s.Addr, s.Data)
+	}
+}
+
+// Size returns the total number of assembled bytes.
+func (p *Program) Size() int {
+	n := 0
+	for _, s := range p.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// TextBase and DataBase are the default section origins.
+const (
+	TextBase = 0x0000_0000
+	DataBase = 0x0000_8000
+)
+
+// AsmError reports an assembly failure with its source line.
+type AsmError struct {
+	Line   int
+	Text   string
+	Detail string
+}
+
+func (e *AsmError) Error() string {
+	return fmt.Sprintf("isa: asm line %d: %s (%q)", e.Line, e.Detail, e.Text)
+}
+
+var regAliases = map[string]uint8{
+	"zero": 0, "at": 1, "v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+	"s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"t8": 24, "t9": 25, "k0": 26, "k1": 27,
+	"gp": 28, "sp": 29, "fp": 30, "ra": 31,
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.TrimPrefix(strings.ToLower(strings.TrimSpace(s)), "$")
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+type asmLine struct {
+	num    int
+	text   string
+	label  string
+	mnem   string
+	args   []string
+	addr   uint32 // assigned in pass 1
+	inText bool
+}
+
+type assembler struct {
+	lines   []asmLine
+	symbols map[string]uint32
+	equs    map[string]int64
+	textLC  uint32
+	dataLC  uint32
+}
+
+// Assemble translates lr32 assembly source into a Program. See package
+// documentation and the programs under internal/isa/progs.go for syntax.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		symbols: make(map[string]uint32),
+		equs:    make(map[string]int64),
+		textLC:  TextBase,
+		dataLC:  DataBase,
+	}
+	if err := a.scan(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass1(); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+// MustAssemble is Assemble for known-good embedded programs; it panics on
+// error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) scan(src string) error {
+	for num, raw := range strings.Split(src, "\n") {
+		line := raw
+		for _, cm := range []string{"#", "//", ";"} {
+			if i := strings.Index(line, cm); i >= 0 && !inString(line, i) {
+				line = line[:i]
+			}
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		l := asmLine{num: num + 1, text: strings.TrimSpace(raw)}
+		if i := strings.Index(line, ":"); i >= 0 && isIdent(line[:i]) && !inString(line, i) {
+			l.label = line[:i]
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line != "" {
+			fields := strings.SplitN(line, " ", 2)
+			l.mnem = strings.ToLower(fields[0])
+			if len(fields) == 2 {
+				l.args = splitArgs(fields[1])
+			}
+		}
+		a.lines = append(a.lines, l)
+	}
+	return nil
+}
+
+func inString(s string, idx int) bool {
+	quoted := false
+	for i := 0; i < idx && i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			quoted = !quoted
+		case '\\':
+			i++
+		}
+	}
+	return quoted
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitArgs splits a comma-separated operand list, honoring quotes.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	quoted := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			quoted = !quoted
+		case '\\':
+			if quoted {
+				i++
+			}
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if !quoted && depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+// instWords returns how many instruction words a mnemonic expands to.
+func instWords(mnem string, args []string) int {
+	switch mnem {
+	case "li", "la":
+		return 2
+	case "blt", "bgt", "ble", "bge", "bltu", "bgeu":
+		return 2
+	}
+	return 1
+}
+
+var dataDirectives = map[string]bool{
+	".word": true, ".half": true, ".byte": true, ".asciiz": true,
+	".ascii": true, ".space": true, ".align": true,
+}
+
+func (a *assembler) pass1() error {
+	inText := true
+	for i := range a.lines {
+		l := &a.lines[i]
+		lc := &a.textLC
+		if !inText {
+			lc = &a.dataLC
+		}
+		if l.label != "" {
+			if _, dup := a.symbols[l.label]; dup {
+				return &AsmError{Line: l.num, Text: l.text, Detail: "duplicate label " + l.label}
+			}
+			a.symbols[l.label] = *lc
+		}
+		l.addr = *lc
+		l.inText = inText
+		if l.mnem == "" {
+			continue
+		}
+		switch l.mnem {
+		case ".text":
+			inText = true
+		case ".data":
+			inText = false
+		case ".org":
+			v, err := a.evalInt(l.args[0], l)
+			if err != nil {
+				return err
+			}
+			*lc = uint32(v)
+			if l.label != "" {
+				a.symbols[l.label] = *lc
+			}
+		case ".equ":
+			if len(l.args) != 2 {
+				return &AsmError{Line: l.num, Text: l.text, Detail: ".equ needs name, value"}
+			}
+			v, err := a.evalInt(l.args[1], l)
+			if err != nil {
+				return err
+			}
+			a.equs[l.args[0]] = v
+		case ".globl", ".global", ".ent", ".end":
+			// accepted and ignored
+		case ".word":
+			*lc += uint32(4 * len(l.args))
+		case ".half":
+			*lc += uint32(2 * len(l.args))
+		case ".byte":
+			*lc += uint32(len(l.args))
+		case ".ascii", ".asciiz":
+			s, err := parseString(l.args)
+			if err != nil {
+				return &AsmError{Line: l.num, Text: l.text, Detail: err.Error()}
+			}
+			n := uint32(len(s))
+			if l.mnem == ".asciiz" {
+				n++
+			}
+			*lc += n
+		case ".space":
+			v, err := a.evalInt(l.args[0], l)
+			if err != nil {
+				return err
+			}
+			*lc += uint32(v)
+		case ".align":
+			v, err := a.evalInt(l.args[0], l)
+			if err != nil {
+				return err
+			}
+			align := uint32(1) << uint(v)
+			*lc = (*lc + align - 1) &^ (align - 1)
+			if l.label != "" {
+				a.symbols[l.label] = *lc
+			}
+			l.addr = *lc
+		default:
+			if strings.HasPrefix(l.mnem, ".") {
+				return &AsmError{Line: l.num, Text: l.text, Detail: "unknown directive " + l.mnem}
+			}
+			if !inText {
+				return &AsmError{Line: l.num, Text: l.text, Detail: "instruction in .data section"}
+			}
+			*lc += uint32(4 * instWords(l.mnem, l.args))
+		}
+	}
+	return nil
+}
+
+func parseString(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("expected one quoted string")
+	}
+	s, err := strconv.Unquote(args[0])
+	if err != nil {
+		return "", fmt.Errorf("bad string literal %s: %v", args[0], err)
+	}
+	return s, nil
+}
+
+// evalInt evaluates a numeric operand: integer literals (decimal, hex,
+// char), .equ constants, labels, and a single +/- offset combination.
+func (a *assembler) evalInt(s string, l *asmLine) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, &AsmError{Line: l.num, Text: l.text, Detail: "empty operand"}
+	}
+	// a+b / a-b (skip a leading unary minus)
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			lhs, err := a.evalInt(s[:i], l)
+			if err != nil {
+				return 0, err
+			}
+			rhs, err := a.evalInt(s[i+1:], l)
+			if err != nil {
+				return 0, err
+			}
+			if s[i] == '+' {
+				return lhs + rhs, nil
+			}
+			return lhs - rhs, nil
+		}
+	}
+	if len(s) >= 3 && s[0] == '\'' {
+		r, _, _, err := strconv.UnquoteChar(s[1:len(s)-1], '\'')
+		if err != nil {
+			return 0, &AsmError{Line: l.num, Text: l.text, Detail: "bad char literal " + s}
+		}
+		return int64(r), nil
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, ok := a.equs[s]; ok {
+		return v, nil
+	}
+	if v, ok := a.symbols[s]; ok {
+		return int64(v), nil
+	}
+	return 0, &AsmError{Line: l.num, Text: l.text, Detail: "undefined symbol " + s}
+}
+
+type section struct {
+	base uint32
+	buf  []byte
+}
+
+func (s *section) put32(addr uint32, v uint32) {
+	off := int(addr - s.base)
+	for len(s.buf) < off+4 {
+		s.buf = append(s.buf, 0)
+	}
+	binary.LittleEndian.PutUint32(s.buf[off:off+4], v)
+}
+
+func (s *section) putBytes(addr uint32, data []byte) {
+	off := int(addr - s.base)
+	for len(s.buf) < off+len(data) {
+		s.buf = append(s.buf, 0)
+	}
+	copy(s.buf[off:], data)
+}
+
+func (a *assembler) pass2() (*Program, error) {
+	// Sections are emitted as one segment per contiguous region; for
+	// simplicity, one segment per section spanning min..max addresses.
+	textMin, dataMin := ^uint32(0), ^uint32(0)
+	for _, l := range a.lines {
+		if l.mnem == "" || strings.HasPrefix(l.mnem, ".") {
+			if !dataDirectives[l.mnem] {
+				continue
+			}
+		}
+		if l.inText {
+			if l.addr < textMin {
+				textMin = l.addr
+			}
+		} else if l.addr < dataMin {
+			dataMin = l.addr
+		}
+	}
+	text := &section{base: textMin}
+	data := &section{base: dataMin}
+
+	for i := range a.lines {
+		l := &a.lines[i]
+		if l.mnem == "" {
+			continue
+		}
+		sec := text
+		if !l.inText {
+			sec = data
+		}
+		if strings.HasPrefix(l.mnem, ".") {
+			if err := a.emitDirective(l, sec); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		words, err := a.encodeLine(l)
+		if err != nil {
+			return nil, err
+		}
+		for w, word := range words {
+			sec.put32(l.addr+uint32(4*w), word)
+		}
+	}
+
+	p := &Program{Symbols: a.symbols}
+	if len(text.buf) > 0 {
+		p.Segments = append(p.Segments, Segment{Addr: text.base, Data: text.buf})
+		p.Entry = text.base
+	}
+	if len(data.buf) > 0 {
+		p.Segments = append(p.Segments, Segment{Addr: data.base, Data: data.buf})
+	}
+	for _, entry := range []string{"_start", "main"} {
+		if addr, ok := a.symbols[entry]; ok {
+			p.Entry = addr
+			break
+		}
+	}
+	return p, nil
+}
+
+func (a *assembler) emitDirective(l *asmLine, sec *section) error {
+	switch l.mnem {
+	case ".word":
+		for i, arg := range l.args {
+			v, err := a.evalInt(arg, l)
+			if err != nil {
+				return err
+			}
+			sec.put32(l.addr+uint32(4*i), uint32(v))
+		}
+	case ".half":
+		for i, arg := range l.args {
+			v, err := a.evalInt(arg, l)
+			if err != nil {
+				return err
+			}
+			sec.putBytes(l.addr+uint32(2*i), []byte{byte(v), byte(v >> 8)})
+		}
+	case ".byte":
+		for i, arg := range l.args {
+			v, err := a.evalInt(arg, l)
+			if err != nil {
+				return err
+			}
+			sec.putBytes(l.addr+uint32(i), []byte{byte(v)})
+		}
+	case ".ascii", ".asciiz":
+		s, err := parseString(l.args)
+		if err != nil {
+			return &AsmError{Line: l.num, Text: l.text, Detail: err.Error()}
+		}
+		b := []byte(s)
+		if l.mnem == ".asciiz" {
+			b = append(b, 0)
+		}
+		sec.putBytes(l.addr, b)
+	case ".space":
+		v, err := a.evalInt(l.args[0], l)
+		if err != nil {
+			return err
+		}
+		sec.putBytes(l.addr, make([]byte, v))
+	}
+	return nil
+}
+
+var mnemToOp = func() map[string]Op {
+	m := make(map[string]Op)
+	for op := Op(1); op < opMax; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+func (a *assembler) encodeLine(l *asmLine) ([]uint32, error) {
+	enc := func(in Inst) (uint32, error) {
+		w, err := Encode(in)
+		if err != nil {
+			return 0, &AsmError{Line: l.num, Text: l.text, Detail: err.Error()}
+		}
+		return w, nil
+	}
+	one := func(in Inst) ([]uint32, error) {
+		w, err := enc(in)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w}, nil
+	}
+	two := func(i1, i2 Inst) ([]uint32, error) {
+		w1, err := enc(i1)
+		if err != nil {
+			return nil, err
+		}
+		w2, err := enc(i2)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{w1, w2}, nil
+	}
+	badArgs := func() error {
+		return &AsmError{Line: l.num, Text: l.text,
+			Detail: fmt.Sprintf("wrong operands for %s", l.mnem)}
+	}
+	regs := func(idx ...int) ([]uint8, error) {
+		out := make([]uint8, len(idx))
+		for i, j := range idx {
+			if j >= len(l.args) {
+				return nil, badArgs()
+			}
+			r, err := parseReg(l.args[j])
+			if err != nil {
+				return nil, &AsmError{Line: l.num, Text: l.text, Detail: err.Error()}
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	imm := func(idx int) (int64, error) {
+		if idx >= len(l.args) {
+			return 0, badArgs()
+		}
+		return a.evalInt(l.args[idx], l)
+	}
+	// branch displacement in words from the instruction at offs words past
+	// l.addr to a label (or a raw numeric displacement).
+	brDisp := func(idx, offs int) (int32, error) {
+		if idx >= len(l.args) {
+			return 0, badArgs()
+		}
+		arg := l.args[idx]
+		if target, ok := a.symbols[arg]; ok {
+			from := l.addr + uint32(4*offs) + 4
+			return int32(target-from) >> 2, nil
+		}
+		v, err := a.evalInt(arg, l)
+		if err != nil {
+			return 0, err
+		}
+		return int32(v), nil
+	}
+
+	// Pseudo-instructions first.
+	switch l.mnem {
+	case "nop":
+		return one(Inst{Op: OpSll})
+	case "move", "mov":
+		r, err := regs(0, 1)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: OpAdd, Rd: r[0], Rs: r[1]})
+	case "not":
+		r, err := regs(0, 1)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: OpNor, Rd: r[0], Rs: r[1]})
+	case "neg":
+		r, err := regs(0, 1)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: OpSub, Rd: r[0], Rt: r[1]})
+	case "b":
+		d, err := brDisp(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: OpBeq, Imm: d})
+	case "beqz", "bnez":
+		r, err := regs(0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := brDisp(1, 0)
+		if err != nil {
+			return nil, err
+		}
+		op := OpBeq
+		if l.mnem == "bnez" {
+			op = OpBne
+		}
+		return one(Inst{Op: op, Rs: r[0], Imm: d})
+	case "li", "la":
+		r, err := regs(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		u := uint32(v)
+		return two(
+			Inst{Op: OpLui, Rd: r[0], Imm: int32(u >> 16)},
+			Inst{Op: OpOri, Rd: r[0], Rs: r[0], Imm: int32(u & 0xffff)},
+		)
+	case "blt", "bgt", "ble", "bge", "bltu", "bgeu":
+		r, err := regs(0, 1)
+		if err != nil {
+			return nil, err
+		}
+		d, err := brDisp(2, 1) // the branch is the second emitted word
+		if err != nil {
+			return nil, err
+		}
+		slt := OpSlt
+		if strings.HasSuffix(l.mnem, "u") {
+			slt = OpSltu
+		}
+		var cmp Inst
+		var br Inst
+		switch strings.TrimSuffix(l.mnem, "u") {
+		case "blt": // rs < rt  =>  slt at,rs,rt ; bne at,0
+			cmp = Inst{Op: slt, Rd: RegAT, Rs: r[0], Rt: r[1]}
+			br = Inst{Op: OpBne, Rs: RegAT, Imm: d}
+		case "bge": // rs >= rt =>  slt at,rs,rt ; beq at,0
+			cmp = Inst{Op: slt, Rd: RegAT, Rs: r[0], Rt: r[1]}
+			br = Inst{Op: OpBeq, Rs: RegAT, Imm: d}
+		case "bgt": // rs > rt  =>  slt at,rt,rs ; bne at,0
+			cmp = Inst{Op: slt, Rd: RegAT, Rs: r[1], Rt: r[0]}
+			br = Inst{Op: OpBne, Rs: RegAT, Imm: d}
+		case "ble": // rs <= rt =>  slt at,rt,rs ; beq at,0
+			cmp = Inst{Op: slt, Rd: RegAT, Rs: r[1], Rt: r[0]}
+			br = Inst{Op: OpBeq, Rs: RegAT, Imm: d}
+		}
+		return two(cmp, br)
+	}
+
+	op, ok := mnemToOp[l.mnem]
+	if !ok {
+		return nil, &AsmError{Line: l.num, Text: l.text, Detail: "unknown mnemonic " + l.mnem}
+	}
+	info := opTable[op]
+	switch {
+	case op == OpHalt:
+		return one(Inst{Op: OpHalt})
+	case op == OpJr:
+		r, err := regs(0)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: OpJr, Rs: r[0]})
+	case op == OpJalr:
+		switch len(l.args) {
+		case 1:
+			r, err := regs(0)
+			if err != nil {
+				return nil, err
+			}
+			return one(Inst{Op: OpJalr, Rd: RegRA, Rs: r[0]})
+		case 2:
+			r, err := regs(0, 1)
+			if err != nil {
+				return nil, err
+			}
+			return one(Inst{Op: OpJalr, Rd: r[0], Rs: r[1]})
+		}
+		return nil, badArgs()
+	case op == OpSll || op == OpSrl || op == OpSra:
+		r, err := regs(0, 1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 31 {
+			return nil, &AsmError{Line: l.num, Text: l.text, Detail: "shift amount out of range"}
+		}
+		return one(Inst{Op: op, Rd: r[0], Rt: r[1], Shamt: uint8(v)})
+	case op == OpSllv || op == OpSrlv || op == OpSrav:
+		r, err := regs(0, 1, 2)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: op, Rd: r[0], Rt: r[1], Rs: r[2]})
+	case info.rtype:
+		r, err := regs(0, 1, 2)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: op, Rd: r[0], Rs: r[1], Rt: r[2]})
+	case info.jtype:
+		if len(l.args) != 1 {
+			return nil, badArgs()
+		}
+		var target uint32
+		if addr, ok := a.symbols[l.args[0]]; ok {
+			target = addr >> 2
+		} else {
+			v, err := a.evalInt(l.args[0], l)
+			if err != nil {
+				return nil, err
+			}
+			target = uint32(v) >> 2
+		}
+		return one(Inst{Op: op, Target: target})
+	case op == OpLui:
+		r, err := regs(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: OpLui, Rd: r[0], Imm: int32(v)})
+	case op.Class() == ClassLoad || op.Class() == ClassStore:
+		r, err := regs(0)
+		if err != nil {
+			return nil, err
+		}
+		if len(l.args) != 2 {
+			return nil, badArgs()
+		}
+		off, base, err := a.parseMemOperand(l.args[1], l)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: op, Rd: r[0], Rs: base, Imm: off})
+	case op == OpBeq || op == OpBne:
+		r, err := regs(0, 1)
+		if err != nil {
+			return nil, err
+		}
+		d, err := brDisp(2, 0)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: op, Rs: r[0], Rd: r[1], Imm: d})
+	case op == OpBlez || op == OpBgtz || op == OpBltz || op == OpBgez:
+		r, err := regs(0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := brDisp(1, 0)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: op, Rs: r[0], Imm: d})
+	default: // I-type ALU
+		r, err := regs(0, 1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return nil, err
+		}
+		return one(Inst{Op: op, Rd: r[0], Rs: r[1], Imm: int32(v)})
+	}
+}
+
+// parseMemOperand parses "imm(reg)", "(reg)" or "imm".
+func (a *assembler) parseMemOperand(s string, l *asmLine) (int32, uint8, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		v, err := a.evalInt(s, l)
+		if err != nil {
+			return 0, 0, err
+		}
+		return int32(v), RegZero, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, &AsmError{Line: l.num, Text: l.text, Detail: "bad memory operand " + s}
+	}
+	var off int64
+	if open > 0 {
+		var err error
+		off, err = a.evalInt(s[:open], l)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, &AsmError{Line: l.num, Text: l.text, Detail: err.Error()}
+	}
+	return int32(off), base, nil
+}
+
+// SymbolsSorted returns the symbol table as sorted "name addr" lines,
+// useful in tools and tests.
+func (p *Program) SymbolsSorted() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = fmt.Sprintf("%s %#08x", n, p.Symbols[n])
+	}
+	return out
+}

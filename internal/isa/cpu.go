@@ -1,0 +1,250 @@
+package isa
+
+import "fmt"
+
+// CPU is the lr32 functional emulator. Structural timing models call
+// StepInst to advance architectural state one instruction at a time while
+// they account for cycles; standalone functional runs use Run.
+type CPU struct {
+	PC      uint32
+	R       [NumRegs]uint32
+	Mem     *Memory
+	Halted  bool
+	Instret uint64 // retired instruction count
+}
+
+// NewCPU returns a CPU with fresh memory, PC 0 and SP at the top of a
+// 64 KiB stack region.
+func NewCPU() *CPU {
+	c := &CPU{Mem: NewMemory()}
+	c.R[RegSP] = 0x0010_0000
+	return c
+}
+
+// Reset clears registers, PC and the halt flag (memory is preserved).
+func (c *CPU) Reset(pc uint32) {
+	c.R = [NumRegs]uint32{}
+	c.R[RegSP] = 0x0010_0000
+	c.PC = pc
+	c.Halted = false
+	c.Instret = 0
+}
+
+// Fetch reads and decodes the instruction at PC without executing it.
+func (c *CPU) Fetch() (Inst, error) {
+	w, err := c.Mem.ReadWord(c.PC)
+	if err != nil {
+		return Inst{}, fmt.Errorf("fetch: %w", err)
+	}
+	return Decode(w)
+}
+
+// StepInst executes exactly one instruction. It returns the executed
+// instruction so timing models can classify it.
+func (c *CPU) StepInst() (Inst, error) {
+	if c.Halted {
+		return Inst{}, fmt.Errorf("isa: cpu halted at pc %#08x", c.PC)
+	}
+	in, err := c.Fetch()
+	if err != nil {
+		return Inst{}, err
+	}
+	if err := c.Exec(in); err != nil {
+		return in, err
+	}
+	return in, nil
+}
+
+// Run executes until HALT or max instructions, whichever comes first.
+func (c *CPU) Run(max uint64) error {
+	for i := uint64(0); i < max && !c.Halted; i++ {
+		if _, err := c.StepInst(); err != nil {
+			return fmt.Errorf("isa: run at pc %#08x: %w", c.PC, err)
+		}
+	}
+	if !c.Halted {
+		return fmt.Errorf("isa: run: instruction budget %d exhausted at pc %#08x", max, c.PC)
+	}
+	return nil
+}
+
+func (c *CPU) set(r uint8, v uint32) {
+	if r != RegZero {
+		c.R[r] = v
+	}
+}
+
+// Exec executes one decoded instruction at the current PC, updating
+// registers, memory and PC.
+func (c *CPU) Exec(in Inst) error {
+	next := c.PC + 4
+	rs := c.R[in.Rs]
+	switch in.Op {
+	case OpAdd:
+		c.set(in.Rd, rs+c.R[in.Rt])
+	case OpSub:
+		c.set(in.Rd, rs-c.R[in.Rt])
+	case OpAnd:
+		c.set(in.Rd, rs&c.R[in.Rt])
+	case OpOr:
+		c.set(in.Rd, rs|c.R[in.Rt])
+	case OpXor:
+		c.set(in.Rd, rs^c.R[in.Rt])
+	case OpNor:
+		c.set(in.Rd, ^(rs | c.R[in.Rt]))
+	case OpSlt:
+		c.set(in.Rd, b2u(int32(rs) < int32(c.R[in.Rt])))
+	case OpSltu:
+		c.set(in.Rd, b2u(rs < c.R[in.Rt]))
+	case OpSll:
+		c.set(in.Rd, c.R[in.Rt]<<in.Shamt)
+	case OpSrl:
+		c.set(in.Rd, c.R[in.Rt]>>in.Shamt)
+	case OpSra:
+		c.set(in.Rd, uint32(int32(c.R[in.Rt])>>in.Shamt))
+	case OpSllv:
+		c.set(in.Rd, c.R[in.Rt]<<(rs&31))
+	case OpSrlv:
+		c.set(in.Rd, c.R[in.Rt]>>(rs&31))
+	case OpSrav:
+		c.set(in.Rd, uint32(int32(c.R[in.Rt])>>(rs&31)))
+	case OpMul:
+		c.set(in.Rd, uint32(int32(rs)*int32(c.R[in.Rt])))
+	case OpMulhu:
+		c.set(in.Rd, uint32(uint64(rs)*uint64(c.R[in.Rt])>>32))
+	case OpDiv:
+		if c.R[in.Rt] == 0 {
+			return fmt.Errorf("isa: divide by zero at pc %#08x", c.PC)
+		}
+		c.set(in.Rd, uint32(int32(rs)/int32(c.R[in.Rt])))
+	case OpDivu:
+		if c.R[in.Rt] == 0 {
+			return fmt.Errorf("isa: divide by zero at pc %#08x", c.PC)
+		}
+		c.set(in.Rd, rs/c.R[in.Rt])
+	case OpRem:
+		if c.R[in.Rt] == 0 {
+			return fmt.Errorf("isa: divide by zero at pc %#08x", c.PC)
+		}
+		c.set(in.Rd, uint32(int32(rs)%int32(c.R[in.Rt])))
+	case OpRemu:
+		if c.R[in.Rt] == 0 {
+			return fmt.Errorf("isa: divide by zero at pc %#08x", c.PC)
+		}
+		c.set(in.Rd, rs%c.R[in.Rt])
+	case OpJr:
+		next = rs
+	case OpJalr:
+		c.set(in.Rd, next)
+		next = rs
+
+	case OpAddi:
+		c.set(in.Rd, rs+uint32(in.Imm))
+	case OpAndi:
+		c.set(in.Rd, rs&uint32(in.Imm))
+	case OpOri:
+		c.set(in.Rd, rs|uint32(in.Imm))
+	case OpXori:
+		c.set(in.Rd, rs^uint32(in.Imm))
+	case OpSlti:
+		c.set(in.Rd, b2u(int32(rs) < in.Imm))
+	case OpSltiu:
+		c.set(in.Rd, b2u(rs < uint32(in.Imm)))
+	case OpLui:
+		c.set(in.Rd, uint32(in.Imm)<<16)
+	case OpLw:
+		v, err := c.Mem.ReadWord(rs + uint32(in.Imm))
+		if err != nil {
+			return err
+		}
+		c.set(in.Rd, v)
+	case OpLh:
+		v, err := c.Mem.ReadHalf(rs + uint32(in.Imm))
+		if err != nil {
+			return err
+		}
+		c.set(in.Rd, uint32(int32(int16(v))))
+	case OpLhu:
+		v, err := c.Mem.ReadHalf(rs + uint32(in.Imm))
+		if err != nil {
+			return err
+		}
+		c.set(in.Rd, uint32(v))
+	case OpLb:
+		c.set(in.Rd, uint32(int32(int8(c.Mem.LoadByte(rs+uint32(in.Imm))))))
+	case OpLbu:
+		c.set(in.Rd, uint32(c.Mem.LoadByte(rs+uint32(in.Imm))))
+	case OpSw:
+		if err := c.Mem.WriteWord(rs+uint32(in.Imm), c.R[in.Rd]); err != nil {
+			return err
+		}
+	case OpSh:
+		if err := c.Mem.WriteHalf(rs+uint32(in.Imm), uint16(c.R[in.Rd])); err != nil {
+			return err
+		}
+	case OpSb:
+		c.Mem.StoreByte(rs+uint32(in.Imm), byte(c.R[in.Rd]))
+	case OpBeq:
+		if rs == c.R[in.Rd] {
+			next = c.branchTarget(in)
+		}
+	case OpBne:
+		if rs != c.R[in.Rd] {
+			next = c.branchTarget(in)
+		}
+	case OpBlez:
+		if int32(rs) <= 0 {
+			next = c.branchTarget(in)
+		}
+	case OpBgtz:
+		if int32(rs) > 0 {
+			next = c.branchTarget(in)
+		}
+	case OpBltz:
+		if int32(rs) < 0 {
+			next = c.branchTarget(in)
+		}
+	case OpBgez:
+		if int32(rs) >= 0 {
+			next = c.branchTarget(in)
+		}
+
+	case OpJ:
+		next = in.Target << 2
+	case OpJal:
+		c.set(RegRA, next)
+		next = in.Target << 2
+
+	case OpHalt:
+		c.Halted = true
+	default:
+		return fmt.Errorf("isa: exec: invalid op at pc %#08x", c.PC)
+	}
+	c.PC = next
+	c.Instret++
+	return nil
+}
+
+// branchTarget computes a conditional branch's destination.
+func (c *CPU) branchTarget(in Inst) uint32 {
+	return c.PC + 4 + uint32(in.Imm)<<2
+}
+
+// BranchTargetAt computes the taken target of a branch fetched from pc,
+// for use by branch predictors and front-end models.
+func BranchTargetAt(pc uint32, in Inst) uint32 {
+	switch {
+	case in.Op.IsJType():
+		return in.Target << 2
+	case in.Op.IsBranch():
+		return pc + 4 + uint32(in.Imm)<<2
+	}
+	return pc + 4
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

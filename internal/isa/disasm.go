@@ -1,0 +1,45 @@
+package isa
+
+import "fmt"
+
+// RegName returns the canonical name of register r.
+func RegName(r uint8) string { return fmt.Sprintf("r%d", r) }
+
+// Disassemble renders a decoded instruction in the assembler's syntax.
+// Branch and jump targets are rendered numerically (branches as word
+// displacements, jumps as absolute byte addresses), which the assembler
+// accepts back, so disassemble/assemble round-trips.
+func Disassemble(in Inst) string {
+	switch in.Op {
+	case OpSll, OpSrl, OpSra:
+		if in.Op == OpSll && in.Rd == 0 && in.Rt == 0 && in.Shamt == 0 {
+			return "nop"
+		}
+		return fmt.Sprintf("%s %s, %s, %d", in.Op.Name(), RegName(in.Rd), RegName(in.Rt), in.Shamt)
+	case OpSllv, OpSrlv, OpSrav:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op.Name(), RegName(in.Rd), RegName(in.Rt), RegName(in.Rs))
+	case OpJr:
+		return fmt.Sprintf("jr %s", RegName(in.Rs))
+	case OpJalr:
+		return fmt.Sprintf("jalr %s, %s", RegName(in.Rd), RegName(in.Rs))
+	case OpLui:
+		return fmt.Sprintf("lui %s, %d", RegName(in.Rd), in.Imm)
+	case OpLw, OpLh, OpLhu, OpLb, OpLbu, OpSw, OpSh, OpSb:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op.Name(), RegName(in.Rd), in.Imm, RegName(in.Rs))
+	case OpBeq, OpBne:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op.Name(), RegName(in.Rs), RegName(in.Rd), in.Imm)
+	case OpBlez, OpBgtz, OpBltz, OpBgez:
+		return fmt.Sprintf("%s %s, %d", in.Op.Name(), RegName(in.Rs), in.Imm)
+	case OpJ, OpJal:
+		return fmt.Sprintf("%s %#x", in.Op.Name(), in.Target<<2)
+	case OpHalt:
+		return "halt"
+	case OpInvalid:
+		return "invalid"
+	}
+	if in.Op.IsRType() {
+		return fmt.Sprintf("%s %s, %s, %s", in.Op.Name(), RegName(in.Rd), RegName(in.Rs), RegName(in.Rt))
+	}
+	// Remaining I-type ALU ops.
+	return fmt.Sprintf("%s %s, %s, %d", in.Op.Name(), RegName(in.Rd), RegName(in.Rs), in.Imm)
+}

@@ -1,0 +1,373 @@
+// Package isa defines LibertyRISC (lr32), the small load/store ISA used by
+// this repository's processor and programmable-network-interface models.
+// The original LSE work modeled IA-64 and Alpha processors running
+// proprietary binaries; lr32 is the self-contained substitute that
+// exercises the same path (Figure 1's "Instruction Set Emulation" box
+// feeding the structural timing models).
+//
+// lr32 is a classic 32-bit RISC: 32 general registers (r0 wired to zero),
+// byte-addressed little-endian memory, fixed 32-bit instructions in three
+// MIPS-like formats:
+//
+//	R-type: [31:26]=0      [25:21]rs [20:16]rt [15:11]rd [10:6]shamt [5:0]funct
+//	I-type: [31:26]opcode  [25:21]rs [20:16]rt [15:0]imm16
+//	J-type: [31:26]opcode  [25:0]target (word index)
+//
+// Branch displacements are in words relative to the delay-free next PC
+// (pc+4). There are no delay slots.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 32
+
+// Conventional register aliases used by the assembler and disassembler.
+const (
+	RegZero = 0  // hardwired zero
+	RegAT   = 1  // assembler temporary
+	RegV0   = 2  // return value / syscall-style MMIO conventions
+	RegA0   = 4  // first argument
+	RegSP   = 29 // stack pointer
+	RegFP   = 30 // frame pointer
+	RegRA   = 31 // return address
+)
+
+// Op identifies an instruction operation after decoding (formats folded).
+type Op uint8
+
+// Operations. R-type first, then I-type, then J-type, then system.
+const (
+	OpInvalid Op = iota
+	// R-type
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpNor
+	OpSlt
+	OpSltu
+	OpSll // shift by shamt
+	OpSrl
+	OpSra
+	OpSllv // shift by register
+	OpSrlv
+	OpSrav
+	OpJr
+	OpJalr
+	OpMul
+	OpMulhu
+	OpDiv
+	OpDivu
+	OpRem
+	OpRemu
+	// I-type
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSltiu
+	OpLui
+	OpLw
+	OpLh
+	OpLhu
+	OpLb
+	OpLbu
+	OpSw
+	OpSh
+	OpSb
+	OpBeq
+	OpBne
+	OpBlez
+	OpBgtz
+	OpBltz
+	OpBgez
+	// J-type
+	OpJ
+	OpJal
+	// System
+	OpHalt
+	opMax
+)
+
+// Class is an instruction's coarse functional class, used by timing models
+// to route instructions to functional units.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassShift
+	ClassMulDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassSystem
+)
+
+type opInfo struct {
+	name   string
+	class  Class
+	funct  uint32 // R-type funct, valid when rtype
+	opcode uint32 // I/J-type opcode
+	rtype  bool
+	jtype  bool
+}
+
+var opTable = [opMax]opInfo{
+	OpAdd:   {name: "add", class: ClassALU, rtype: true, funct: 0x20},
+	OpSub:   {name: "sub", class: ClassALU, rtype: true, funct: 0x22},
+	OpAnd:   {name: "and", class: ClassALU, rtype: true, funct: 0x24},
+	OpOr:    {name: "or", class: ClassALU, rtype: true, funct: 0x25},
+	OpXor:   {name: "xor", class: ClassALU, rtype: true, funct: 0x26},
+	OpNor:   {name: "nor", class: ClassALU, rtype: true, funct: 0x27},
+	OpSlt:   {name: "slt", class: ClassALU, rtype: true, funct: 0x2a},
+	OpSltu:  {name: "sltu", class: ClassALU, rtype: true, funct: 0x2b},
+	OpSll:   {name: "sll", class: ClassShift, rtype: true, funct: 0x00},
+	OpSrl:   {name: "srl", class: ClassShift, rtype: true, funct: 0x02},
+	OpSra:   {name: "sra", class: ClassShift, rtype: true, funct: 0x03},
+	OpSllv:  {name: "sllv", class: ClassShift, rtype: true, funct: 0x04},
+	OpSrlv:  {name: "srlv", class: ClassShift, rtype: true, funct: 0x06},
+	OpSrav:  {name: "srav", class: ClassShift, rtype: true, funct: 0x07},
+	OpJr:    {name: "jr", class: ClassJump, rtype: true, funct: 0x08},
+	OpJalr:  {name: "jalr", class: ClassJump, rtype: true, funct: 0x09},
+	OpMul:   {name: "mul", class: ClassMulDiv, rtype: true, funct: 0x18},
+	OpMulhu: {name: "mulhu", class: ClassMulDiv, rtype: true, funct: 0x19},
+	OpDiv:   {name: "div", class: ClassMulDiv, rtype: true, funct: 0x1a},
+	OpDivu:  {name: "divu", class: ClassMulDiv, rtype: true, funct: 0x1b},
+	OpRem:   {name: "rem", class: ClassMulDiv, rtype: true, funct: 0x1c},
+	OpRemu:  {name: "remu", class: ClassMulDiv, rtype: true, funct: 0x1d},
+
+	OpAddi:  {name: "addi", class: ClassALU, opcode: 0x08},
+	OpAndi:  {name: "andi", class: ClassALU, opcode: 0x0c},
+	OpOri:   {name: "ori", class: ClassALU, opcode: 0x0d},
+	OpXori:  {name: "xori", class: ClassALU, opcode: 0x0e},
+	OpSlti:  {name: "slti", class: ClassALU, opcode: 0x0a},
+	OpSltiu: {name: "sltiu", class: ClassALU, opcode: 0x0b},
+	OpLui:   {name: "lui", class: ClassALU, opcode: 0x0f},
+	OpLw:    {name: "lw", class: ClassLoad, opcode: 0x23},
+	OpLh:    {name: "lh", class: ClassLoad, opcode: 0x21},
+	OpLhu:   {name: "lhu", class: ClassLoad, opcode: 0x25},
+	OpLb:    {name: "lb", class: ClassLoad, opcode: 0x20},
+	OpLbu:   {name: "lbu", class: ClassLoad, opcode: 0x24},
+	OpSw:    {name: "sw", class: ClassStore, opcode: 0x2b},
+	OpSh:    {name: "sh", class: ClassStore, opcode: 0x29},
+	OpSb:    {name: "sb", class: ClassStore, opcode: 0x28},
+	OpBeq:   {name: "beq", class: ClassBranch, opcode: 0x04},
+	OpBne:   {name: "bne", class: ClassBranch, opcode: 0x05},
+	OpBlez:  {name: "blez", class: ClassBranch, opcode: 0x06},
+	OpBgtz:  {name: "bgtz", class: ClassBranch, opcode: 0x07},
+	OpBltz:  {name: "bltz", class: ClassBranch, opcode: 0x01},
+	OpBgez:  {name: "bgez", class: ClassBranch, opcode: 0x11},
+
+	OpJ:   {name: "j", class: ClassJump, jtype: true, opcode: 0x02},
+	OpJal: {name: "jal", class: ClassJump, jtype: true, opcode: 0x03},
+
+	OpHalt: {name: "halt", class: ClassSystem, opcode: 0x3f},
+}
+
+// Name returns the operation's assembly mnemonic.
+func (o Op) Name() string {
+	if o == OpInvalid || o >= opMax {
+		return "invalid"
+	}
+	return opTable[o].name
+}
+
+// Class returns the operation's functional class.
+func (o Op) Class() Class {
+	if o == OpInvalid || o >= opMax {
+		return ClassSystem
+	}
+	return opTable[o].class
+}
+
+// IsRType reports whether the operation uses the R format.
+func (o Op) IsRType() bool { return opTable[o].rtype }
+
+// IsJType reports whether the operation uses the J format.
+func (o Op) IsJType() bool { return opTable[o].jtype }
+
+// IsBranch reports whether the operation is a conditional branch.
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsJump reports whether the operation is an unconditional control
+// transfer (j, jal, jr, jalr).
+func (o Op) IsJump() bool { return o.Class() == ClassJump }
+
+// WritesReg reports whether the instruction writes a destination register.
+func (i Inst) WritesReg() bool {
+	switch i.Op.Class() {
+	case ClassStore, ClassBranch, ClassSystem:
+		return false
+	case ClassJump:
+		return i.Op == OpJal || i.Op == OpJalr
+	}
+	return true
+}
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op     Op
+	Rd     uint8 // destination (R-type rd; I-type rt)
+	Rs     uint8 // first source
+	Rt     uint8 // second source (R-type) / store data or branch rhs (I-type)
+	Shamt  uint8
+	Imm    int32  // sign- or zero-extended immediate per operation
+	Target uint32 // J-type word target
+}
+
+func (i Inst) String() string { return Disassemble(i) }
+
+// Dest returns the register the instruction writes, or -1.
+func (i Inst) Dest() int {
+	if !i.WritesReg() {
+		return -1
+	}
+	if i.Op == OpJal {
+		return RegRA
+	}
+	return int(i.Rd)
+}
+
+// Sources returns the registers the instruction reads (at most two),
+// excluding r0.
+func (i Inst) Sources() []int {
+	var out []int
+	add := func(r uint8) {
+		if r != 0 {
+			out = append(out, int(r))
+		}
+	}
+	switch i.Op {
+	case OpSll, OpSrl, OpSra:
+		add(i.Rt)
+	case OpJ, OpJal, OpHalt, OpLui:
+		// no register sources
+	case OpJr, OpJalr:
+		add(i.Rs)
+	case OpBeq, OpBne:
+		// I-format: the rt field lives in Inst.Rd.
+		add(i.Rs)
+		add(i.Rd)
+	case OpBlez, OpBgtz, OpBltz, OpBgez:
+		add(i.Rs)
+	case OpSw, OpSh, OpSb:
+		// I-format: the store-data register (rt field) lives in Inst.Rd.
+		add(i.Rs)
+		add(i.Rd)
+	default:
+		if opTable[i.Op].rtype {
+			add(i.Rs)
+			add(i.Rt)
+		} else {
+			add(i.Rs)
+		}
+	}
+	return out
+}
+
+// zeroExtImm reports whether the operation's 16-bit immediate is
+// zero-extended (logical immediates) rather than sign-extended.
+func zeroExtImm(op Op) bool {
+	switch op {
+	case OpAndi, OpOri, OpXori, OpLui:
+		return true
+	}
+	return false
+}
+
+// Encode packs an instruction into its 32-bit representation.
+func Encode(i Inst) (uint32, error) {
+	if i.Op == OpInvalid || i.Op >= opMax {
+		return 0, fmt.Errorf("isa: encode: invalid op %d", i.Op)
+	}
+	info := opTable[i.Op]
+	switch {
+	case info.rtype:
+		return uint32(i.Rs&31)<<21 | uint32(i.Rt&31)<<16 | uint32(i.Rd&31)<<11 |
+			uint32(i.Shamt&31)<<6 | info.funct, nil
+	case info.jtype:
+		if i.Target > 0x03ffffff {
+			return 0, fmt.Errorf("isa: encode %s: target %#x out of range", info.name, i.Target)
+		}
+		return info.opcode<<26 | i.Target, nil
+	default:
+		var imm uint32
+		if zeroExtImm(i.Op) {
+			if i.Imm < 0 || i.Imm > 0xffff {
+				return 0, fmt.Errorf("isa: encode %s: immediate %d not in [0,65535]", info.name, i.Imm)
+			}
+			imm = uint32(i.Imm)
+		} else {
+			if i.Imm < -32768 || i.Imm > 32767 {
+				return 0, fmt.Errorf("isa: encode %s: immediate %d not in [-32768,32767]", info.name, i.Imm)
+			}
+			imm = uint32(i.Imm) & 0xffff
+		}
+		return info.opcode<<26 | uint32(i.Rs&31)<<21 | uint32(i.Rd&31)<<16 | imm, nil
+	}
+}
+
+// functToOp and opcodeToOp are built from opTable for decoding.
+var (
+	functToOp  [64]Op
+	opcodeToOp [64]Op
+)
+
+func init() {
+	for op := Op(1); op < opMax; op++ {
+		info := opTable[op]
+		switch {
+		case info.rtype:
+			functToOp[info.funct] = op
+		default:
+			opcodeToOp[info.opcode] = op
+		}
+	}
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Inst, error) {
+	opcode := w >> 26
+	if opcode == 0 {
+		funct := w & 0x3f
+		op := functToOp[funct]
+		if op == OpInvalid && w != 0 {
+			return Inst{}, fmt.Errorf("isa: decode %#08x: unknown funct %#x", w, funct)
+		}
+		// Word 0 decodes as sll r0,r0,0 — the canonical NOP.
+		if op == OpInvalid {
+			op = OpSll
+		}
+		return Inst{
+			Op:    op,
+			Rs:    uint8(w >> 21 & 31),
+			Rt:    uint8(w >> 16 & 31),
+			Rd:    uint8(w >> 11 & 31),
+			Shamt: uint8(w >> 6 & 31),
+		}, nil
+	}
+	op := opcodeToOp[opcode]
+	if op == OpInvalid {
+		return Inst{}, fmt.Errorf("isa: decode %#08x: unknown opcode %#x", w, opcode)
+	}
+	if opTable[op].jtype {
+		return Inst{Op: op, Target: w & 0x03ffffff}, nil
+	}
+	imm16 := w & 0xffff
+	var imm int32
+	if zeroExtImm(op) {
+		imm = int32(imm16)
+	} else {
+		imm = int32(int16(imm16))
+	}
+	return Inst{
+		Op:  op,
+		Rs:  uint8(w >> 21 & 31),
+		Rd:  uint8(w >> 16 & 31),
+		Imm: imm,
+	}, nil
+}

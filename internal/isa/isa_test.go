@@ -1,0 +1,450 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func runProg(t *testing.T, src string, budget uint64) *CPU {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	c := NewCPU()
+	p.LoadInto(c.Mem)
+	c.Reset(p.Entry)
+	if err := c.Run(budget); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return c
+}
+
+func TestFib(t *testing.T) {
+	c := runProg(t, ProgFib, 10000)
+	if got := c.R[RegV0]; got != 55 {
+		t.Fatalf("fib(10) = %d, want 55", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	c := runProg(t, ProgSum, 10000)
+	if got := c.R[RegV0]; got != 136 {
+		t.Fatalf("sum = %d, want 136", got)
+	}
+}
+
+func TestMemcpy(t *testing.T) {
+	c := runProg(t, ProgMemcpy, 100000)
+	if got := c.R[RegV0]; got != 1 {
+		t.Fatalf("memcpy verify = %d, want 1", got)
+	}
+}
+
+func TestSort(t *testing.T) {
+	p, err := Assemble(ProgSort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCPU()
+	p.LoadInto(c.Mem)
+	c.Reset(p.Entry)
+	if err := c.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	base := p.Symbols["arr"]
+	want := []int32{-3, 0, 1, 7, 23, 42, 58, 99}
+	for i, w := range want {
+		v, err := c.Mem.ReadWord(base + uint32(4*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int32(v) != w {
+			t.Fatalf("arr[%d] = %d, want %d", i, int32(v), w)
+		}
+	}
+}
+
+func TestRecursiveCall(t *testing.T) {
+	c := runProg(t, ProgCall, 100000)
+	if got := c.R[RegV0]; got != 720 {
+		t.Fatalf("fact(6) = %d, want 720", got)
+	}
+}
+
+func TestHazardsChecksum(t *testing.T) {
+	c := runProg(t, ProgHazards, 100000)
+	if got := c.R[RegV0]; got != 3969 {
+		t.Fatalf("checksum = %d, want 3969", got)
+	}
+}
+
+func TestRunBudgetExhausted(t *testing.T) {
+	src := "main: b main\n"
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCPU()
+	p.LoadInto(c.Mem)
+	c.Reset(p.Entry)
+	if err := c.Run(100); err == nil {
+		t.Fatal("infinite loop should exhaust the budget")
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	c := runProgErr(t, "main: li t0, 5\n li t1, 0\n div v0, t0, t1\n halt\n")
+	if c == nil {
+		t.Fatal("expected an error CPU")
+	}
+}
+
+func runProgErr(t *testing.T, src string) *CPU {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	c := NewCPU()
+	p.LoadInto(c.Mem)
+	c.Reset(p.Entry)
+	if err := c.Run(1000); err == nil {
+		t.Fatal("expected runtime fault")
+	}
+	return c
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	c := runProg(t, "main: addi r0, r0, 5\n move v0, r0\n halt\n", 100)
+	if c.R[0] != 0 || c.R[RegV0] != 0 {
+		t.Fatalf("r0 = %d, v0 = %d; want 0, 0", c.R[0], c.R[RegV0])
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "main: frobnicate t0, t1\n",
+		"bad register":     "main: add t0, t1, r99\n",
+		"duplicate label":  "main: nop\nmain: nop\n",
+		"undefined symbol": "main: beq t0, t1, nowhere\n",
+		"imm range":        "main: addi t0, t1, 100000\n",
+		"data instruction": ".data\nmain: add t0, t1, t2\n",
+		"bad directive":    ".frob 4\n",
+		"shift range":      "main: sll t0, t1, 40\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembler accepted %q", name, src)
+		}
+	}
+}
+
+func TestAsmDataDirectives(t *testing.T) {
+	src := `
+        .data
+        .equ  magic, 0xbeef
+w:      .word 1, -1, magic, msg
+h:      .half 0x1234, 0x5678
+b:      .byte 1, 2, 3, 'A'
+        .align 2
+msg:    .asciiz "hi"
+        .text
+main:   halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMemory()
+	p.LoadInto(m)
+	w := p.Symbols["w"]
+	if v, _ := m.ReadWord(w); v != 1 {
+		t.Fatalf("w[0] = %d", v)
+	}
+	if v, _ := m.ReadWord(w + 4); int32(v) != -1 {
+		t.Fatalf("w[1] = %d", int32(v))
+	}
+	if v, _ := m.ReadWord(w + 8); v != 0xbeef {
+		t.Fatalf("w[2] = %#x", v)
+	}
+	if v, _ := m.ReadWord(w + 12); v != p.Symbols["msg"] {
+		t.Fatalf("w[3] = %#x, want address of msg %#x", v, p.Symbols["msg"])
+	}
+	if v, _ := m.ReadHalf(p.Symbols["h"] + 2); v != 0x5678 {
+		t.Fatalf("h[1] = %#x", v)
+	}
+	if v := m.LoadByte(p.Symbols["b"] + 3); v != 'A' {
+		t.Fatalf("b[3] = %q", v)
+	}
+	msg := p.Symbols["msg"]
+	if m.LoadByte(msg) != 'h' || m.LoadByte(msg+1) != 'i' || m.LoadByte(msg+2) != 0 {
+		t.Fatal("asciiz content wrong")
+	}
+	if msg%4 != 0 {
+		t.Fatalf("msg not aligned: %#x", msg)
+	}
+}
+
+// randInst generates a random valid instruction in canonical form.
+func randInst(rng *rand.Rand) Inst {
+	for {
+		op := Op(1 + rng.Intn(int(opMax)-1))
+		in := Inst{Op: op}
+		info := opTable[op]
+		switch {
+		case op == OpHalt:
+		case info.rtype:
+			in.Rd = uint8(rng.Intn(32))
+			in.Rs = uint8(rng.Intn(32))
+			in.Rt = uint8(rng.Intn(32))
+			switch op {
+			case OpSll, OpSrl, OpSra:
+				in.Rs = 0
+				in.Shamt = uint8(rng.Intn(32))
+			case OpJr:
+				in.Rd, in.Rt, in.Shamt = 0, 0, 0
+			case OpJalr:
+				in.Rt, in.Shamt = 0, 0
+			}
+		case info.jtype:
+			in.Target = rng.Uint32() & 0x03ffffff
+		default:
+			in.Rd = uint8(rng.Intn(32))
+			in.Rs = uint8(rng.Intn(32))
+			switch op {
+			case OpLui:
+				in.Rs = 0 // lui has no register source
+			case OpBlez, OpBgtz, OpBltz, OpBgez:
+				in.Rd = 0 // single-register branches ignore the rt field
+			}
+			if zeroExtImm(op) {
+				in.Imm = int32(rng.Intn(0x10000))
+			} else {
+				in.Imm = int32(rng.Intn(0x10000)) - 0x8000
+			}
+		}
+		return in
+	}
+}
+
+// TestEncodeDecodeRoundTrip is the codec property test: every valid
+// instruction survives encode→decode unchanged.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randInst(rng)
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("encode %+v: %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %#x (%+v): %v", w, in, err)
+			return false
+		}
+		if in != out {
+			t.Logf("round trip %+v -> %#x -> %+v", in, w, out)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisassembleAssembleRoundTrip checks that disassembled text
+// re-assembles to the identical word.
+func TestDisassembleAssembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		in := randInst(rng)
+		if in.Op.IsJType() {
+			continue // absolute targets clash with the test's origin
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := Disassemble(in)
+		p, err := Assemble("main: " + text + "\n")
+		if err != nil {
+			t.Fatalf("re-assemble %q: %v", text, err)
+		}
+		m := NewMemory()
+		p.LoadInto(m)
+		w2, _ := m.ReadWord(p.Entry)
+		if w2 != w {
+			t.Fatalf("%q: %#08x -> %#08x", text, w, w2)
+		}
+	}
+}
+
+func TestMMIO(t *testing.T) {
+	dev := &stubMMIO{}
+	m := NewMemory()
+	if err := m.MapMMIO(0xff00_0000, 0x100, dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MapMMIO(0xff00_0080, 0x100, dev); err == nil {
+		t.Fatal("overlapping MMIO ranges accepted")
+	}
+	if err := m.WriteWord(0xff00_0004, 42); err != nil {
+		t.Fatal(err)
+	}
+	if dev.last != 42 || dev.lastOff != 4 {
+		t.Fatalf("device saw %d at %#x", dev.last, dev.lastOff)
+	}
+	v, err := m.ReadWord(0xff00_0008)
+	if err != nil || v != 0x1000+8 {
+		t.Fatalf("mmio read = %d, %v", v, err)
+	}
+	// Plain memory unaffected.
+	if err := m.WriteWord(0x1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadWord(0x1000); v != 7 {
+		t.Fatal("plain memory broken near MMIO")
+	}
+}
+
+type stubMMIO struct {
+	last    uint32
+	lastOff uint32
+}
+
+func (s *stubMMIO) ReadWord(off uint32) uint32     { return 0x1000 + off }
+func (s *stubMMIO) WriteWord(off uint32, v uint32) { s.last, s.lastOff = v, off }
+
+func TestMemoryAlignmentFaults(t *testing.T) {
+	m := NewMemory()
+	if _, err := m.ReadWord(2); err == nil {
+		t.Fatal("unaligned word read accepted")
+	}
+	if err := m.WriteWord(1, 0); err == nil {
+		t.Fatal("unaligned word write accepted")
+	}
+	if _, err := m.ReadHalf(1); err == nil {
+		t.Fatal("unaligned half read accepted")
+	}
+}
+
+func TestSourcesAndDest(t *testing.T) {
+	cases := []struct {
+		asm  string
+		dest int
+		srcs []int
+	}{
+		{"add r3, r4, r5", 3, []int{4, 5}},
+		{"addi r3, r4, 1", 3, []int{4}},
+		{"lw r3, 0(r4)", 3, []int{4}},
+		{"sw r3, 0(r4)", -1, []int{4, 3}},
+		{"beq r3, r4, 0", -1, []int{3, 4}},
+		{"jal 0x100", RegRA, nil},
+		{"jr r31", -1, []int{31}},
+		{"lui r7, 9", 7, nil},
+		{"halt", -1, nil},
+	}
+	for _, tc := range cases {
+		p, err := Assemble("main: " + tc.asm + "\n")
+		if err != nil {
+			t.Fatalf("%q: %v", tc.asm, err)
+		}
+		m := NewMemory()
+		p.LoadInto(m)
+		w, _ := m.ReadWord(p.Entry)
+		in, err := Decode(w)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.asm, err)
+		}
+		if in.Dest() != tc.dest {
+			t.Errorf("%q: dest = %d, want %d", tc.asm, in.Dest(), tc.dest)
+		}
+		got := in.Sources()
+		if len(got) != len(tc.srcs) {
+			t.Errorf("%q: sources = %v, want %v", tc.asm, got, tc.srcs)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.srcs[i] {
+				t.Errorf("%q: sources = %v, want %v", tc.asm, got, tc.srcs)
+			}
+		}
+	}
+}
+
+func BenchmarkEmulator(b *testing.B) {
+	p := MustAssemble(ProgFib)
+	c := NewCPU()
+	p.LoadInto(c.Mem)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset(p.Entry)
+		if err := c.Run(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.Instret), "instrs/run")
+}
+
+// TestTrickyOpSemantics nails the sign/zero-extension corners.
+func TestTrickyOpSemantics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint32
+	}{
+		{"main: li t0, -8\n sra v0, t0, 2\n halt", 0xfffffffe},                           // arithmetic shift keeps sign
+		{"main: li t0, -8\n srl v0, t0, 2\n halt", 0x3ffffffe},                           // logical shift does not
+		{"main: li t0, -1\n li t1, 1\n sltu v0, t0, t1\n halt", 0},                       // unsigned compare
+		{"main: li t0, -1\n li t1, 1\n slt v0, t0, t1\n halt", 1},                        // signed compare
+		{"main: li t0, -1\n li t1, 2\n mulhu v0, t0, t1\n halt", 1},                      // high word of 2*(2^32-1)
+		{"main: li t0, -7\n li t1, 2\n rem v0, t0, t1\n halt", 0xffffffff},               // Go-style signed rem
+		{"main: li t0, 0x8000\n sw t0, 0x100(r0)\n lh v0, 0x100(r0)\n halt", 0xffff8000}, // lh sign-extends
+		{"main: li t0, 0x8000\n sw t0, 0x100(r0)\n lhu v0, 0x100(r0)\n halt", 0x8000},    // lhu does not
+		{"main: li t0, 0x80\n sb t0, 0x100(r0)\n lb v0, 0x100(r0)\n halt", 0xffffff80},   // lb sign-extends
+		{"main: li t0, 0x12345678\n andi v0, t0, 0xff00\n halt", 0x5600},                 // andi zero-extends
+		{"main: li t0, 5\n xori v0, t0, 0xffff\n halt", 0xfffa},                          // xori zero-extends
+	}
+	for _, tc := range cases {
+		c := runProg(t, tc.src, 1000)
+		if got := c.R[RegV0]; got != tc.want {
+			t.Errorf("%q: v0 = %#x, want %#x", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestObjectFileRoundTrip(t *testing.T) {
+	p, err := Assemble(ProgSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadObject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Entry != p.Entry || len(q.Segments) != len(p.Segments) || len(q.Symbols) != len(p.Symbols) {
+		t.Fatalf("headers differ: %+v vs %+v", q, p)
+	}
+	// The reloaded program must execute identically.
+	c := NewCPU()
+	q.LoadInto(c.Mem)
+	c.Reset(q.Entry)
+	if err := c.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[RegV0] != 136 {
+		t.Fatalf("reloaded sum = %d, want 136", c.R[RegV0])
+	}
+	// Corrupted input is rejected.
+	if _, err := ReadObject(bytes.NewReader([]byte("XXXX????"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, byte-addressed, little-endian 32-bit address space
+// backed by 4 KiB pages allocated on first touch. Optional MMIO ranges
+// intercept accesses, which is how device models (NIC registers, DMA
+// doorbells) attach to an emulated core.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+	mmio  []mmioRange
+}
+
+type mmioRange struct {
+	lo, hi uint32 // [lo, hi)
+	dev    MMIO
+}
+
+// MMIO is a memory-mapped device. Offsets are relative to the range base.
+// Word accesses are the device unit; byte/half accesses to MMIO are
+// rejected by the emulator.
+type MMIO interface {
+	ReadWord(off uint32) uint32
+	WriteWord(off uint32, v uint32)
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory { return &Memory{pages: make(map[uint32]*[pageSize]byte)} }
+
+// MapMMIO attaches dev at [base, base+size). Ranges must be word-aligned
+// and must not overlap existing ranges.
+func (m *Memory) MapMMIO(base, size uint32, dev MMIO) error {
+	if base%4 != 0 || size%4 != 0 || size == 0 {
+		return fmt.Errorf("isa: mmio range %#x+%#x not word aligned", base, size)
+	}
+	hi := base + size
+	if hi < base {
+		return fmt.Errorf("isa: mmio range %#x+%#x wraps", base, size)
+	}
+	for _, r := range m.mmio {
+		if base < r.hi && r.lo < hi {
+			return fmt.Errorf("isa: mmio range %#x+%#x overlaps %#x..%#x", base, size, r.lo, r.hi)
+		}
+	}
+	m.mmio = append(m.mmio, mmioRange{lo: base, hi: hi, dev: dev})
+	return nil
+}
+
+func (m *Memory) mmioAt(addr uint32) (MMIO, uint32, bool) {
+	for _, r := range m.mmio {
+		if addr >= r.lo && addr < r.hi {
+			return r.dev, addr - r.lo, true
+		}
+	}
+	return nil, 0, false
+}
+
+func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint32, b byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = b
+}
+
+// ReadWord returns the 32-bit little-endian word at addr. addr must be
+// word-aligned; MMIO ranges are consulted first.
+func (m *Memory) ReadWord(addr uint32) (uint32, error) {
+	if addr%4 != 0 {
+		return 0, &MemFault{Addr: addr, Op: "read word", Detail: "unaligned"}
+	}
+	if dev, off, ok := m.mmioAt(addr); ok {
+		return dev.ReadWord(off), nil
+	}
+	off := addr & (pageSize - 1)
+	p := m.page(addr, false)
+	if p == nil {
+		return 0, nil
+	}
+	return binary.LittleEndian.Uint32(p[off : off+4]), nil
+}
+
+// WriteWord stores the 32-bit word v at addr (word-aligned; MMIO first).
+func (m *Memory) WriteWord(addr uint32, v uint32) error {
+	if addr%4 != 0 {
+		return &MemFault{Addr: addr, Op: "write word", Detail: "unaligned"}
+	}
+	if dev, off, ok := m.mmioAt(addr); ok {
+		dev.WriteWord(off, v)
+		return nil
+	}
+	off := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint32(m.page(addr, true)[off:off+4], v)
+	return nil
+}
+
+// ReadHalf returns the 16-bit little-endian half-word at addr.
+func (m *Memory) ReadHalf(addr uint32) (uint16, error) {
+	if addr%2 != 0 {
+		return 0, &MemFault{Addr: addr, Op: "read half", Detail: "unaligned"}
+	}
+	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8, nil
+}
+
+// WriteHalf stores the 16-bit half-word v at addr.
+func (m *Memory) WriteHalf(addr uint32, v uint16) error {
+	if addr%2 != 0 {
+		return &MemFault{Addr: addr, Op: "write half", Detail: "unaligned"}
+	}
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+	return nil
+}
+
+// LoadBytes copies data into memory starting at addr.
+func (m *Memory) LoadBytes(addr uint32, data []byte) {
+	for i, b := range data {
+		m.StoreByte(addr+uint32(i), b)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + uint32(i))
+	}
+	return out
+}
+
+// Footprint returns the number of bytes of backing store allocated.
+func (m *Memory) Footprint() int { return len(m.pages) * pageSize }
+
+// MemFault describes an illegal memory access.
+type MemFault struct {
+	Addr   uint32
+	Op     string
+	Detail string
+}
+
+func (f *MemFault) Error() string {
+	return fmt.Sprintf("isa: %s at %#08x: %s", f.Op, f.Addr, f.Detail)
+}

@@ -1,0 +1,127 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Object file container for assembled lr32 programs ("LR32" format):
+//
+//	magic   [4]byte  "LR32"
+//	version uint32   1
+//	entry   uint32
+//	nsegs   uint32
+//	nsyms   uint32
+//	segs:   addr uint32, len uint32, data [len]byte
+//	syms:   nameLen uint32, name [nameLen]byte, addr uint32
+//
+// All integers little-endian.
+
+var objMagic = [4]byte{'L', 'R', '3', '2'}
+
+const objVersion = 1
+
+// WriteObject serializes a program to w.
+func WriteObject(w io.Writer, p *Program) error {
+	var buf bytes.Buffer
+	buf.Write(objMagic[:])
+	writeU32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	writeU32(objVersion)
+	writeU32(p.Entry)
+	writeU32(uint32(len(p.Segments)))
+	writeU32(uint32(len(p.Symbols)))
+	for _, s := range p.Segments {
+		writeU32(s.Addr)
+		writeU32(uint32(len(s.Data)))
+		buf.Write(s.Data)
+	}
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeU32(uint32(len(n)))
+		buf.WriteString(n)
+		writeU32(p.Symbols[n])
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadObject deserializes a program from r.
+func ReadObject(r io.Reader) (*Program, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(buf, magic[:]); err != nil || magic != objMagic {
+		return nil, fmt.Errorf("isa: not an LR32 object file")
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(buf, binary.LittleEndian, &v)
+		return v, err
+	}
+	ver, err := readU32()
+	if err != nil || ver != objVersion {
+		return nil, fmt.Errorf("isa: unsupported object version %d", ver)
+	}
+	p := &Program{Symbols: map[string]uint32{}}
+	if p.Entry, err = readU32(); err != nil {
+		return nil, err
+	}
+	nsegs, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	nsyms, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nsegs > 1<<16 || nsyms > 1<<20 {
+		return nil, fmt.Errorf("isa: implausible object header")
+	}
+	for i := uint32(0); i < nsegs; i++ {
+		addr, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int64(n) > int64(buf.Len()) {
+			return nil, fmt.Errorf("isa: truncated segment")
+		}
+		seg := Segment{Addr: addr, Data: make([]byte, n)}
+		if _, err := io.ReadFull(buf, seg.Data); err != nil {
+			return nil, err
+		}
+		p.Segments = append(p.Segments, seg)
+	}
+	for i := uint32(0); i < nsyms; i++ {
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int64(n) > int64(buf.Len()) {
+			return nil, fmt.Errorf("isa: truncated symbol table")
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(buf, name); err != nil {
+			return nil, err
+		}
+		addr, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		p.Symbols[string(name)] = addr
+	}
+	return p, nil
+}

@@ -1,0 +1,173 @@
+package isa
+
+// Embedded lr32 sample programs. These serve as assembler regression
+// inputs, functional-emulator workloads, and the instruction streams
+// driving the structural processor models in internal/upl.
+
+// ProgFib computes fib(n) iteratively; n is preloaded in a0 by the test
+// harness (default 10 set here), result left in v0.
+const ProgFib = `
+        .text
+main:   li   a0, 10
+fib:    li   v0, 0          # f(0)
+        li   t0, 1          # f(1)
+        blez a0, done
+        li   t1, 0          # i
+loop:   add  t2, v0, t0     # next
+        move v0, t0
+        move t0, t2
+        addi t1, t1, 1
+        blt  t1, a0, loop
+done:   halt
+`
+
+// ProgSum adds the elements of a 16-word array into v0.
+const ProgSum = `
+        .text
+main:   la   t0, arr
+        li   t1, 16         # count
+        li   v0, 0
+loop:   lw   t2, 0(t0)
+        add  v0, v0, t2
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bgtz t1, loop
+        halt
+        .data
+arr:    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+`
+
+// ProgMemcpy copies len bytes from src to dst, then verifies; v0 = 1 on
+// success.
+const ProgMemcpy = `
+        .text
+main:   la   a0, dst
+        la   a1, src
+        li   a2, 29         # length of the string incl. NUL
+        move t0, a0
+        move t1, a1
+        move t2, a2
+copy:   blez t2, verify
+        lbu  t3, 0(t1)
+        sb   t3, 0(t0)
+        addi t0, t0, 1
+        addi t1, t1, 1
+        addi t2, t2, -1
+        b    copy
+verify: move t0, a0
+        move t1, a1
+        move t2, a2
+        li   v0, 1
+vloop:  blez t2, done
+        lbu  t3, 0(t0)
+        lbu  t4, 0(t1)
+        beq  t3, t4, vnext
+        li   v0, 0
+        b    done
+vnext:  addi t0, t0, 1
+        addi t1, t1, 1
+        addi t2, t2, -1
+        b    vloop
+done:   halt
+        .data
+src:    .asciiz "the quick brown fox jumps"
+        .align 2
+dst:    .space 32
+`
+
+// ProgSort bubble-sorts an 8-word array in place.
+const ProgSort = `
+        .text
+main:   la   a0, arr
+        li   a1, 8
+        addi t9, a1, -1     # passes remaining
+outer:  blez t9, done
+        move t0, a0         # ptr
+        move t1, t9         # comparisons this pass
+inner:  blez t1, onext
+        lw   t2, 0(t0)
+        lw   t3, 4(t0)
+        ble  t2, t3, noswap
+        sw   t3, 0(t0)
+        sw   t2, 4(t0)
+noswap: addi t0, t0, 4
+        addi t1, t1, -1
+        b    inner
+onext:  addi t9, t9, -1
+        b    outer
+done:   halt
+        .data
+arr:    .word 42, 7, 99, -3, 0, 58, 1, 23
+`
+
+// ProgCall exercises the call stack: recursive factorial of a0, result in
+// v0.
+const ProgCall = `
+        .text
+main:   li   a0, 6
+        jal  fact
+        halt
+fact:   addi sp, sp, -8
+        sw   ra, 4(sp)
+        sw   a0, 0(sp)
+        li   t0, 2
+        bge  a0, t0, rec
+        li   v0, 1
+        addi sp, sp, 8
+        jr   ra
+rec:    addi a0, a0, -1
+        jal  fact
+        lw   a0, 0(sp)
+        lw   ra, 4(sp)
+        addi sp, sp, 8
+        mul  v0, v0, a0
+        jr   ra
+`
+
+// ProgHazards stresses back-to-back data dependences, load-use hazards and
+// taken/untaken branch mixes; v0 accumulates a checksum = 3969.
+const ProgHazards = `
+        .text
+main:   li   v0, 0
+        li   t0, 1
+        add  t1, t0, t0     # 2, immediate reuse
+        add  t2, t1, t1     # 4
+        add  t3, t2, t1     # 6
+        la   t4, buf
+        sw   t3, 0(t4)
+        lw   t5, 0(t4)      # load-use
+        add  v0, v0, t5     # 6
+        li   t6, 10
+br1:    addi t6, t6, -1
+        add  v0, v0, t6     # 9+8+...+0 = 45
+        bgtz t6, br1
+        add  v0, v0, t0     # 52
+        mul  v0, v0, v0     # 2704
+        addi v0, v0, 1265   # 3969
+        halt
+        .data
+buf:    .space 16
+`
+
+// ProgLong executes ~60k dynamic instructions of mixed arithmetic and
+// memory work (a triangular accumulation over an array), the workload for
+// sampled-simulation experiments. Result checksum in v0.
+const ProgLong = `
+        .text
+main:   li   v0, 0
+        li   s0, 200        # outer iterations
+outer:  la   t0, buf
+        li   t1, 64         # inner: walk 64 words
+inner:  lw   t2, 0(t0)
+        addi t2, t2, 3
+        sw   t2, 0(t0)
+        add  v0, v0, t2
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bgtz t1, inner
+        addi s0, s0, -1
+        bgtz s0, outer
+        halt
+        .data
+buf:    .space 256
+`

@@ -1,0 +1,96 @@
+package liberate_test
+
+import (
+	"testing"
+
+	core "liberty/internal/core"
+	"liberty/internal/isa"
+	"liberty/internal/liberate"
+	"liberty/internal/mono"
+	"liberty/internal/simtest"
+	"liberty/internal/upl"
+)
+
+func TestLiberatedPipelineMatchesNativeRun(t *testing.T) {
+	prog := isa.MustAssemble(isa.ProgFib)
+
+	// Native monolithic run.
+	native, err := mono.NewPipeline(prog, upl.CPUCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nres, err := native.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Liberated run inside an LSE netlist with a free-flowing consumer.
+	lp, err := liberate.NewLiberatedPipeline(prog, upl.CPUCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := liberate.New("legacy", lp, 4)
+	cons := simtest.NewConsumer("cons", nil)
+	b := core.NewBuilder()
+	b.Add(mod)
+	b.Add(cons)
+	b.Connect(mod, "out", cons, "in")
+	sim := simtest.Build(t, b)
+	ok, err := sim.RunUntil(func(*core.Sim) bool { return mod.Done() }, 1_000_000)
+	if err != nil || !ok {
+		t.Fatalf("liberated run: ok=%v err=%v", ok, err)
+	}
+	if mod.Err() != nil {
+		t.Fatal(mod.Err())
+	}
+	if got := lp.Pipeline().Retired(); got != nres.Retired {
+		t.Fatalf("liberated retired %d, native %d", got, nres.Retired)
+	}
+	if len(cons.Got) != int(nres.Retired) {
+		t.Fatalf("consumer saw %d retire events, want %d", len(cons.Got), nres.Retired)
+	}
+	if v := lp.Pipeline().Emu().R[isa.RegV0]; v != 55 {
+		t.Fatalf("fib(10) = %d, want 55", v)
+	}
+	// Events are ordered and cumulative.
+	var last uint64
+	for _, v := range cons.Got {
+		ev := v.(liberate.RetireEvent)
+		if ev.Retired <= last {
+			t.Fatalf("retire events out of order: %d after %d", ev.Retired, last)
+		}
+		last = ev.Retired
+	}
+}
+
+func TestBackpressureStallsTheLegacySimulator(t *testing.T) {
+	prog := isa.MustAssemble(isa.ProgSum)
+	run := func(accept func(cycle uint64, v any) bool) (uint64, int64) {
+		lp, err := liberate.NewLiberatedPipeline(prog, upl.CPUCfg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := liberate.New("legacy", lp, 2)
+		cons := simtest.NewConsumer("cons", accept)
+		b := core.NewBuilder()
+		b.Add(mod)
+		b.Add(cons)
+		b.Connect(mod, "out", cons, "in")
+		sim := simtest.Build(t, b)
+		ok, err := sim.RunUntil(func(*core.Sim) bool { return mod.Done() }, 1_000_000)
+		if err != nil || !ok {
+			t.Fatalf("ok=%v err=%v", ok, err)
+		}
+		return lp.Pipeline().Cycle(), sim.Stats().CounterValue("legacy.stall_cycles")
+	}
+	freeCycles, freeStalls := run(nil)
+	// A consumer that takes one event every 8 cycles throttles the
+	// legacy simulator through the handshake.
+	slowCycles, slowStalls := run(func(cycle uint64, v any) bool { return cycle%8 == 0 })
+	if slowStalls <= freeStalls {
+		t.Fatalf("slow consumer should stall the foreign simulator: %d vs %d", slowStalls, freeStalls)
+	}
+	if slowCycles <= freeCycles {
+		t.Fatalf("backpressure should stretch the legacy run: %d vs %d cycles", slowCycles, freeCycles)
+	}
+}

@@ -1,0 +1,51 @@
+package liberate
+
+import (
+	"liberty/internal/isa"
+	"liberty/internal/mono"
+	"liberty/internal/upl"
+)
+
+// RetireEvent is emitted by the liberated pipeline for every retired
+// instruction batch.
+type RetireEvent struct {
+	Cycle   uint64
+	Retired uint64 // cumulative
+}
+
+// LiberatedPipeline adapts the hand-written monolithic five-stage
+// simulator (internal/mono) to the ForeignSim contract — the analogue of
+// the paper's SimpleScalar/RSIM ports. When the LSE side stalls it, the
+// legacy simulator's writeback stage holds, exactly as if it had been
+// rewritten against the handshake contract.
+type LiberatedPipeline struct {
+	p *mono.Pipeline
+}
+
+// NewLiberatedPipeline wraps a monolithic pipeline over prog.
+func NewLiberatedPipeline(prog *isa.Program, cfg upl.CPUCfg) (*LiberatedPipeline, error) {
+	p, err := mono.NewPipeline(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LiberatedPipeline{p: p}, nil
+}
+
+// Pipeline exposes the wrapped simulator.
+func (l *LiberatedPipeline) Pipeline() *mono.Pipeline { return l.p }
+
+// StepCycle implements ForeignSim.
+func (l *LiberatedPipeline) StepCycle(stall bool) ([]any, error) {
+	n, err := l.p.Step(stall)
+	if err != nil {
+		return nil, err
+	}
+	var events []any
+	for i := 0; i < n; i++ {
+		events = append(events, RetireEvent{Cycle: l.p.Cycle(), Retired: l.p.Retired()})
+	}
+	return events, nil
+}
+
+// Done implements ForeignSim.
+func (l *LiberatedPipeline) Done() bool { return l.p.Done() }

@@ -1,0 +1,131 @@
+package lss
+
+// File is a parsed specification: a sequence of top-level statements.
+type File struct {
+	Stmts []Stmt
+}
+
+// Stmt is any LSS statement.
+type Stmt interface{ stmt() }
+
+// ModuleDef defines a hierarchical module template.
+type ModuleDef struct {
+	Name   string
+	Params []ParamDecl
+	Body   []Stmt
+	Line   int
+}
+
+// ParamDecl is one template parameter with an optional default.
+type ParamDecl struct {
+	Name    string
+	Default Expr // nil = required
+}
+
+// InstanceDecl declares one instance (or an array of them) of a template.
+type InstanceDecl struct {
+	Name     string
+	Count    Expr // nil = scalar
+	Template string
+	Args     []Arg
+	Line     int
+}
+
+// Arg is one named customization argument.
+type Arg struct {
+	Name  string
+	Value Expr
+}
+
+// ConnectStmt wires two port references.
+type ConnectStmt struct {
+	Src, Dst PortRef
+	Line     int
+}
+
+// PortRef names an instance's port, optionally indexing an instance array
+// and/or an indexed port family ("in[3]" resolves port "in3").
+type PortRef struct {
+	Inst    string
+	InstIdx Expr // nil = scalar instance
+	Port    string
+	PortIdx Expr // nil = plain port
+	Line    int
+}
+
+// ExportStmt publishes a child port on the enclosing module definition.
+type ExportStmt struct {
+	Name string
+	Ref  PortRef
+	Line int
+}
+
+// LetStmt binds a name to a value in the current scope.
+type LetStmt struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// ForStmt repeats its body with Var bound over [From, To] inclusive.
+type ForStmt struct {
+	Var      string
+	From, To Expr
+	Body     []Stmt
+	Line     int
+}
+
+// IfStmt conditionally elaborates its branches.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+func (*ModuleDef) stmt()    {}
+func (*InstanceDecl) stmt() {}
+func (*ConnectStmt) stmt()  {}
+func (*ExportStmt) stmt()   {}
+func (*LetStmt) stmt()      {}
+func (*ForStmt) stmt()      {}
+func (*IfStmt) stmt()       {}
+
+// Expr is an LSS expression.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Val float64 }
+
+// StrLit is a string literal.
+type StrLit struct{ Val string }
+
+// BoolLit is true/false.
+type BoolLit struct{ Val bool }
+
+// VarRef references a let binding, loop variable or template parameter.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// BinOp is a binary operation: + - * / % == != < <= > >=.
+type BinOp struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Neg is unary minus.
+type Neg struct{ E Expr }
+
+func (*IntLit) expr()   {}
+func (*FloatLit) expr() {}
+func (*StrLit) expr()   {}
+func (*BoolLit) expr()  {}
+func (*VarRef) expr()   {}
+func (*BinOp) expr()    {}
+func (*Neg) expr()      {}

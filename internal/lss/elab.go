@@ -1,0 +1,519 @@
+package lss
+
+import (
+	"fmt"
+	"strconv"
+
+	core "liberty/internal/core"
+)
+
+// ElabError reports a semantic failure during elaboration.
+type ElabError struct {
+	Line   int
+	Detail string
+}
+
+func (e *ElabError) Error() string {
+	return fmt.Sprintf("lss:%d: %s", e.Line, e.Detail)
+}
+
+func elabErrf(line int, format string, args ...any) error {
+	return &ElabError{Line: line, Detail: fmt.Sprintf(format, args...)}
+}
+
+// scope is one lexical elaboration scope.
+type scope struct {
+	parent  *scope
+	vars    map[string]any
+	insts   map[string]any // core.Instance or []core.Instance
+	prefix  string
+	exports *core.Composite // non-nil inside a module body
+}
+
+// child opens a block scope: fresh variable bindings (loop variables,
+// lets) but the same instance namespace — like an HDL generate block,
+// instances declared under for/if remain visible to the enclosing scope.
+func (s *scope) child() *scope {
+	return &scope{parent: s, vars: map[string]any{}, insts: s.insts,
+		prefix: s.prefix, exports: s.exports}
+}
+
+func (s *scope) lookupVar(name string) (any, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// lookupInst walks the scope chain; module bodies are rooted in their own
+// chain (no parent), so they cannot see instances outside the module.
+func (s *scope) lookupInst(name string) (any, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.insts[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Elaborator turns parsed specifications into netlists on a Builder —
+// the "Liberty Simulator Constructor" of Figure 1, interpreting module
+// templates from the registry and hierarchical templates defined in LSS
+// itself.
+type Elaborator struct {
+	b         *core.Builder
+	mods      map[string]*ModuleDef
+	overrides map[string]any
+}
+
+// NewElaborator wraps a builder.
+func NewElaborator(b *core.Builder) *Elaborator {
+	return &Elaborator{b: b, mods: make(map[string]*ModuleDef)}
+}
+
+// Elaborate processes a parsed file, creating instances and connections.
+func (e *Elaborator) Elaborate(f *File) error { return e.ElaborateWith(f, nil) }
+
+// ElaborateWith is Elaborate with predefined top-level bindings, which
+// shadow same-named `let` statements — the mechanism behind command-line
+// parameter overrides (lsc -D name=value).
+func (e *Elaborator) ElaborateWith(f *File, vars map[string]any) error {
+	top := &scope{vars: map[string]any{}, insts: map[string]any{}}
+	for k, v := range vars {
+		top.vars[k] = v
+	}
+	e.overrides = vars
+	return e.exec(f.Stmts, top)
+}
+
+// Build parses src and elaborates it onto a fresh builder, returning the
+// constructed simulator.
+func Build(src string, b *core.Builder) (*core.Sim, error) {
+	return BuildWith(src, b, nil)
+}
+
+// BuildWith is Build with predefined top-level bindings overriding the
+// spec's own `let` values.
+func BuildWith(src string, b *core.Builder, vars map[string]any) (*core.Sim, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		b = core.NewBuilder()
+	}
+	if err := NewElaborator(b).ElaborateWith(f, vars); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+func (e *Elaborator) exec(stmts []Stmt, sc *scope) error {
+	for _, s := range stmts {
+		if err := e.execStmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Elaborator) execStmt(s Stmt, sc *scope) error {
+	switch st := s.(type) {
+	case *ModuleDef:
+		if _, dup := e.mods[st.Name]; dup {
+			return elabErrf(st.Line, "module %q defined twice", st.Name)
+		}
+		e.mods[st.Name] = st
+		return nil
+	case *LetStmt:
+		if _, over := e.overrides[st.Name]; over && sc.parent == nil {
+			return nil // command-line override wins over the spec's value
+		}
+		v, err := e.eval(st.Expr, sc)
+		if err != nil {
+			return err
+		}
+		sc.vars[st.Name] = v
+		return nil
+	case *ForStmt:
+		from, err := e.evalInt(st.From, sc, st.Line)
+		if err != nil {
+			return err
+		}
+		to, err := e.evalInt(st.To, sc, st.Line)
+		if err != nil {
+			return err
+		}
+		for i := from; i <= to; i++ {
+			body := sc.child()
+			body.vars[st.Var] = i
+			if err := e.exec(st.Body, body); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *IfStmt:
+		cond, err := e.eval(st.Cond, sc)
+		if err != nil {
+			return err
+		}
+		cb, ok := cond.(bool)
+		if !ok {
+			return elabErrf(st.Line, "if condition is %T, want bool", cond)
+		}
+		if cb {
+			return e.exec(st.Then, sc.child())
+		}
+		return e.exec(st.Else, sc.child())
+	case *InstanceDecl:
+		return e.execInstance(st, sc)
+	case *ConnectStmt:
+		return e.execConnect(st, sc)
+	case *ExportStmt:
+		return e.execExport(st, sc)
+	}
+	return fmt.Errorf("lss: unknown statement %T", s)
+}
+
+func (e *Elaborator) execInstance(st *InstanceDecl, sc *scope) error {
+	if _, dup := sc.insts[st.Name]; dup {
+		return elabErrf(st.Line, "instance %q declared twice in this scope", st.Name)
+	}
+	evalArgs := func(argScope *scope) (core.Params, error) {
+		params := core.Params{}
+		for _, a := range st.Args {
+			v, err := e.eval(a.Value, argScope)
+			if err != nil {
+				return nil, err
+			}
+			params[a.Name] = v
+		}
+		return params, nil
+	}
+	if st.Count == nil {
+		params, err := evalArgs(sc)
+		if err != nil {
+			return err
+		}
+		inst, err := e.instantiate(st, sc.prefix+st.Name, params, st.Line)
+		if err != nil {
+			return err
+		}
+		sc.insts[st.Name] = inst
+		return nil
+	}
+	n, err := e.evalInt(st.Count, sc, st.Line)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		return elabErrf(st.Line, "negative instance count %d", n)
+	}
+	arr := make([]core.Instance, n)
+	for i := int64(0); i < n; i++ {
+		// Array elements evaluate their arguments with the reserved
+		// variable `idx` bound to the element index, so per-element
+		// customization (`node = idx`) works.
+		elemScope := sc.child()
+		elemScope.vars["idx"] = i
+		params, err := evalArgs(elemScope)
+		if err != nil {
+			return err
+		}
+		inst, err := e.instantiate(st, fmt.Sprintf("%s%s[%d]", sc.prefix, st.Name, i), params, st.Line)
+		if err != nil {
+			return err
+		}
+		arr[i] = inst
+	}
+	sc.insts[st.Name] = arr
+	return nil
+}
+
+func (e *Elaborator) instantiate(st *InstanceDecl, fullName string, params core.Params, line int) (core.Instance, error) {
+	if def, ok := e.mods[st.Template]; ok {
+		return e.instantiateModule(def, fullName, params, line)
+	}
+	inst, err := e.b.Instantiate(st.Template, fullName, params)
+	if err != nil {
+		return nil, elabErrf(line, "%v", err)
+	}
+	return inst, nil
+}
+
+// instantiateModule elaborates an LSS-defined hierarchical template.
+func (e *Elaborator) instantiateModule(def *ModuleDef, fullName string, args core.Params, line int) (core.Instance, error) {
+	comp := &core.Composite{}
+	comp.Init(fullName, comp)
+	body := &scope{
+		vars:    map[string]any{},
+		insts:   map[string]any{},
+		prefix:  fullName + "/",
+		exports: comp,
+	}
+	declared := map[string]bool{}
+	for _, p := range def.Params {
+		declared[p.Name] = true
+		if v, ok := args[p.Name]; ok {
+			body.vars[p.Name] = v
+			continue
+		}
+		if p.Default == nil {
+			return nil, elabErrf(line, "module %s: required parameter %q missing", def.Name, p.Name)
+		}
+		v, err := e.eval(p.Default, body)
+		if err != nil {
+			return nil, err
+		}
+		body.vars[p.Name] = v
+	}
+	for name := range args {
+		if !declared[name] {
+			return nil, elabErrf(line, "module %s has no parameter %q", def.Name, name)
+		}
+	}
+	if err := e.exec(def.Body, body); err != nil {
+		return nil, err
+	}
+	for name := range body.insts {
+		switch v := body.insts[name].(type) {
+		case core.Instance:
+			comp.AddChild(v)
+		case []core.Instance:
+			for _, inst := range v {
+				comp.AddChild(inst)
+			}
+		}
+	}
+	e.b.Add(comp)
+	return comp, nil
+}
+
+func (e *Elaborator) resolveRef(r PortRef, sc *scope) (core.Instance, string, error) {
+	entry, ok := sc.lookupInst(r.Inst)
+	if !ok {
+		return nil, "", elabErrf(r.Line, "unknown instance %q", r.Inst)
+	}
+	var inst core.Instance
+	switch v := entry.(type) {
+	case core.Instance:
+		if r.InstIdx != nil {
+			return nil, "", elabErrf(r.Line, "instance %q is not an array", r.Inst)
+		}
+		inst = v
+	case []core.Instance:
+		if r.InstIdx == nil {
+			return nil, "", elabErrf(r.Line, "instance array %q needs an index", r.Inst)
+		}
+		i, err := e.evalInt(r.InstIdx, sc, r.Line)
+		if err != nil {
+			return nil, "", err
+		}
+		if i < 0 || int(i) >= len(v) {
+			return nil, "", elabErrf(r.Line, "index %d out of range for %q[%d]", i, r.Inst, len(v))
+		}
+		inst = v[i]
+	}
+	port := r.Port
+	if r.PortIdx != nil {
+		i, err := e.evalInt(r.PortIdx, sc, r.Line)
+		if err != nil {
+			return nil, "", err
+		}
+		port += strconv.FormatInt(i, 10)
+	}
+	return inst, port, nil
+}
+
+func (e *Elaborator) execConnect(st *ConnectStmt, sc *scope) error {
+	srcInst, srcPort, err := e.resolveRef(st.Src, sc)
+	if err != nil {
+		return err
+	}
+	dstInst, dstPort, err := e.resolveRef(st.Dst, sc)
+	if err != nil {
+		return err
+	}
+	if err := e.b.Connect(srcInst, srcPort, dstInst, dstPort); err != nil {
+		return elabErrf(st.Line, "%v", err)
+	}
+	return nil
+}
+
+func (e *Elaborator) execExport(st *ExportStmt, sc *scope) error {
+	if sc.exports == nil {
+		return elabErrf(st.Line, "export outside a module definition")
+	}
+	inst, portName, err := e.resolveRef(st.Ref, sc)
+	if err != nil {
+		return err
+	}
+	p, err := core.PortOf(inst, portName)
+	if err != nil {
+		return elabErrf(st.Line, "%v", err)
+	}
+	sc.exports.Export(st.Name, p)
+	return nil
+}
+
+func (e *Elaborator) evalInt(x Expr, sc *scope, line int) (int64, error) {
+	v, err := e.eval(x, sc)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int64)
+	if !ok {
+		return 0, elabErrf(line, "expected integer, got %T (%v)", v, v)
+	}
+	return n, nil
+}
+
+func (e *Elaborator) eval(x Expr, sc *scope) (any, error) {
+	switch ex := x.(type) {
+	case *IntLit:
+		return ex.Val, nil
+	case *FloatLit:
+		return ex.Val, nil
+	case *StrLit:
+		return ex.Val, nil
+	case *BoolLit:
+		return ex.Val, nil
+	case *VarRef:
+		if v, ok := sc.lookupVar(ex.Name); ok {
+			return v, nil
+		}
+		return nil, elabErrf(ex.Line, "undefined name %q", ex.Name)
+	case *Neg:
+		v, err := e.eval(ex.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		switch n := v.(type) {
+		case int64:
+			return -n, nil
+		case float64:
+			return -n, nil
+		}
+		return nil, fmt.Errorf("lss: cannot negate %T", v)
+	case *BinOp:
+		return e.evalBin(ex, sc)
+	}
+	return nil, fmt.Errorf("lss: unknown expression %T", x)
+}
+
+func (e *Elaborator) evalBin(op *BinOp, sc *scope) (any, error) {
+	l, err := e.eval(op.L, sc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.eval(op.R, sc)
+	if err != nil {
+		return nil, err
+	}
+	// String concatenation and equality.
+	if ls, ok := l.(string); ok {
+		rs, ok := r.(string)
+		if !ok {
+			return nil, elabErrf(op.Line, "mixed string/%T operands", r)
+		}
+		switch op.Op {
+		case "+":
+			return ls + rs, nil
+		case "==":
+			return ls == rs, nil
+		case "!=":
+			return ls != rs, nil
+		}
+		return nil, elabErrf(op.Line, "operator %q undefined on strings", op.Op)
+	}
+	if lb, ok := l.(bool); ok {
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, elabErrf(op.Line, "mixed bool/%T operands", r)
+		}
+		switch op.Op {
+		case "==":
+			return lb == rb, nil
+		case "!=":
+			return lb != rb, nil
+		}
+		return nil, elabErrf(op.Line, "operator %q undefined on booleans", op.Op)
+	}
+	li, lIsInt := l.(int64)
+	ri, rIsInt := r.(int64)
+	if lIsInt && rIsInt {
+		switch op.Op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, elabErrf(op.Line, "division by zero")
+			}
+			return li / ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, elabErrf(op.Line, "division by zero")
+			}
+			return li % ri, nil
+		case "==":
+			return li == ri, nil
+		case "!=":
+			return li != ri, nil
+		case "<":
+			return li < ri, nil
+		case "<=":
+			return li <= ri, nil
+		case ">":
+			return li > ri, nil
+		case ">=":
+			return li >= ri, nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, elabErrf(op.Line, "operator %q undefined on %T and %T", op.Op, l, r)
+	}
+	switch op.Op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, elabErrf(op.Line, "division by zero")
+		}
+		return lf / rf, nil
+	case "==":
+		return lf == rf, nil
+	case "!=":
+		return lf != rf, nil
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	}
+	return nil, elabErrf(op.Line, "operator %q undefined on floats", op.Op)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return float64(n), true
+	case float64:
+		return n, true
+	}
+	return 0, false
+}

@@ -1,0 +1,238 @@
+// Package lss implements the Liberty Simulator Specification language:
+// textual, structural system descriptions that the simulator constructor
+// (cmd/lsc) elaborates into executable simulators — the left half of the
+// paper's Figure 1.
+//
+// A specification declares customized instances of module templates,
+// connects their ports, and may define new hierarchical module templates
+// from old ones:
+//
+//	// a 2-stage queue pipeline template
+//	module pipe(depth = 4) {
+//	    instance a : pcl.queue(capacity = depth);
+//	    instance b : pcl.queue(capacity = depth);
+//	    a.out -> b.in;
+//	    export in  = a.in;
+//	    export out = b.out;
+//	}
+//
+//	let n = 3;
+//	instance src  : pcl.source(rate = 1.0, count = 100);
+//	instance p[n] : pipe(depth = 8);
+//	instance snk  : pcl.sink();
+//	src.out -> p[0].in;
+//	for i in 0 .. n-2 { p[i].out -> p[i+1].in; }
+//	p[n-1].out -> snk.in;
+//
+// Indexed ports address the "<name><index>" convention used by composite
+// templates such as routers: `mesh.in[3]` resolves port "in3".
+package lss
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // one of the punct set, incl. "->" and ".."
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// SyntaxError reports a lexical or parse failure with its position.
+type SyntaxError struct {
+	Line, Col int
+	Detail    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("lss:%d:%d: %s", e.Line, e.Col, e.Detail)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Detail: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+var twoBytePunct = []string{"->", "..", "==", "!=", "<=", ">="}
+
+func isIdentRune(r rune, first bool) bool {
+	if unicode.IsLetter(r) || r == '_' {
+		return true
+	}
+	return !first && unicode.IsDigit(r)
+}
+
+// lex tokenizes the whole source.
+func lex(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		if err := l.skipSpaceAndComments(); err != nil {
+			return nil, err
+		}
+		if l.pos >= len(l.src) {
+			toks = append(toks, token{kind: tokEOF, line: l.line, col: l.col})
+			return toks, nil
+		}
+		line, col := l.line, l.col
+		c := l.peekByte()
+		switch {
+		case isIdentRune(rune(c), true):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentRune(rune(l.peekByte()), false) {
+				l.advance()
+			}
+			toks = append(toks, token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col})
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) {
+				b := l.peekByte()
+				if unicode.IsDigit(rune(b)) || b == 'x' || b == 'X' ||
+					(b >= 'a' && b <= 'f') || (b >= 'A' && b <= 'F') {
+					l.advance()
+					continue
+				}
+				// A '.' is part of the number only if not "..".
+				if b == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] != '.' {
+					l.advance()
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col})
+		case c == '"':
+			l.advance()
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, &SyntaxError{Line: line, Col: col, Detail: "unterminated string"}
+				}
+				ch := l.advance()
+				if ch == '"' {
+					break
+				}
+				if ch == '\\' && l.pos < len(l.src) {
+					esc := l.advance()
+					switch esc {
+					case 'n':
+						ch = '\n'
+					case 't':
+						ch = '\t'
+					default:
+						ch = esc
+					}
+				}
+				sb.WriteByte(ch)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: line, col: col})
+		default:
+			matched := false
+			for _, p := range twoBytePunct {
+				if strings.HasPrefix(l.src[l.pos:], p) {
+					l.advance()
+					l.advance()
+					toks = append(toks, token{kind: tokPunct, text: p, line: line, col: col})
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			switch c {
+			case '{', '}', '(', ')', '[', ']', ';', ',', '.', '=', '+', '-', '*', '/', '%', ':', '<', '>':
+				l.advance()
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line, col: col})
+			default:
+				return nil, &SyntaxError{Line: line, Col: col,
+					Detail: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+}

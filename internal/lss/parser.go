@@ -1,0 +1,463 @@
+package lss
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse turns LSS source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var f File
+	for !p.at(tokEOF, "") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Stmts = append(f.Stmts, s)
+	}
+	return &f, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		t := p.cur()
+		want := text
+		if want == "" {
+			switch kind {
+			case tokIdent:
+				want = "identifier"
+			case tokNumber:
+				want = "number"
+			case tokString:
+				want = "string"
+			}
+		}
+		return t, &SyntaxError{Line: t.line, Col: t.col,
+			Detail: fmt.Sprintf("expected %s, found %s", want, t)}
+	}
+	return p.next(), nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		switch t.text {
+		case "module":
+			return p.moduleDef()
+		case "instance":
+			return p.instanceDecl()
+		case "export":
+			return p.exportStmt()
+		case "let":
+			return p.letStmt()
+		case "for":
+			return p.forStmt()
+		case "if":
+			return p.ifStmt()
+		}
+	}
+	// Otherwise it must be a connect statement: portRef -> portRef ;
+	return p.connectStmt()
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			t := p.cur()
+			return nil, &SyntaxError{Line: t.line, Col: t.col, Detail: "unterminated block"}
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	p.next() // }
+	return body, nil
+}
+
+func (p *parser) moduleDef() (Stmt, error) {
+	kw := p.next() // module
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	m := &ModuleDef{Name: name.text, Line: kw.line}
+	if p.accept(tokPunct, "(") {
+		for !p.at(tokPunct, ")") {
+			pn, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			d := ParamDecl{Name: pn.text}
+			if p.accept(tokPunct, "=") {
+				d.Default, err = p.expression()
+				if err != nil {
+					return nil, err
+				}
+			}
+			m.Params = append(m.Params, d)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	m.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) instanceDecl() (Stmt, error) {
+	kw := p.next() // instance
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d := &InstanceDecl{Name: name.text, Line: kw.line}
+	if p.accept(tokPunct, "[") {
+		d.Count, err = p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return nil, err
+	}
+	var tmpl []string
+	seg, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	tmpl = append(tmpl, seg.text)
+	for p.accept(tokPunct, ".") {
+		seg, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		tmpl = append(tmpl, seg.text)
+	}
+	d.Template = strings.Join(tmpl, ".")
+	if p.accept(tokPunct, "(") {
+		for !p.at(tokPunct, ")") {
+			an, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			val, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			d.Args = append(d.Args, Arg{Name: an.text, Value: val})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) portRef() (PortRef, error) {
+	var r PortRef
+	inst, err := p.expect(tokIdent, "")
+	if err != nil {
+		return r, err
+	}
+	r.Inst = inst.text
+	r.Line = inst.line
+	if p.accept(tokPunct, "[") {
+		r.InstIdx, err = p.expression()
+		if err != nil {
+			return r, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return r, err
+		}
+	}
+	if _, err := p.expect(tokPunct, "."); err != nil {
+		return r, err
+	}
+	port, err := p.expect(tokIdent, "")
+	if err != nil {
+		return r, err
+	}
+	r.Port = port.text
+	if p.accept(tokPunct, "[") {
+		r.PortIdx, err = p.expression()
+		if err != nil {
+			return r, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+func (p *parser) connectStmt() (Stmt, error) {
+	src, err := p.portRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "->"); err != nil {
+		return nil, err
+	}
+	dst, err := p.portRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ConnectStmt{Src: src, Dst: dst, Line: src.Line}, nil
+}
+
+func (p *parser) exportStmt() (Stmt, error) {
+	kw := p.next() // export
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	ref, err := p.portRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ExportStmt{Name: name.text, Ref: ref, Line: kw.line}, nil
+}
+
+func (p *parser) letStmt() (Stmt, error) {
+	kw := p.next() // let
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &LetStmt{Name: name.text, Expr: e, Line: kw.line}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw := p.next() // for
+	v, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "in"); err != nil {
+		return nil, err
+	}
+	from, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ".."); err != nil {
+		return nil, err
+	}
+	to, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Var: v.text, From: from, To: to, Body: body, Line: kw.line}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw := p.next() // if
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: kw.line}
+	if p.accept(tokIdent, "else") {
+		s.Else, err = p.block()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// expression parses with precedence: comparison < additive < multiplicative.
+func (p *parser) expression() (Expr, error) {
+	lhs, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.next()
+			rhs, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &BinOp{Op: t.text, L: lhs, R: rhs, Line: t.line}
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) additive() (Expr, error) {
+	lhs, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-") {
+			p.next()
+			rhs, err := p.multiplicative()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &BinOp{Op: t.text, L: lhs, R: rhs, Line: t.line}
+			continue
+		}
+		return lhs, nil
+	}
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.next()
+			rhs, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &BinOp{Op: t.text, L: lhs, R: rhs, Line: t.line}
+			continue
+		}
+		return lhs, nil
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept(tokPunct, "-") {
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{E: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.ContainsAny(t.text, ".") && !strings.HasPrefix(t.text, "0x") {
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, &SyntaxError{Line: t.line, Col: t.col, Detail: "bad number " + t.text}
+			}
+			return &FloatLit{Val: v}, nil
+		}
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return nil, &SyntaxError{Line: t.line, Col: t.col, Detail: "bad number " + t.text}
+		}
+		return &IntLit{Val: v}, nil
+	case tokString:
+		return &StrLit{Val: t.text}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return &BoolLit{Val: true}, nil
+		case "false":
+			return &BoolLit{Val: false}, nil
+		}
+		return &VarRef{Name: t.text, Line: t.line}, nil
+	case tokPunct:
+		if t.text == "(" {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, &SyntaxError{Line: t.line, Col: t.col,
+		Detail: fmt.Sprintf("expected expression, found %s", t)}
+}

@@ -1,0 +1,217 @@
+// Package mono contains hand-written monolithic simulators — the very
+// modeling style the paper argues against — used as baselines for the
+// structural-overhead experiments (C4, A2). Each mirrors the timing rules
+// of its structural counterpart in one tight sequential loop, with the
+// timing, control and functionality intertwined exactly the way §2.1
+// describes monolithic simulator code.
+package mono
+
+import (
+	"liberty/internal/isa"
+	"liberty/internal/upl"
+)
+
+// PipelineResult summarizes a monolithic pipeline run.
+type PipelineResult struct {
+	Cycles  uint64
+	Retired uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (r PipelineResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+// Pipeline is a hand-written scalar five-stage pipeline over the lr32
+// emulator with the same microarchitectural rules as upl.InOrderCPU:
+// functional-first fetch, bimodal-style predictor, icache/dcache latency,
+// bypass-aware hazard stalls, variable-latency execute, blocking memory.
+type Pipeline struct {
+	emu    *isa.CPU
+	pred   upl.Predictor
+	icache *upl.Cache
+	dcache *upl.Cache
+	lat    upl.Latencies
+
+	mispredictPenalty int
+	maxInsts          uint64
+
+	st runState
+}
+
+// NewPipeline constructs the baseline over a loaded program.
+func NewPipeline(prog *isa.Program, cfg upl.CPUCfg) (*Pipeline, error) {
+	if cfg.Predictor == "" {
+		cfg.Predictor = "bimodal"
+	}
+	if cfg.Lat == (upl.Latencies{}) {
+		cfg.Lat = upl.DefaultLatencies()
+	}
+	if cfg.MispredictPenalty <= 0 {
+		cfg.MispredictPenalty = 3
+	}
+	pred, err := upl.NewPredictor(cfg.Predictor, cfg.PredictorBits)
+	if err != nil {
+		return nil, err
+	}
+	icfg := cfg.ICache
+	if icfg.Sets == 0 {
+		icfg = upl.DefaultL1()
+	}
+	dcfg := cfg.DCache
+	if dcfg.Sets == 0 {
+		dcfg = upl.DefaultL1()
+	}
+	ic, err := upl.NewCache(icfg)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := upl.NewCache(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	emu := isa.NewCPU()
+	prog.LoadInto(emu.Mem)
+	emu.Reset(prog.Entry)
+	return &Pipeline{
+		emu: emu, pred: pred, icache: ic, dcache: dc,
+		lat: cfg.Lat, mispredictPenalty: cfg.MispredictPenalty,
+		maxInsts: cfg.MaxInsts,
+	}, nil
+}
+
+// pipeSlot is one stage's occupant.
+type pipeSlot struct {
+	valid bool
+	di    upl.DynInst
+	ready uint64 // cycle it can move on
+}
+
+// runState is the pipeline's mutable per-run state (exposed so the
+// simulator can also be stepped cycle-by-cycle and encapsulated as an
+// LSE module — the paper's "Liberation" path).
+type runState struct {
+	cycle         uint64
+	retired       uint64
+	fetchStall    uint64
+	regReady      [32]uint64
+	dec, exe, mem pipeSlot
+}
+
+// Cycle returns the number of simulated cycles so far.
+func (p *Pipeline) Cycle() uint64 { return p.st.cycle }
+
+// Retired returns the number of instructions retired so far.
+func (p *Pipeline) Retired() uint64 { return p.st.retired }
+
+// Done reports whether the program has halted and the pipeline drained.
+func (p *Pipeline) Done() bool {
+	return p.emu.Halted && !p.st.dec.valid && !p.st.exe.valid && !p.st.mem.valid
+}
+
+// Step advances the monolithic pipeline one cycle, optionally stalled
+// (an external backpressure hook used by the LSE encapsulation). It
+// returns the number of instructions retired this cycle.
+func (p *Pipeline) Step(stallRetire bool) (int, error) {
+	st := &p.st
+	cycle := st.cycle
+	retiredBefore := st.retired
+	// Writeback (retire whatever memory stage finished).
+	if st.mem.valid && cycle >= st.mem.ready && !stallRetire {
+		st.retired++
+		st.mem.valid = false
+	}
+	// Memory stage accepts from execute.
+	if !st.mem.valid && st.exe.valid && cycle >= st.exe.ready {
+		lat := 1
+		if st.exe.di.IsMem {
+			lat = p.dcache.Access(st.exe.di.MemAddr, st.exe.di.IsWrite).Latency
+		}
+		st.mem = pipeSlot{valid: true, di: st.exe.di, ready: cycle + uint64(lat)}
+		st.exe.valid = false
+	}
+	// Execute accepts from decode when hazards clear.
+	if !st.exe.valid && st.dec.valid && cycle >= st.dec.ready {
+		hazard := false
+		for _, s := range st.dec.di.In.Sources() {
+			if st.regReady[s] > cycle {
+				hazard = true
+				break
+			}
+		}
+		if !hazard {
+			lat := 1
+			if !st.dec.di.IsMem {
+				lat = p.lat.Of(st.dec.di.In)
+			}
+			if dst := st.dec.di.In.Dest(); dst > 0 {
+				delay := uint64(p.lat.Of(st.dec.di.In))
+				if st.dec.di.IsMem && !st.dec.di.IsWrite {
+					delay = uint64(p.lat.Mem) + 1
+				}
+				st.regReady[dst] = cycle + delay
+			}
+			st.exe = pipeSlot{valid: true, di: st.dec.di, ready: cycle + uint64(lat)}
+			st.dec.valid = false
+		}
+	}
+	// Fetch/decode: functional-first, predictor and icache charged inline.
+	if !st.dec.valid && cycle >= st.fetchStall && !p.emu.Halted &&
+		(p.maxInsts == 0 || p.emu.Instret < p.maxInsts) {
+		pc := p.emu.PC
+		ires := p.icache.Access(pc, false)
+		in, err := p.emu.Fetch()
+		if err != nil {
+			return 0, err
+		}
+		di := upl.DynInst{Seq: p.emu.Instret + 1, PC: pc, In: in}
+		cl := in.Op.Class()
+		if cl == isa.ClassLoad || cl == isa.ClassStore {
+			di.IsMem = true
+			di.IsWrite = cl == isa.ClassStore
+			di.MemAddr = p.emu.R[in.Rs] + uint32(in.Imm)
+		}
+		predTaken := false
+		if in.Op.IsBranch() {
+			predTaken = p.pred.Predict(pc)
+		}
+		if err := p.emu.Exec(in); err != nil {
+			return 0, err
+		}
+		if in.Op.IsBranch() {
+			taken := p.emu.PC != pc+4
+			p.pred.Update(pc, taken)
+			if predTaken != taken {
+				st.fetchStall = cycle + uint64(p.mispredictPenalty)
+			}
+		} else if in.Op == isa.OpJr || in.Op == isa.OpJalr {
+			st.fetchStall = cycle + uint64(p.mispredictPenalty)
+		}
+		if !ires.Hit {
+			st.fetchStall = cycle + uint64(p.icache.Cfg().MissLat)
+		}
+		st.dec = pipeSlot{valid: true, di: di, ready: cycle + 1}
+	}
+	st.cycle++
+	return int(st.retired - retiredBefore), nil
+}
+
+// Run executes to completion (HALT) or maxCycles, returning the timing
+// summary.
+func (p *Pipeline) Run(maxCycles uint64) (PipelineResult, error) {
+	for p.st.cycle < maxCycles {
+		if _, err := p.Step(false); err != nil {
+			return PipelineResult{Cycles: p.st.cycle, Retired: p.st.retired}, err
+		}
+		if p.Done() {
+			break
+		}
+	}
+	return PipelineResult{Cycles: p.st.cycle, Retired: p.st.retired}, nil
+}
+
+// Emu exposes the architectural state for correctness checks.
+func (p *Pipeline) Emu() *isa.CPU { return p.emu }

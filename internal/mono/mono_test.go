@@ -1,0 +1,80 @@
+package mono_test
+
+import (
+	"testing"
+
+	core "liberty/internal/core"
+	"liberty/internal/isa"
+	"liberty/internal/mono"
+	"liberty/internal/simtest"
+	"liberty/internal/upl"
+)
+
+func runBoth(t *testing.T, src string) (mono.PipelineResult, uint64, uint64) {
+	t.Helper()
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := mono.NewPipeline(prog, upl.CPUCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := mp.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := core.NewBuilder()
+	cpu, err := upl.NewInOrderCPU(b, "cpu", prog, upl.CPUCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simtest.Build(t, b)
+	ok, err := sim.RunUntil(func(*core.Sim) bool { return cpu.Done() }, 1_000_000)
+	if err != nil || !ok {
+		t.Fatalf("structural run: ok=%v err=%v", ok, err)
+	}
+	if mp.Emu().R != cpu.Emu().R {
+		t.Fatal("architectural state diverges between baseline and structural model")
+	}
+	return mres, sim.Now(), cpu.Retired()
+}
+
+func TestMonolithicMatchesStructuralClosely(t *testing.T) {
+	// Both models implement the same microarchitectural rules; their
+	// cycle counts should agree within a small tolerance (stage handoff
+	// conventions differ slightly).
+	for _, src := range []string{isa.ProgFib, isa.ProgSum, isa.ProgHazards, isa.ProgCall} {
+		mres, structCycles, structRetired := runBoth(t, src)
+		if mres.Retired != structRetired {
+			t.Fatalf("retired differ: mono %d vs structural %d", mres.Retired, structRetired)
+		}
+		ratio := float64(structCycles) / float64(mres.Cycles)
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Fatalf("cycle counts diverge: mono %d vs structural %d (ratio %.2f)",
+				mres.Cycles, structCycles, ratio)
+		}
+	}
+}
+
+func TestMonolithicFunctionalCorrectness(t *testing.T) {
+	prog, err := isa.Assemble(isa.ProgFib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mono.NewPipeline(prog, upl.CPUCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Emu().R[isa.RegV0]; v != 55 {
+		t.Fatalf("fib(10) = %d, want 55", v)
+	}
+	if res.IPC() <= 0 || res.IPC() > 1 {
+		t.Fatalf("IPC %.3f out of range", res.IPC())
+	}
+}

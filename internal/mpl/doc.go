@@ -1,0 +1,19 @@
+// Package mpl is the Multiprocessor Library (§3.4): the components layered
+// on PCL and CCL that manage data replication, ordering and communication
+// in multiprocessor models. It provides
+//
+//   - pluggable cache-coherence engines: a bus-based snooping protocol
+//     (MSI or MESI) for small-scale systems, and a home-serialized
+//     directory protocol whose messages travel over a real CCL network
+//     for scalable ones;
+//   - pluggable memory-ordering controllers (sequential consistency, and
+//     TSO with a store buffer and load forwarding) that restrict the
+//     reordering a core may observe;
+//   - a DMA controller for low-overhead message passing;
+//   - trace-driven memory cores to load the above, standing in for the
+//     RSIM-style processors the paper ports.
+//
+// The coherence engines use the same upl.Cache line-state model, so the
+// same cache template serves uniprocessor timing and multiprocessor
+// coherence — component reuse across libraries, as §3 requires.
+package mpl

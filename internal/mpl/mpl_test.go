@@ -1,0 +1,535 @@
+package mpl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"liberty/internal/ccl"
+	core "liberty/internal/core"
+	"liberty/internal/mpl"
+	"liberty/internal/pcl"
+	"liberty/internal/simtest"
+	"liberty/internal/upl"
+)
+
+// buildSnoopWithCores assembles n trace cores over a snooping system.
+func buildSnoopWithCores(t *testing.T, traces [][]mpl.MemRef, cfg mpl.CacheCtrlCfg,
+	think int) (*core.Sim, *mpl.SnoopSystem, []*mpl.TraceCore) {
+	t.Helper()
+	b := core.NewBuilder()
+	sys, err := mpl.BuildSnoopSystem(b, "coh", len(traces), cfg, mpl.SnoopBusCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cores []*mpl.TraceCore
+	for i, tr := range traces {
+		c := mpl.NewTraceCore(simtest.Name("core", i), tr, think)
+		b.Add(c)
+		b.Connect(c, "req", sys.Ctrls[i], "cpu")
+		b.Connect(sys.Ctrls[i], "resp", c, "resp")
+		cores = append(cores, c)
+	}
+	return simtest.Build(t, b), sys, cores
+}
+
+func allDone(cores []*mpl.TraceCore) func(*core.Sim) bool {
+	return func(*core.Sim) bool {
+		for _, c := range cores {
+			if !c.Done() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func runCoherent(t *testing.T, sim *core.Sim, cores []*mpl.TraceCore, max uint64) {
+	t.Helper()
+	ok, err := sim.RunUntil(allDone(cores), max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		for i, c := range cores {
+			t.Logf("core %d: %d/%d", i, c.Completed(), len(c.Loads))
+		}
+		t.Fatalf("cores did not finish in %d cycles", max)
+	}
+}
+
+func TestSnoopProducerConsumer(t *testing.T) {
+	// Core 0 writes 42 to X and spins; core 1 (delayed) reads X.
+	traces := [][]mpl.MemRef{
+		{{Write: true, Addr: 0x100, Data: 42}},
+		{{Write: false, Addr: 0x200}, {Write: false, Addr: 0x200}, {Write: false, Addr: 0x100}},
+	}
+	sim, sys, cores := buildSnoopWithCores(t, traces, mpl.CacheCtrlCfg{}, 30)
+	runCoherent(t, sim, cores, 5000)
+	got := cores[1].Loads
+	if len(got) != 3 {
+		t.Fatalf("core 1 loads = %v, want 3 values", got)
+	}
+	if got[2] != 42 {
+		t.Fatalf("consumer read %d, want 42 (dirty data must be supplied)", got[2])
+	}
+	// After the read, the line is Shared in both caches (MSI downgrade).
+	if st := sys.Ctrls[0].Cache().Lookup(0x100); st != upl.Shared {
+		t.Fatalf("producer line state %v, want S after snoop downgrade", st)
+	}
+	if st := sys.Ctrls[1].Cache().Lookup(0x100); st != upl.Shared {
+		t.Fatalf("consumer line state %v, want S", st)
+	}
+}
+
+func TestSnoopWriteInvalidates(t *testing.T) {
+	traces := [][]mpl.MemRef{
+		{{Write: true, Addr: 0x80, Data: 1}},
+		{{Write: false, Addr: 0x300}, {Write: false, Addr: 0x300}, {Write: true, Addr: 0x80, Data: 2}},
+	}
+	sim, sys, cores := buildSnoopWithCores(t, traces, mpl.CacheCtrlCfg{}, 40)
+	runCoherent(t, sim, cores, 5000)
+	if st := sys.Ctrls[0].Cache().Lookup(0x80); st != upl.Invalid {
+		t.Fatalf("first writer state %v, want I after remote write", st)
+	}
+	if st := sys.Ctrls[1].Cache().Lookup(0x80); st != upl.Modified {
+		t.Fatalf("second writer state %v, want M", st)
+	}
+	if err := sys.CheckCoherenceInvariant([]uint32{0x80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIExclusiveSilentUpgrade(t *testing.T) {
+	// A sole reader then writer: MESI fills E and upgrades silently, so
+	// no BusUpgr transaction appears; MSI must pay an upgrade.
+	trace := [][]mpl.MemRef{
+		{{Write: false, Addr: 0x40}, {Write: true, Addr: 0x40, Data: 7}},
+		{{Write: false, Addr: 0x1000}}, // unrelated traffic on the other node
+	}
+	runWith := func(mesi bool) (int64, *mpl.SnoopSystem, *core.Sim) {
+		sim, sys, cores := buildSnoopWithCores(t, trace, mpl.CacheCtrlCfg{MESI: mesi}, 5)
+		runCoherent(t, sim, cores, 5000)
+		return sim.Stats().CounterValue("coh/ctrl0.upgrades"), sys, sim
+	}
+	upgMESI, sysM, _ := runWith(true)
+	upgMSI, _, _ := runWith(false)
+	if upgMESI != 0 {
+		t.Fatalf("MESI performed %d upgrade transactions, want 0 (silent E->M)", upgMESI)
+	}
+	if upgMSI == 0 {
+		t.Fatal("MSI should need an upgrade transaction for S->M")
+	}
+	if st := sysM.Ctrls[0].Cache().Lookup(0x40); st != upl.Modified {
+		t.Fatalf("state %v, want M", st)
+	}
+}
+
+func TestSnoopCoherenceInvariantUnderRandomTraffic(t *testing.T) {
+	// Four cores hammer eight shared lines with random reads/writes; the
+	// SWMR invariant must hold after every cycle and all data must come
+	// from real writes.
+	rng := rand.New(rand.NewSource(7))
+	lines := []uint32{0x00, 0x20, 0x40, 0x60, 0x80, 0xa0, 0xc0, 0xe0}
+	traces := make([][]mpl.MemRef, 4)
+	for c := range traces {
+		for k := 0; k < 30; k++ {
+			ref := mpl.MemRef{
+				Write: rng.Intn(2) == 0,
+				Addr:  lines[rng.Intn(len(lines))],
+				Data:  uint32(c*1000 + k),
+			}
+			traces[c] = append(traces[c], ref)
+		}
+	}
+	sim, sys, cores := buildSnoopWithCores(t, traces, mpl.CacheCtrlCfg{MESI: true}, 0)
+	for cycle := 0; cycle < 30000; cycle++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.CheckCoherenceInvariant(lines); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if allDone(cores)(sim) {
+			break
+		}
+	}
+	if !allDone(cores)(sim) {
+		t.Fatal("random-traffic run did not finish")
+	}
+}
+
+func TestDirectoryProducerConsumer(t *testing.T) {
+	b := core.NewBuilder()
+	sys, err := mpl.BuildDirectorySystem(b, "dir", ccl.MeshCfg{W: 2, H: 2}, upl.CacheCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := [][]mpl.MemRef{
+		{{Write: true, Addr: 0x100, Data: 77}},
+		{},
+		{},
+		{{Write: false, Addr: 0x400}, {Write: false, Addr: 0x400}, {Write: false, Addr: 0x100}},
+	}
+	var cores []*mpl.TraceCore
+	for i, tr := range traces {
+		c := mpl.NewTraceCore(simtest.Name("core", i), tr, 60)
+		b.Add(c)
+		b.Connect(c, "req", sys.L1s[i], "cpu")
+		b.Connect(sys.L1s[i], "resp", c, "resp")
+		cores = append(cores, c)
+	}
+	sim := simtest.Build(t, b)
+	runCoherent(t, sim, cores, 20000)
+	got := cores[3].Loads
+	if len(got) != 3 || got[2] != 77 {
+		t.Fatalf("remote consumer loads = %v, want final 77", got)
+	}
+	if err := sys.CheckCoherenceInvariant([]uint32{0x100}); err != nil {
+		t.Fatal(err)
+	}
+	// The home node of 0x100 should have recalled the modified line.
+	home := int(0x100/32) % 4
+	if sim.Stats().CounterValue(simtest.Name("dir/dir_", home)+".recalls_sent") == 0 {
+		t.Fatalf("home %d should have sent a recall", home)
+	}
+}
+
+func TestDirectoryWriteInvalidatesSharers(t *testing.T) {
+	b := core.NewBuilder()
+	sys, err := mpl.BuildDirectorySystem(b, "dir", ccl.MeshCfg{W: 2, H: 2}, upl.CacheCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cores 0..2 read line 0x200; then core 3 writes it.
+	traces := [][]mpl.MemRef{
+		{{Write: false, Addr: 0x200}},
+		{{Write: false, Addr: 0x200}},
+		{{Write: false, Addr: 0x200}},
+		{{Write: false, Addr: 0x600}, {Write: false, Addr: 0x600}, {Write: true, Addr: 0x200, Data: 5}},
+	}
+	var cores []*mpl.TraceCore
+	for i, tr := range traces {
+		c := mpl.NewTraceCore(simtest.Name("core", i), tr, 80)
+		b.Add(c)
+		b.Connect(c, "req", sys.L1s[i], "cpu")
+		b.Connect(sys.L1s[i], "resp", c, "resp")
+		cores = append(cores, c)
+	}
+	sim := simtest.Build(t, b)
+	runCoherent(t, sim, cores, 40000)
+	for i := 0; i < 3; i++ {
+		if st := sys.L1s[i].Cache().Lookup(0x200); st != upl.Invalid {
+			t.Fatalf("sharer %d state %v, want I after remote write", i, st)
+		}
+	}
+	if st := sys.L1s[3].Cache().Lookup(0x200); st != upl.Modified {
+		t.Fatalf("writer state %v, want M", st)
+	}
+	sharers, owner := sys.Homes[int(0x200/32)%4].Entry(0x200)
+	if owner != 3 || sharers != 1 {
+		t.Fatalf("directory entry: %d sharers, owner %d; want 1, 3", sharers, owner)
+	}
+	if err := sys.CheckCoherenceInvariant([]uint32{0x200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- memory ordering (litmus) ---
+
+// buildSB wires the store-buffer litmus: two cores behind ordering
+// controllers of the given kind over a snooping system.
+//
+//	core0: x = 1; r0 = y        core1: y = 1; r1 = x
+//
+// SC forbids r0 == 0 && r1 == 0; TSO allows it.
+func buildSB(t *testing.T, kind mpl.OrderingKind, sbDelay int) (r0, r1 uint32) {
+	t.Helper()
+	b := core.NewBuilder()
+	sys, err := mpl.BuildSnoopSystem(b, "coh", 2, mpl.CacheCtrlCfg{}, mpl.SnoopBusCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const x, y = 0x100, 0x200
+	traces := [][]mpl.MemRef{
+		{{Write: true, Addr: x, Data: 1}, {Write: false, Addr: y}},
+		{{Write: true, Addr: y, Data: 1}, {Write: false, Addr: x}},
+	}
+	var cores []*mpl.TraceCore
+	for i, tr := range traces {
+		c := mpl.NewTraceCore(simtest.Name("core", i), tr, 0)
+		o := mpl.NewOrderingCtrl(simtest.Name("ord", i), kind, 8, sbDelay)
+		b.Add(c)
+		b.Add(o)
+		b.Connect(c, "req", o, "cpu")
+		b.Connect(o, "resp", c, "resp")
+		b.Connect(o, "mem", sys.Ctrls[i], "cpu")
+		b.Connect(sys.Ctrls[i], "resp", o, "memresp")
+		cores = append(cores, c)
+	}
+	sim := simtest.Build(t, b)
+	// Drain: cores done AND store buffers empty.
+	ok, err := sim.RunUntil(func(*core.Sim) bool {
+		return allDone(cores)(sim)
+	}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("litmus did not finish")
+	}
+	return cores[0].Loads[0], cores[1].Loads[0]
+}
+
+func TestSCForbidsStoreBufferOutcome(t *testing.T) {
+	r0, r1 := buildSB(t, mpl.SC, 0)
+	if r0 == 0 && r1 == 0 {
+		t.Fatalf("SC produced the forbidden SB outcome r0=%d r1=%d", r0, r1)
+	}
+}
+
+func TestTSOAllowsStoreBufferOutcome(t *testing.T) {
+	// A long store-buffer drain delay guarantees both loads beat both
+	// stores to the bus.
+	r0, r1 := buildSB(t, mpl.TSO, 200)
+	if r0 != 0 || r1 != 0 {
+		t.Fatalf("TSO with lazy drain should show r0=0 r1=0, got r0=%d r1=%d", r0, r1)
+	}
+}
+
+func TestTSOStoreForwarding(t *testing.T) {
+	// A load from an address sitting in the local store buffer must
+	// return the buffered value without touching memory.
+	b := core.NewBuilder()
+	sys, err := mpl.BuildSnoopSystem(b, "coh", 2, mpl.CacheCtrlCfg{}, mpl.SnoopBusCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := mpl.NewTraceCore("core0", []mpl.MemRef{
+		{Write: true, Addr: 0x100, Data: 99},
+		{Write: false, Addr: 0x100},
+	}, 0)
+	o0 := mpl.NewOrderingCtrl("ord0", mpl.TSO, 8, 500)
+	b.Add(c0)
+	b.Add(o0)
+	b.Connect(c0, "req", o0, "cpu")
+	b.Connect(o0, "resp", c0, "resp")
+	b.Connect(o0, "mem", sys.Ctrls[0], "cpu")
+	b.Connect(sys.Ctrls[0], "resp", o0, "memresp")
+	// Idle second node keeps the build valid.
+	c1 := mpl.NewTraceCore("core1", nil, 0)
+	b.Add(c1)
+	b.Connect(c1, "req", sys.Ctrls[1], "cpu")
+	b.Connect(sys.Ctrls[1], "resp", c1, "resp")
+	sim := simtest.Build(t, b)
+	ok, err := sim.RunUntil(func(*core.Sim) bool { return c0.Done() }, 2000)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if c0.Loads[0] != 99 {
+		t.Fatalf("forwarded load = %d, want 99", c0.Loads[0])
+	}
+	if sim.Stats().CounterValue("ord0.forwards") != 1 {
+		t.Fatal("forwarding counter should be 1")
+	}
+	_ = sys
+}
+
+func TestDMACopiesAndSignals(t *testing.T) {
+	b := core.NewBuilder()
+	mem, err := pcl.NewMemArray("mem", core.Params{"words": 256, "latency": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dma := mpl.NewDMACtrl("dma")
+	desc := simtest.NewProducer("desc", []any{
+		mpl.DMADesc{Src: 0x00, Dst: 0x80, Len: 32, Tag: "msg"},
+	})
+	done := simtest.NewConsumer("done", nil)
+	b.Add(mem)
+	b.Add(dma)
+	b.Add(desc)
+	b.Add(done)
+	b.Connect(desc, "out", dma, "desc")
+	b.Connect(dma, "memreq", mem, "req")
+	b.Connect(mem, "resp", dma, "memresp")
+	b.Connect(dma, "done", done, "in")
+	for i := uint32(0); i < 8; i++ {
+		mem.Poke(i, 0xdead0000+i)
+	}
+	sim := simtest.Build(t, b)
+	ok, err := sim.RunUntil(func(*core.Sim) bool { return len(done.Got) > 0 }, 2000)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for i := uint32(0); i < 8; i++ {
+		if got := mem.Peek(0x80/4 + i); got != 0xdead0000+i {
+			t.Fatalf("word %d = %#x, want %#x", i, got, 0xdead0000+i)
+		}
+	}
+	d := done.Got[0].(mpl.DMADone)
+	if d.Desc.Tag != "msg" {
+		t.Fatalf("completion tag %v", d.Desc.Tag)
+	}
+	if dma.Copied() != 32 {
+		t.Fatalf("copied %d bytes, want 32", dma.Copied())
+	}
+}
+
+// TestWriteSerialization checks that both coherence engines serialize
+// racing writers: after every core writes a distinct value to the same
+// line and the system quiesces, all readers observe the one winning
+// value (write serialization), on the snooping bus and the directory
+// alike.
+func TestWriteSerialization(t *testing.T) {
+	const addr = 0x140
+	mkTraces := func(n int) [][]mpl.MemRef {
+		traces := make([][]mpl.MemRef, n)
+		for c := range traces {
+			traces[c] = []mpl.MemRef{
+				{Write: true, Addr: addr, Data: uint32(100 + c)},
+				// Spacer reads on a private line stagger the final read.
+				{Write: false, Addr: uint32(0x1000 + c*0x100)},
+				{Write: false, Addr: uint32(0x1000 + c*0x100)},
+				{Write: false, Addr: addr},
+			}
+		}
+		return traces
+	}
+	check := func(t *testing.T, cores []*mpl.TraceCore) {
+		t.Helper()
+		final := map[uint32]bool{}
+		for _, c := range cores {
+			if len(c.Loads) != 3 {
+				t.Fatalf("core finished %d loads, want 3", len(c.Loads))
+			}
+			final[c.Loads[2]] = true
+		}
+		if len(final) != 1 {
+			t.Fatalf("readers disagree on the final value: %v", final)
+		}
+		for v := range final {
+			if v < 100 || v >= 104 {
+				t.Fatalf("final value %d was never written", v)
+			}
+		}
+	}
+	t.Run("snooping", func(t *testing.T) {
+		sim, _, cores := buildSnoopWithCores(t, mkTraces(4), mpl.CacheCtrlCfg{MESI: true}, 10)
+		runCoherent(t, sim, cores, 50000)
+		check(t, cores)
+	})
+	t.Run("directory", func(t *testing.T) {
+		b := core.NewBuilder()
+		sys, err := mpl.BuildDirectorySystem(b, "dir", ccl.MeshCfg{W: 2, H: 2}, upl.CacheCfg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cores []*mpl.TraceCore
+		for i, tr := range mkTraces(4) {
+			c := mpl.NewTraceCore(simtest.Name("core", i), tr, 10)
+			b.Add(c)
+			b.Connect(c, "req", sys.L1s[i], "cpu")
+			b.Connect(sys.L1s[i], "resp", c, "resp")
+			cores = append(cores, c)
+		}
+		sim := simtest.Build(t, b)
+		runCoherent(t, sim, cores, 100000)
+		check(t, cores)
+	})
+}
+
+// TestDirectoryInvariantUnderRandomTraffic mirrors the snooping random
+// test on the directory engine: SWMR after every cycle.
+func TestDirectoryInvariantUnderRandomTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	lines := []uint32{0x00, 0x20, 0x40, 0x60}
+	b := core.NewBuilder()
+	sys, err := mpl.BuildDirectorySystem(b, "dir", ccl.MeshCfg{W: 2, H: 2}, upl.CacheCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cores []*mpl.TraceCore
+	for c := 0; c < 4; c++ {
+		var tr []mpl.MemRef
+		for k := 0; k < 15; k++ {
+			tr = append(tr, mpl.MemRef{
+				Write: rng.Intn(2) == 0,
+				Addr:  lines[rng.Intn(len(lines))],
+				Data:  uint32(c*1000 + k),
+			})
+		}
+		tc := mpl.NewTraceCore(simtest.Name("core", c), tr, 0)
+		b.Add(tc)
+		b.Connect(tc, "req", sys.L1s[c], "cpu")
+		b.Connect(sys.L1s[c], "resp", tc, "resp")
+		cores = append(cores, tc)
+	}
+	sim := simtest.Build(t, b)
+	for cycle := 0; cycle < 100000; cycle++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.CheckCoherenceInvariant(lines); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if allDone(cores)(sim) {
+			break
+		}
+	}
+	if !allDone(cores)(sim) {
+		t.Fatal("directory random-traffic run did not finish")
+	}
+}
+
+// TestMessagePassingLitmus: P0 writes data then flag; P1 polls flag then
+// reads data. Both SC and TSO preserve store-store and load-load order,
+// so "flag set but data stale" must never be observed under either model
+// — this is what separates TSO from weaker models that would need a
+// fence here.
+func TestMessagePassingLitmus(t *testing.T) {
+	const data, flag = 0x100, 0x200
+	for _, kind := range []mpl.OrderingKind{mpl.SC, mpl.TSO} {
+		t.Run(kind.String(), func(t *testing.T) {
+			for _, delay := range []int{0, 3, 17} {
+				b := core.NewBuilder()
+				sys, err := mpl.BuildSnoopSystem(b, "coh", 2, mpl.CacheCtrlCfg{}, mpl.SnoopBusCfg{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				traces := [][]mpl.MemRef{
+					{{Write: true, Addr: data, Data: 99}, {Write: true, Addr: flag, Data: 1}},
+					// P1 polls flag a few times, then reads data.
+					{{Write: false, Addr: flag}, {Write: false, Addr: flag},
+						{Write: false, Addr: flag}, {Write: false, Addr: flag},
+						{Write: false, Addr: flag}, {Write: false, Addr: data}},
+				}
+				var cores []*mpl.TraceCore
+				for i, tr := range traces {
+					c := mpl.NewTraceCore(simtest.Name("core", i), tr, delay)
+					o := mpl.NewOrderingCtrl(simtest.Name("ord", i), kind, 8, delay)
+					b.Add(c)
+					b.Add(o)
+					b.Connect(c, "req", o, "cpu")
+					b.Connect(o, "resp", c, "resp")
+					b.Connect(o, "mem", sys.Ctrls[i], "cpu")
+					b.Connect(sys.Ctrls[i], "resp", o, "memresp")
+					cores = append(cores, c)
+				}
+				sim := simtest.Build(t, b)
+				runCoherent(t, sim, cores, 100000)
+				loads := cores[1].Loads
+				sawFlag := false
+				for i, v := range loads[:len(loads)-1] {
+					if v == 1 {
+						sawFlag = true
+						_ = i
+					}
+				}
+				if sawFlag && loads[len(loads)-1] != 99 {
+					t.Fatalf("%v delay=%d: flag observed set but data=%d (store order broken)",
+						kind, delay, loads[len(loads)-1])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package mpl
+
+import "fmt"
+
+// MemRef is one memory operation issued by a core.
+type MemRef struct {
+	Write bool
+	Addr  uint32
+	Data  uint32 // store value
+	Tag   any    // opaque, returned in the reply
+}
+
+// MemReply completes a MemRef.
+type MemReply struct {
+	Addr uint32
+	Data uint32 // load value
+	Tag  any
+}
+
+func (r MemRef) String() string {
+	op := "R"
+	if r.Write {
+		op = "W"
+	}
+	return fmt.Sprintf("%s %#x", op, r.Addr)
+}
+
+// BusKind is a snooping-bus transaction type.
+type BusKind uint8
+
+const (
+	// BusRd requests a line for reading.
+	BusRd BusKind = iota
+	// BusRdX requests a line for exclusive (write) access.
+	BusRdX
+	// BusUpgr invalidates other sharers of a line already held Shared.
+	BusUpgr
+	// BusWB writes a dirty evicted line back to memory.
+	BusWB
+)
+
+func (k BusKind) String() string {
+	switch k {
+	case BusRd:
+		return "BusRd"
+	case BusRdX:
+		return "BusRdX"
+	case BusUpgr:
+		return "BusUpgr"
+	case BusWB:
+		return "BusWB"
+	}
+	return "?"
+}
+
+// BusTx is a snooping-bus request.
+type BusTx struct {
+	Kind BusKind
+	Addr uint32
+	Src  int // requesting controller id
+}
+
+// BusGrant is the bus's reply to the requesting controller after the
+// snoop phase.
+type BusGrant struct {
+	Tx       BusTx
+	Shared   bool // some other cache holds the line
+	WasDirty bool // a modified copy was flushed
+}
+
+// DirKind is a directory-protocol message type.
+type DirKind uint8
+
+const (
+	// GetS asks the home node for read access.
+	GetS DirKind = iota
+	// GetM asks the home node for write access.
+	GetM
+	// DirData carries the line (home -> requester or owner -> home).
+	DirData
+	// DirInv tells a sharer to invalidate (home -> sharer).
+	DirInv
+	// DirInvAck confirms an invalidation (sharer -> home).
+	DirInvAck
+	// DirRecall tells the owner to surrender the line (home -> owner).
+	DirRecall
+	// DirRecallAck carries the surrendered line (owner -> home).
+	DirRecallAck
+	// DirWB writes an evicted dirty line back (owner -> home).
+	DirWB
+	// DirWBAck confirms a writeback (home -> owner).
+	DirWBAck
+)
+
+func (k DirKind) String() string {
+	switch k {
+	case GetS:
+		return "GetS"
+	case GetM:
+		return "GetM"
+	case DirData:
+		return "Data"
+	case DirInv:
+		return "Inv"
+	case DirInvAck:
+		return "InvAck"
+	case DirRecall:
+		return "Recall"
+	case DirRecallAck:
+		return "RecallAck"
+	case DirWB:
+		return "WB"
+	case DirWBAck:
+		return "WBAck"
+	}
+	return "?"
+}
+
+// DirMsg is a directory-protocol message carried as a ccl.Packet payload.
+type DirMsg struct {
+	Kind      DirKind
+	Addr      uint32 // line address
+	From, To  int
+	Exclusive bool // for DirData: grant M rather than S
+}
+
+func (m DirMsg) String() string {
+	return fmt.Sprintf("%s %#x %d->%d", m.Kind, m.Addr, m.From, m.To)
+}

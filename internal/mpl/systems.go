@@ -1,0 +1,159 @@
+package mpl
+
+import (
+	"fmt"
+
+	"liberty/internal/ccl"
+	core "liberty/internal/core"
+	"liberty/internal/pcl"
+	"liberty/internal/upl"
+)
+
+// SnoopSystem is an assembled bus-based coherence domain: controllers
+// wired to the shared snooping bus, CPU-side ports left open for cores or
+// ordering controllers.
+type SnoopSystem struct {
+	Bus   *SnoopBus
+	Ctrls []*CacheCtrl
+	Image *MemImage
+}
+
+// BuildSnoopSystem wires n cache controllers to a snooping bus.
+func BuildSnoopSystem(b *core.Builder, name string, n int, cfg CacheCtrlCfg, busCfg SnoopBusCfg) (*SnoopSystem, error) {
+	if n < 2 {
+		return nil, &core.ParamError{Param: "n", Detail: "coherence needs >= 2 controllers"}
+	}
+	sys := &SnoopSystem{Image: NewMemImage()}
+	sys.Bus = NewSnoopBus(core.Sub(name, "bus"), busCfg)
+	b.Add(sys.Bus)
+	for i := 0; i < n; i++ {
+		c, err := NewCacheCtrl(core.Sub(name, fmt.Sprintf("ctrl%d", i)), i, cfg, sys.Bus, sys.Image)
+		if err != nil {
+			return nil, err
+		}
+		b.Add(c)
+		sys.Ctrls = append(sys.Ctrls, c)
+	}
+	// Connection order fixes conn index == controller id on both ports.
+	for i, c := range sys.Ctrls {
+		if err := b.Connect(c, "bus", sys.Bus, "req"); err != nil {
+			return nil, err
+		}
+		if err := b.Connect(sys.Bus, "grant", c, "grant"); err != nil {
+			return nil, err
+		}
+		_ = i
+	}
+	return sys, nil
+}
+
+// CheckCoherenceInvariant verifies the single-writer/multiple-reader
+// invariant over the given line addresses: at most one Modified copy, and
+// never Modified alongside Shared. It returns an error describing the
+// first violation.
+func (s *SnoopSystem) CheckCoherenceInvariant(lineAddrs []uint32) error {
+	return checkSWMR(lineAddrs, func(i int, addr uint32) upl.LineState {
+		return s.Ctrls[i].Cache().Lookup(addr)
+	}, len(s.Ctrls))
+}
+
+func checkSWMR(lineAddrs []uint32, lookup func(i int, addr uint32) upl.LineState, n int) error {
+	for _, addr := range lineAddrs {
+		m, sh := 0, 0
+		for i := 0; i < n; i++ {
+			switch lookup(i, addr) {
+			case upl.Modified:
+				m++
+			case upl.Shared, upl.Exclusive:
+				sh++
+			}
+		}
+		if m > 1 {
+			return fmt.Errorf("mpl: line %#x has %d Modified copies", addr, m)
+		}
+		if m == 1 && sh > 0 {
+			return fmt.Errorf("mpl: line %#x Modified alongside %d shared copies", addr, sh)
+		}
+	}
+	return nil
+}
+
+// DirSystem is an assembled directory-coherence domain over a CCL mesh.
+type DirSystem struct {
+	Net   *ccl.Network
+	L1s   []*L1Dir
+	Homes []*DirHome
+	Image *MemImage
+}
+
+// BuildDirectorySystem wires one L1 controller and one directory-home
+// controller to every node of a mesh; their messages share the node's
+// injection port through an arbiter and are demultiplexed on ejection by
+// message kind.
+func BuildDirectorySystem(b *core.Builder, name string, mesh ccl.MeshCfg, cacheCfg upl.CacheCfg) (*DirSystem, error) {
+	nw, err := ccl.BuildMesh(b, core.Sub(name, "mesh"), mesh)
+	if err != nil {
+		return nil, err
+	}
+	if cacheCfg.Sets == 0 {
+		cacheCfg = upl.DefaultL1()
+	}
+	sys := &DirSystem{Net: nw, Image: NewMemImage()}
+	n := nw.Nodes
+	for i := 0; i < n; i++ {
+		l1, err := NewL1Dir(core.Sub(name, fmt.Sprintf("l1_%d", i)), i, n, cacheCfg, sys.Image)
+		if err != nil {
+			return nil, err
+		}
+		home := NewDirHome(core.Sub(name, fmt.Sprintf("dir_%d", i)), i, cacheCfg.LineBytes)
+		arb, err := pcl.NewArbiter(core.Sub(name, fmt.Sprintf("ni_in%d", i)), nil)
+		if err != nil {
+			return nil, err
+		}
+		demux, err := pcl.NewRoute(core.Sub(name, fmt.Sprintf("ni_out%d", i)), core.Params{
+			"route": pcl.RouteFn(func(v any) int {
+				m := v.(*ccl.Packet).Payload.(DirMsg)
+				if toHome(m.Kind) {
+					return 1
+				}
+				return 0
+			}),
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Add(l1)
+		b.Add(home)
+		b.Add(arb)
+		b.Add(demux)
+		sys.L1s = append(sys.L1s, l1)
+		sys.Homes = append(sys.Homes, home)
+		if err := b.Connect(l1, "net", arb, "in"); err != nil {
+			return nil, err
+		}
+		if err := b.Connect(home, "net", arb, "in"); err != nil {
+			return nil, err
+		}
+		if err := nw.ConnectSource(b, i, arb, "out"); err != nil {
+			return nil, err
+		}
+		if err := nw.ConnectSink(b, i, demux, "in"); err != nil {
+			return nil, err
+		}
+		if err := b.Connect(demux, "out", l1, "netin"); err != nil { // lane 0
+			return nil, err
+		}
+		if err := b.Connect(demux, "out", home, "netin"); err != nil { // lane 1
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// CheckCoherenceInvariant verifies single-writer/multiple-reader across
+// the directory system's L1s.
+func (s *DirSystem) CheckCoherenceInvariant(lineAddrs []uint32) error {
+	return checkSWMR(lineAddrs, func(i int, addr uint32) upl.LineState {
+		return s.L1s[i].Cache().Lookup(addr)
+	}, len(s.L1s))
+}

@@ -1,0 +1,15 @@
+// Package nilib is the Network Interface Library (§3.5): components that
+// bridge processors and network fabrics. Its centerpiece is a Tigon-2-like
+// programmable network interface — an embedded LibertyRISC core running
+// real firmware (assembled at build time), a MAC receive engine that
+// deposits Ethernet frames into NIC-local memory, a descriptor DMA engine
+// that moves frames to host memory across a PCI-like bus, and a doorbell
+// path back to the host. The composite is exactly the paper's "format
+// converter that sits between an Ethernet and a PCI bus", built from UPL
+// (the embedded core), MPL (DMA) and PCL (bus arbitration) pieces.
+//
+// The device registers are modeled as a shared register file (hardware's
+// actual shared state); modules observe and update it under the engine's
+// deterministic once-per-cycle handlers, while all inter-module data
+// motion (wire, host bus, doorbells) flows through ports.
+package nilib

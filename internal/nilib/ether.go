@@ -1,0 +1,79 @@
+package nilib
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Ethernet frame size limits (including header, excluding FCS).
+const (
+	EthHeaderBytes  = 14
+	EthMinFrame     = 60   // pre-FCS minimum (64 with FCS)
+	EthMaxFrame     = 1514 // pre-FCS maximum (1518 with FCS)
+	EthFCSBytes     = 4
+	EthMinWireBytes = EthMinFrame + EthFCSBytes
+	EthMaxWireBytes = EthMaxFrame + EthFCSBytes
+)
+
+// MACAddr is a 48-bit Ethernet address.
+type MACAddr [6]byte
+
+func (a MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// Frame is an Ethernet II frame.
+type Frame struct {
+	Dst, Src  MACAddr
+	EtherType uint16
+	Payload   []byte
+}
+
+// WireBytes returns the frame's on-wire size including padding and FCS.
+func (f *Frame) WireBytes() int {
+	n := EthHeaderBytes + len(f.Payload)
+	if n < EthMinFrame {
+		n = EthMinFrame
+	}
+	return n + EthFCSBytes
+}
+
+// Marshal encodes the frame with padding and a trailing CRC32 FCS.
+func (f *Frame) Marshal() ([]byte, error) {
+	if EthHeaderBytes+len(f.Payload) > EthMaxFrame {
+		return nil, fmt.Errorf("nilib: payload %d bytes exceeds maximum frame", len(f.Payload))
+	}
+	n := EthHeaderBytes + len(f.Payload)
+	if n < EthMinFrame {
+		n = EthMinFrame
+	}
+	buf := make([]byte, n+EthFCSBytes)
+	copy(buf[0:6], f.Dst[:])
+	copy(buf[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], f.EtherType)
+	copy(buf[14:], f.Payload)
+	fcs := crc32.ChecksumIEEE(buf[:n])
+	binary.LittleEndian.PutUint32(buf[n:], fcs)
+	return buf, nil
+}
+
+// Unmarshal decodes and verifies a wire-format frame.
+func Unmarshal(wire []byte) (*Frame, error) {
+	if len(wire) < EthMinWireBytes {
+		return nil, fmt.Errorf("nilib: runt frame (%d bytes)", len(wire))
+	}
+	if len(wire) > EthMaxWireBytes {
+		return nil, fmt.Errorf("nilib: giant frame (%d bytes)", len(wire))
+	}
+	n := len(wire) - EthFCSBytes
+	want := binary.LittleEndian.Uint32(wire[n:])
+	if got := crc32.ChecksumIEEE(wire[:n]); got != want {
+		return nil, fmt.Errorf("nilib: FCS mismatch: %#x != %#x", got, want)
+	}
+	f := &Frame{EtherType: binary.BigEndian.Uint16(wire[12:14])}
+	copy(f.Dst[:], wire[0:6])
+	copy(f.Src[:], wire[6:12])
+	f.Payload = append([]byte(nil), wire[14:n]...)
+	return f, nil
+}

@@ -1,0 +1,167 @@
+package nilib
+
+import "liberty/internal/isa"
+
+// TxCmd is a host-issued transmit command: "send Len bytes of wire-format
+// frame sitting at HostAddr in host memory".
+type TxCmd struct {
+	HostAddr uint32
+	Len      uint32
+}
+
+// Device register word offsets within the NIC's MMIO window.
+const (
+	RegRxStatus = 0x00 // ro: frames waiting in the rx ring
+	RegRxAddr   = 0x04 // ro: NIC-local address of the head frame
+	RegRxLen    = 0x08 // ro: head frame length in bytes
+	RegRxPop    = 0x0c // wo: retire the head frame slot
+	RegDMASrc   = 0x10 // rw: NIC-local source address
+	RegDMADst   = 0x14 // rw: host destination address
+	RegDMALen   = 0x18 // rw: bytes (word granular)
+	RegDMAKick  = 0x1c // wo: start DMA; ro: 1 while busy
+	RegHostDB   = 0x20 // wo: ring the host doorbell with a value
+	RegTxAddr   = 0x24 // rw: NIC-local address of a frame to transmit
+	RegTxLen    = 0x28 // rw: its length
+	RegTxSend   = 0x2c // wo: enqueue for transmission; ro: tx queue space
+	RegFreeRun  = 0x30 // ro: free-running cycle counter
+	RegHostCmd  = 0x34 // ro: pending host tx commands; wo: pop the head
+	RegHCAddr   = 0x38 // ro: head command's host buffer address
+	RegHCLen    = 0x3c // ro: head command's length in bytes
+	RegDMADir   = 0x40 // rw: 0 = NIC->host, 1 = host->NIC
+
+	// RegWindowBytes is the size of the register window.
+	RegWindowBytes = 0x50
+)
+
+// NICRegBase is where the register window sits in NIC-core address space.
+const NICRegBase = 0xff00_0000
+
+type rxDesc struct {
+	addr uint32
+	len  uint32
+	slot int
+}
+
+type txDesc struct {
+	addr uint32
+	len  uint32
+}
+
+type dmaReq struct {
+	src, dst, length uint32
+	toNIC            bool // host -> NIC direction
+}
+
+// nicRegs is the shared device register file. The MMIO handler (NIC core
+// side) and the MAC/DMA/doorbell modules all observe it; every mutation
+// happens inside the engine's deterministic handlers.
+type nicRegs struct {
+	rxQ       []rxDesc
+	rxSlotCap int
+
+	dmaSrc, dmaDst, dmaLen uint32
+	dmaBusy                bool
+	dmaPend                *dmaReq
+
+	txQ         []txDesc
+	txCap       int
+	txAddrLatch uint32
+	txLenLatch  uint32
+	dmaDir      uint32
+
+	hostCmds []TxCmd
+
+	doorbells []uint32
+
+	cycle func() uint64
+}
+
+// mmio adapts nicRegs to isa.MMIO for the embedded core.
+type mmio struct {
+	r *nicRegs
+}
+
+func (m mmio) ReadWord(off uint32) uint32 {
+	r := m.r
+	switch off {
+	case RegRxStatus:
+		return uint32(len(r.rxQ))
+	case RegRxAddr:
+		if len(r.rxQ) > 0 {
+			return r.rxQ[0].addr
+		}
+	case RegRxLen:
+		if len(r.rxQ) > 0 {
+			return r.rxQ[0].len
+		}
+	case RegDMASrc:
+		return r.dmaSrc
+	case RegDMADst:
+		return r.dmaDst
+	case RegDMALen:
+		return r.dmaLen
+	case RegDMAKick:
+		if r.dmaBusy || r.dmaPend != nil {
+			return 1
+		}
+	case RegTxAddr, RegTxLen:
+		// write-mostly; reads return zero
+	case RegTxSend:
+		return uint32(r.txCap - len(r.txQ))
+	case RegFreeRun:
+		if r.cycle != nil {
+			return uint32(r.cycle())
+		}
+	case RegHostCmd:
+		return uint32(len(r.hostCmds))
+	case RegHCAddr:
+		if len(r.hostCmds) > 0 {
+			return r.hostCmds[0].HostAddr
+		}
+	case RegHCLen:
+		if len(r.hostCmds) > 0 {
+			return r.hostCmds[0].Len
+		}
+	case RegDMADir:
+		return r.dmaDir
+	}
+	return 0
+}
+
+func (m mmio) WriteWord(off uint32, v uint32) {
+	r := m.r
+	switch off {
+	case RegRxPop:
+		if len(r.rxQ) > 0 {
+			r.rxQ = r.rxQ[1:]
+		}
+	case RegDMASrc:
+		r.dmaSrc = v
+	case RegDMADst:
+		r.dmaDst = v
+	case RegDMALen:
+		r.dmaLen = v
+	case RegDMAKick:
+		if !r.dmaBusy && r.dmaPend == nil {
+			r.dmaPend = &dmaReq{src: r.dmaSrc, dst: r.dmaDst, length: r.dmaLen, toNIC: r.dmaDir != 0}
+		}
+	case RegHostDB:
+		r.doorbells = append(r.doorbells, v)
+	case RegTxAddr:
+		r.txAddrLatch = v
+	case RegTxLen:
+		r.txLenLatch = v
+	case RegTxSend:
+		if len(r.txQ) < r.txCap {
+			r.txQ = append(r.txQ, txDesc{addr: r.txAddrLatch, len: r.txLenLatch})
+		}
+	case RegHostCmd:
+		if len(r.hostCmds) > 0 {
+			r.hostCmds = r.hostCmds[1:]
+		}
+	case RegDMADir:
+		r.dmaDir = v
+	}
+}
+
+var _ isa.MMIO = mmio{}

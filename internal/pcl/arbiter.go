@@ -1,0 +1,205 @@
+package pcl
+
+import (
+	"fmt"
+
+	core "liberty/internal/core"
+)
+
+// PickFn chooses among competing requests. reqs[i] is the datum offered on
+// input connection i (nil when input i has nothing this cycle); last is
+// the most recently granted input (-1 initially). It returns the indices
+// to grant, in priority order; out-of-range or nil-request indices are
+// ignored.
+type PickFn func(reqs []any, last int) []int
+
+// Arbiter grants up to out-width competing inputs per cycle and forwards
+// their data, nacking the losers. It is the same component whether it
+// regulates access to a network link, a synchronization lock or a shared
+// functional unit. Policies: "roundrobin" (default), "fixed" (lowest
+// connection wins), "lru"-equivalent via roundrobin, or a custom PickFn.
+type Arbiter struct {
+	core.Base
+	In  *core.Port
+	Out *core.Port
+
+	pick   PickFn
+	last   int
+	grants []int // grants[j] = input index granted on out conn j (-1 none)
+
+	// scratch buffers reused across reactive invocations
+	reqs      []any
+	grantedBy []int // input index -> out conn (-1 = not granted)
+	orderBuf  []int // scratch for the built-in policies
+
+	cGrant  *core.Counter
+	cDenied *core.Counter
+}
+
+// NewArbiter constructs an arbiter. Parameters:
+//
+//	policy (string, default "roundrobin") — "roundrobin" or "fixed"
+//	pick   (PickFn, optional)             — custom policy; overrides policy
+func NewArbiter(name string, p core.Params) (*Arbiter, error) {
+	a := &Arbiter{last: -1}
+	a.pick = core.Fn[PickFn](p, "pick", nil)
+	if a.pick == nil {
+		switch policy := p.Str("policy", "roundrobin"); policy {
+		case "roundrobin":
+			a.pick = a.pickRoundRobin
+		case "fixed":
+			a.pick = a.pickFixed
+		default:
+			return nil, &core.ParamError{Param: "policy", Detail: fmt.Sprintf("unknown policy %q", policy)}
+		}
+	}
+	a.Init(name, a)
+	// Both ports tolerate being left unconnected (partial specification):
+	// with no outputs the arbiter refuses all requests; with no inputs it
+	// offers nothing.
+	a.In = a.AddInPort("in", core.PortOpts{DefaultAck: core.No})
+	a.Out = a.AddOutPort("out")
+	a.OnCycleStart(a.cycleStart)
+	a.OnReact(a.react)
+	a.OnCycleEnd(a.cycleEnd)
+	return a, nil
+}
+
+// granted0 reports whether input i already holds a grant.
+func granted0(grants []int, i int) bool {
+	for _, g := range grants {
+		if g == i {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Arbiter) pickFixed(reqs []any, last int) []int {
+	out := a.orderBuf[:0]
+	for i, r := range reqs {
+		if r != nil {
+			out = append(out, i)
+		}
+	}
+	a.orderBuf = out
+	return out
+}
+
+func (a *Arbiter) pickRoundRobin(reqs []any, last int) []int {
+	n := len(reqs)
+	out := a.orderBuf[:0]
+	for k := 1; k <= n; k++ {
+		i := (last + k) % n
+		if reqs[i] != nil {
+			out = append(out, i)
+		}
+	}
+	a.orderBuf = out
+	return out
+}
+
+func (a *Arbiter) cycleStart() {
+	if a.cGrant == nil {
+		a.cGrant = a.Counter("grants")
+		a.cDenied = a.Counter("denials")
+	}
+	a.grants = a.grants[:0]
+}
+
+func (a *Arbiter) react() {
+	// The decision needs every request known; until then, stay quiet
+	// (monotonicity forbids changing a published grant).
+	n := a.In.Width()
+	if a.Out.Width() == 0 {
+		for i := 0; i < n; i++ {
+			if !a.In.AckStatus(i).Known() {
+				a.In.Nack(i)
+			}
+		}
+		return
+	}
+	if cap(a.reqs) < n {
+		a.reqs = make([]any, n)
+	}
+	reqs := a.reqs[:n]
+	for i := 0; i < n; i++ {
+		reqs[i] = nil
+		switch a.In.DataStatus(i) {
+		case core.Unknown:
+			return
+		case core.Yes:
+			reqs[i] = a.In.Data(i)
+		}
+	}
+	if len(a.grants) == 0 && a.Out.DataStatus(0) == core.Unknown {
+		order := a.pick(reqs, a.last)
+		for _, i := range order {
+			if i < 0 || i >= n || reqs[i] == nil || granted0(a.grants, i) {
+				continue
+			}
+			if len(a.grants) == a.Out.Width() {
+				break
+			}
+			j := len(a.grants)
+			a.grants = append(a.grants, i)
+			a.Out.Send(j, reqs[i])
+			a.Out.Enable(j)
+		}
+		for j := len(a.grants); j < a.Out.Width(); j++ {
+			a.Out.SendNothing(j)
+			a.Out.Disable(j)
+		}
+	}
+	// Mirror downstream acks back to the granted inputs; nack the rest.
+	if cap(a.grantedBy) < n {
+		a.grantedBy = make([]int, n)
+	}
+	granted := a.grantedBy[:n]
+	for i := range granted {
+		granted[i] = -1
+	}
+	for j, i := range a.grants {
+		granted[i] = j
+	}
+	for i := 0; i < n; i++ {
+		if a.In.AckStatus(i).Known() {
+			continue
+		}
+		j := granted[i]
+		if j < 0 {
+			a.In.Nack(i)
+			continue
+		}
+		switch a.Out.AckStatus(j) {
+		case core.Yes:
+			a.In.Ack(i)
+		case core.No:
+			a.In.Nack(i)
+		}
+	}
+}
+
+func (a *Arbiter) cycleEnd() {
+	for j, i := range a.grants {
+		if a.Out.Transferred(j) {
+			a.cGrant.Inc()
+			a.last = i
+		}
+	}
+	for i := 0; i < a.In.Width(); i++ {
+		if a.In.DataStatus(i) == core.Yes && !a.In.Transferred(i) {
+			a.cDenied.Inc()
+		}
+	}
+}
+
+func init() {
+	core.Register(&core.Template{
+		Name: "pcl.arbiter",
+		Doc:  "grants up to out-width of the competing inputs per cycle",
+		Build: func(b *core.Builder, name string, p core.Params) (core.Instance, error) {
+			return NewArbiter(name, p)
+		},
+	})
+}

@@ -1,0 +1,12 @@
+// Package pcl is the Primitive Component Library: domain-independent
+// building blocks used across every other library, mirroring the PCL
+// released with LSE 1.0. The headline reuse claim of the paper — "a single
+// module template can be instantiated to model a processor's instruction
+// window, its reorder buffer, and the I/O buffers in a packet router" — is
+// carried by Queue, whose algorithmic selection parameter customizes
+// dequeue behavior without touching the template.
+//
+// All templates register themselves in core.DefaultRegistry under
+// "pcl.<name>" so textual LSS specifications can instantiate them; Go
+// callers use the New* constructors directly.
+package pcl

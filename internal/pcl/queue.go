@@ -1,0 +1,189 @@
+package pcl
+
+import (
+	"sort"
+
+	core "liberty/internal/core"
+)
+
+// SelectFn orders a queue's occupied entries for dequeue. It receives the
+// entries oldest-first and returns the indices eligible to leave this
+// cycle, in offer order. The default (nil) is FIFO: 0, 1, 2, …
+//
+// This is the algorithmic parameter that turns the one template into an
+// instruction window (select ready instructions out of order), a reorder
+// buffer (select the oldest, only when complete) or a router I/O buffer
+// (plain FIFO).
+type SelectFn func(entries []any) []int
+
+// Queue is a capacity-bounded buffer with multi-connection enqueue and
+// dequeue ports and proper handshake backpressure. A full queue refuses
+// new entries this cycle even if it is draining (classic synchronous FIFO
+// semantics).
+//
+// Ports:
+//
+//	in  (In,  any width) — enqueue; acked while free slots remain
+//	out (Out, any width) — dequeue; connection j is offered the j'th
+//	                       selected entry
+type Queue struct {
+	core.Base
+	In  *core.Port
+	Out *core.Port
+
+	capacity int
+	selectFn SelectFn
+	entries  []any
+	offered  []int // entry index offered on out conn j this cycle
+	selBuf   []int // scratch for the default FIFO selection
+
+	cTransIn  *core.Counter
+	cTransOut *core.Counter
+	cFullStal *core.Counter
+	hOcc      *core.Histogram
+}
+
+// NewQueue constructs a queue. Parameters:
+//
+//	capacity (int, default 8)     — maximum entries held
+//	select   (SelectFn, optional) — dequeue selection policy
+func NewQueue(name string, p core.Params) (*Queue, error) {
+	q := &Queue{
+		capacity: p.Int("capacity", 8),
+		selectFn: core.Fn[SelectFn](p, "select", nil),
+	}
+	if q.capacity < 1 {
+		return nil, &core.ParamError{Param: "capacity", Detail: "must be >= 1"}
+	}
+	q.Init(name, q)
+	q.In = q.AddInPort("in", core.PortOpts{DefaultAck: core.No})
+	q.Out = q.AddOutPort("out")
+	q.OnCycleStart(q.cycleStart)
+	q.OnReact(q.react)
+	q.OnCycleEnd(q.cycleEnd)
+	return q, nil
+}
+
+// Len returns the current occupancy.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// Cap returns the queue's capacity.
+func (q *Queue) Cap() int { return q.capacity }
+
+// Entries returns the live entries oldest-first (shared slice; callers
+// must not mutate).
+func (q *Queue) Entries() []any { return q.entries }
+
+func (q *Queue) lazyStats() {
+	if q.cTransIn == nil {
+		q.cTransIn = q.Counter("enqueues")
+		q.cTransOut = q.Counter("dequeues")
+		q.cFullStal = q.Counter("full_stalls")
+		q.hOcc = q.Histogram("occupancy")
+	}
+}
+
+func (q *Queue) cycleStart() {
+	q.lazyStats()
+	q.hOcc.Observe(float64(len(q.entries)))
+	// Offer selected entries downstream.
+	sel := q.selected()
+	q.offered = q.offered[:0]
+	for j := 0; j < q.Out.Width(); j++ {
+		if j < len(sel) {
+			q.offered = append(q.offered, sel[j])
+			q.Out.Send(j, q.entries[sel[j]])
+			q.Out.Enable(j)
+		} else {
+			q.Out.SendNothing(j)
+			q.Out.Disable(j)
+		}
+	}
+}
+
+func (q *Queue) selected() []int {
+	if q.selectFn == nil {
+		if cap(q.selBuf) < len(q.entries) {
+			q.selBuf = make([]int, len(q.entries))
+		}
+		sel := q.selBuf[:len(q.entries)]
+		for i := range sel {
+			sel[i] = i
+		}
+		return sel
+	}
+	sel := q.selectFn(q.entries)
+	seen := make(map[int]bool, len(sel))
+	out := sel[:0]
+	for _, i := range sel {
+		if i < 0 || i >= len(q.entries) || seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, i)
+	}
+	return out
+}
+
+func (q *Queue) react() {
+	// Accept arrivals in connection order while space remains. Capacity is
+	// judged against start-of-cycle occupancy: same-cycle dequeues do not
+	// free space.
+	free := q.capacity - len(q.entries)
+	for i := 0; i < q.In.Width(); i++ {
+		if q.In.AckStatus(i).Known() {
+			if q.In.AckStatus(i) == core.Yes {
+				free--
+			}
+			continue
+		}
+		switch q.In.DataStatus(i) {
+		case core.Unknown:
+			return // later connections must wait to preserve order
+		case core.No:
+			q.In.Nack(i)
+		case core.Yes:
+			if free > 0 {
+				q.In.Ack(i)
+				free--
+			} else {
+				q.In.Nack(i)
+			}
+		}
+	}
+}
+
+func (q *Queue) cycleEnd() {
+	// Remove transferred entries, highest entry index first so earlier
+	// removals do not shift later ones.
+	var gone []int
+	for j := range q.offered {
+		if q.Out.Transferred(j) {
+			gone = append(gone, q.offered[j])
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(gone)))
+	for _, idx := range gone {
+		q.entries = append(q.entries[:idx], q.entries[idx+1:]...)
+		q.cTransOut.Inc()
+	}
+	// Then append accepted arrivals in connection order.
+	for i := 0; i < q.In.Width(); i++ {
+		if v, ok := q.In.TransferredData(i); ok {
+			q.entries = append(q.entries, v)
+			q.cTransIn.Inc()
+		} else if q.In.DataStatus(i) == core.Yes && q.In.EnableStatus(i) == core.Yes {
+			q.cFullStal.Inc()
+		}
+	}
+}
+
+func init() {
+	core.Register(&core.Template{
+		Name: "pcl.queue",
+		Doc:  "capacity-bounded buffer with algorithmic dequeue selection",
+		Build: func(b *core.Builder, name string, p core.Params) (core.Instance, error) {
+			return NewQueue(name, p)
+		},
+	})
+}

@@ -1,0 +1,129 @@
+package pcl_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	core "liberty/internal/core"
+	"liberty/internal/pcl"
+	"liberty/internal/simtest"
+)
+
+// TestQueueMatchesGoldenFIFO drives a queue with pseudo-random offer and
+// acceptance patterns and checks it against a plain-slice reference model:
+// everything offered is eventually delivered, in order, and occupancy
+// never exceeds capacity.
+func TestQueueMatchesGoldenFIFO(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 + rng.Intn(6)
+		n := 10 + rng.Intn(40)
+		offerGaps := make(map[uint64]bool)
+		acceptGaps := make(map[uint64]bool)
+		for c := uint64(0); c < 200; c++ {
+			if rng.Intn(3) == 0 {
+				offerGaps[c] = true
+			}
+			if rng.Intn(3) == 0 {
+				acceptGaps[c] = true
+			}
+		}
+
+		prod := simtest.NewProducer("prod", simtest.IntSeq(n))
+		prod.Gate = func(cycle uint64) bool { return !offerGaps[cycle] }
+		q, err := pcl.NewQueue("q", core.Params{"capacity": capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons := simtest.NewConsumer("cons", func(cycle uint64, v any) bool { return !acceptGaps[cycle] })
+		b := core.NewBuilder().SetSeed(seed)
+		b.Add(prod)
+		b.Add(q)
+		b.Add(cons)
+		b.Connect(prod, "out", q, "in")
+		b.Connect(q, "out", cons, "in")
+		sim := simtest.Build(t, b)
+
+		for c := 0; c < 400; c++ {
+			if err := sim.Step(); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if q.Len() > capacity {
+				t.Logf("seed %d: occupancy %d > capacity %d", seed, q.Len(), capacity)
+				return false
+			}
+			if prod.Done() && len(cons.Got) == n {
+				break
+			}
+		}
+		got := cons.Ints(t)
+		if len(got) != n {
+			t.Logf("seed %d: delivered %d of %d", seed, len(got), n)
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				t.Logf("seed %d: out of order at %d: %v", seed, i, got)
+				return false
+			}
+		}
+		// Conservation: enqueues == dequeues + still-queued.
+		enq := sim.Stats().CounterValue("q.enqueues")
+		deq := sim.Stats().CounterValue("q.dequeues")
+		if enq != deq+int64(q.Len()) {
+			t.Logf("seed %d: conservation violated enq=%d deq=%d len=%d", seed, enq, deq, q.Len())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueSelectFnSafety: hostile selection functions (out-of-range,
+// duplicate, reversed indices) must never corrupt the queue — entries are
+// conserved and capacity is respected.
+func TestQueueSelectFnSafety(t *testing.T) {
+	hostile := []pcl.SelectFn{
+		func(entries []any) []int { return []int{99, -1, 0, 0, 1} }, // junk + dups
+		func(entries []any) []int { // reversed
+			out := make([]int, len(entries))
+			for i := range out {
+				out[i] = len(entries) - 1 - i
+			}
+			return out
+		},
+		func(entries []any) []int { return nil }, // selects nothing
+	}
+	for k, sel := range hostile {
+		prod := simtest.NewProducer("prod", simtest.IntSeq(12))
+		q, err := pcl.NewQueue("q", core.Params{"capacity": 4, "select": sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons := simtest.NewConsumer("cons", nil)
+		b := core.NewBuilder()
+		b.Add(prod)
+		b.Add(q)
+		b.Add(cons)
+		b.Connect(prod, "out", q, "in")
+		b.Connect(q, "out", cons, "in")
+		sim := simtest.Build(t, b)
+		for i := 0; i < 60; i++ {
+			if err := sim.Step(); err != nil {
+				t.Fatalf("selector %d: %v", k, err)
+			}
+			if q.Len() > 4 {
+				t.Fatalf("selector %d: occupancy %d exceeds capacity", k, q.Len())
+			}
+		}
+		enq := sim.Stats().CounterValue("q.enqueues")
+		deq := sim.Stats().CounterValue("q.dequeues")
+		if enq != deq+int64(q.Len()) {
+			t.Fatalf("selector %d: conservation broken enq=%d deq=%d len=%d", k, enq, deq, q.Len())
+		}
+	}
+}

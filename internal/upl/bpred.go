@@ -1,0 +1,168 @@
+package upl
+
+import "fmt"
+
+// Predictor is the branch direction predictor contract. Predict is
+// consulted at fetch; Update is called with the resolved outcome.
+type Predictor interface {
+	Predict(pc uint32) bool
+	Update(pc uint32, taken bool)
+}
+
+// StaticPredictor always predicts the same direction.
+type StaticPredictor struct {
+	Taken bool
+}
+
+// Predict implements Predictor.
+func (s *StaticPredictor) Predict(pc uint32) bool { return s.Taken }
+
+// Update implements Predictor.
+func (s *StaticPredictor) Update(pc uint32, taken bool) {}
+
+// counter2 is a saturating 2-bit counter.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// BimodalPredictor is a PC-indexed table of 2-bit saturating counters.
+type BimodalPredictor struct {
+	table []counter2
+	mask  uint32
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits entries, initialized
+// weakly taken.
+func NewBimodal(bits int) *BimodalPredictor {
+	n := 1 << bits
+	t := make([]counter2, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &BimodalPredictor{table: t, mask: uint32(n - 1)}
+}
+
+func (b *BimodalPredictor) idx(pc uint32) uint32 { return (pc >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *BimodalPredictor) Predict(pc uint32) bool { return b.table[b.idx(pc)].taken() }
+
+// Update implements Predictor.
+func (b *BimodalPredictor) Update(pc uint32, taken bool) {
+	i := b.idx(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// GSharePredictor xors global branch history into the table index,
+// capturing correlated branches.
+type GSharePredictor struct {
+	table   []counter2
+	mask    uint32
+	history uint32
+}
+
+// NewGShare returns a gshare predictor with 2^bits entries and bits of
+// global history.
+func NewGShare(bits int) *GSharePredictor {
+	n := 1 << bits
+	t := make([]counter2, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &GSharePredictor{table: t, mask: uint32(n - 1)}
+}
+
+func (g *GSharePredictor) idx(pc uint32) uint32 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *GSharePredictor) Predict(pc uint32) bool { return g.table[g.idx(pc)].taken() }
+
+// Update implements Predictor.
+func (g *GSharePredictor) Update(pc uint32, taken bool) {
+	i := g.idx(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// TwoLevelPredictor is a PAg local-history predictor: a per-branch history
+// register indexes a shared pattern table, nailing short periodic
+// patterns (e.g. alternating branches) that defeat bimodal tables.
+type TwoLevelPredictor struct {
+	hist     []uint32
+	pattern  []counter2
+	histMask uint32
+	patMask  uint32
+}
+
+// NewTwoLevel returns a predictor with 2^histBits history registers of
+// histBits length and a 2^histBits-entry pattern table.
+func NewTwoLevel(histBits int) *TwoLevelPredictor {
+	n := 1 << histBits
+	pat := make([]counter2, n)
+	for i := range pat {
+		pat[i] = 2
+	}
+	return &TwoLevelPredictor{
+		hist:     make([]uint32, n),
+		pattern:  pat,
+		histMask: uint32(n - 1),
+		patMask:  uint32(n - 1),
+	}
+}
+
+// Predict implements Predictor.
+func (t *TwoLevelPredictor) Predict(pc uint32) bool {
+	h := t.hist[(pc>>2)&t.histMask]
+	return t.pattern[h&t.patMask].taken()
+}
+
+// Update implements Predictor.
+func (t *TwoLevelPredictor) Update(pc uint32, taken bool) {
+	hi := (pc >> 2) & t.histMask
+	h := t.hist[hi]
+	pi := h & t.patMask
+	t.pattern[pi] = t.pattern[pi].update(taken)
+	h = (h << 1) & t.histMask
+	if taken {
+		h |= 1
+	}
+	t.hist[hi] = h
+}
+
+// NewPredictor constructs a predictor by name: "taken", "nottaken",
+// "bimodal", "gshare", "twolevel". bits sizes the tables (ignored for
+// static predictors).
+func NewPredictor(kind string, bits int) (Predictor, error) {
+	if bits <= 0 {
+		bits = 10
+	}
+	switch kind {
+	case "taken":
+		return &StaticPredictor{Taken: true}, nil
+	case "nottaken":
+		return &StaticPredictor{}, nil
+	case "bimodal":
+		return NewBimodal(bits), nil
+	case "gshare":
+		return NewGShare(bits), nil
+	case "twolevel":
+		return NewTwoLevel(bits), nil
+	}
+	return nil, fmt.Errorf("upl: unknown predictor %q", kind)
+}

@@ -1,0 +1,89 @@
+package upl
+
+// BTB is a direct-mapped branch target buffer: it remembers the last
+// target of each (indirect) control transfer so the front end need not
+// charge a redirect penalty when the target repeats.
+type BTB struct {
+	tags    []uint32
+	targets []uint32
+	valid   []bool
+	mask    uint32
+
+	Hits, Misses uint64
+}
+
+// NewBTB returns a BTB with 2^bits entries.
+func NewBTB(bits int) *BTB {
+	if bits <= 0 {
+		bits = 8
+	}
+	n := 1 << bits
+	return &BTB{
+		tags:    make([]uint32, n),
+		targets: make([]uint32, n),
+		valid:   make([]bool, n),
+		mask:    uint32(n - 1),
+	}
+}
+
+func (b *BTB) idx(pc uint32) uint32 { return (pc >> 2) & b.mask }
+
+// Predict returns the predicted target for pc, or ok=false on a miss.
+func (b *BTB) Predict(pc uint32) (uint32, bool) {
+	i := b.idx(pc)
+	if b.valid[i] && b.tags[i] == pc {
+		b.Hits++
+		return b.targets[i], true
+	}
+	b.Misses++
+	return 0, false
+}
+
+// Update records pc's actual target.
+func (b *BTB) Update(pc, target uint32) {
+	i := b.idx(pc)
+	b.tags[i] = pc
+	b.targets[i] = target
+	b.valid[i] = true
+}
+
+// RAS is a return address stack: call instructions push their return
+// address, returns pop a prediction. Overflow wraps (oldest entries are
+// lost), as in real hardware.
+type RAS struct {
+	stack []uint32
+	top   int // index of the next push slot
+	count int
+
+	Hits, Misses uint64
+}
+
+// NewRAS returns a RAS with the given depth.
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		depth = 8
+	}
+	return &RAS{stack: make([]uint32, depth)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(ret uint32) {
+	r.stack[r.top] = ret
+	r.top = (r.top + 1) % len(r.stack)
+	if r.count < len(r.stack) {
+		r.count++
+	}
+}
+
+// Pop predicts the target of a return; ok=false when empty.
+func (r *RAS) Pop() (uint32, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.count--
+	return r.stack[r.top], true
+}
+
+// Depth returns the current occupancy.
+func (r *RAS) Depth() int { return r.count }

@@ -1,0 +1,221 @@
+package upl
+
+import "fmt"
+
+// CacheCfg sizes a set-associative cache.
+type CacheCfg struct {
+	Sets      int // number of sets (power of two)
+	Ways      int
+	LineBytes int // power of two
+	HitLat    int // cycles on hit
+	MissLat   int // additional cycles on miss (fill from next level)
+}
+
+// DefaultL1 is a 4 KiB 2-way 32 B/line L1 with 1/8-cycle hit/miss timing.
+func DefaultL1() CacheCfg { return CacheCfg{Sets: 64, Ways: 2, LineBytes: 32, HitLat: 1, MissLat: 8} }
+
+// LineState is a coherence state attached to each line; plain caches use
+// only Invalid and Valid-equivalents, the MPL coherence engines use the
+// full MSI/MESI range.
+type LineState uint8
+
+// Coherence states. Plain (non-coherent) caches use Invalid/Exclusive.
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+type cacheLine struct {
+	tag   uint32
+	state LineState
+	lru   uint64
+	dirty bool
+}
+
+// Cache is a set-associative cache timing and state model with true-LRU
+// replacement. It is deliberately a plain value type (not a module): CPU
+// stage modules and coherence engines embed it and account its latencies
+// on their own ports, mirroring how LSE components wrap shared
+// functionality.
+type Cache struct {
+	cfg   CacheCfg
+	sets  [][]cacheLine
+	clock uint64
+
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// NewCache builds a cache; cfg dimensions must be positive powers of two
+// (Ways may be any positive count).
+func NewCache(cfg CacheCfg) (*Cache, error) {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		return nil, fmt.Errorf("upl: cache sets %d not a positive power of two", cfg.Sets)
+	}
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("upl: cache line bytes %d not a positive power of two", cfg.LineBytes)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("upl: cache ways %d must be positive", cfg.Ways)
+	}
+	if cfg.HitLat <= 0 {
+		cfg.HitLat = 1
+	}
+	sets := make([][]cacheLine, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// Cfg returns the cache's configuration.
+func (c *Cache) Cfg() CacheCfg { return c.cfg }
+
+func (c *Cache) index(addr uint32) (set uint32, tag uint32) {
+	line := addr / uint32(c.cfg.LineBytes)
+	return line % uint32(c.cfg.Sets), line / uint32(c.cfg.Sets)
+}
+
+// Lookup reports the state of addr's line without touching LRU or stats.
+func (c *Cache) Lookup(addr uint32) LineState {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			return l.state
+		}
+	}
+	return Invalid
+}
+
+// AccessResult describes one cache access.
+type AccessResult struct {
+	Hit       bool
+	Latency   int    // total cycles for this access
+	Writeback bool   // a dirty victim was evicted
+	VictimAdr uint32 // line address of the victim (valid when Writeback)
+}
+
+// Access performs a read or write, updating LRU, state and statistics.
+// Misses allocate (write-allocate) and may evict a dirty victim.
+func (c *Cache) Access(addr uint32, write bool) AccessResult {
+	c.clock++
+	c.Accesses++
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		l := &lines[i]
+		if l.state != Invalid && l.tag == tag {
+			l.lru = c.clock
+			if write {
+				l.dirty = true
+				l.state = Modified
+			}
+			return AccessResult{Hit: true, Latency: c.cfg.HitLat}
+		}
+	}
+	c.Misses++
+	// Choose victim: invalid line first, else true-LRU.
+	victim := 0
+	for i := range lines {
+		if lines[i].state == Invalid {
+			victim = i
+			break
+		}
+		if lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	res := AccessResult{Latency: c.cfg.HitLat + c.cfg.MissLat}
+	v := &lines[victim]
+	if v.state != Invalid && v.dirty {
+		c.Writebacks++
+		res.Writeback = true
+		res.VictimAdr = (v.tag*uint32(c.cfg.Sets) + set) * uint32(c.cfg.LineBytes)
+	}
+	v.tag = tag
+	v.lru = c.clock
+	v.dirty = write
+	v.state = Exclusive
+	if write {
+		v.state = Modified
+	}
+	return res
+}
+
+// SetState forces the coherence state of addr's line; Invalid evicts.
+// Used by the MPL coherence engines. It reports whether the line was
+// present.
+func (c *Cache) SetState(addr uint32, s LineState) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.state != Invalid && l.tag == tag {
+			l.state = s
+			if s == Invalid {
+				l.dirty = false
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs addr's line in state s (coherence-controlled allocation),
+// returning writeback info for the victim as in Access.
+func (c *Cache) Fill(addr uint32, s LineState) AccessResult {
+	c.clock++
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	victim := 0
+	for i := range lines {
+		if lines[i].state != Invalid && lines[i].tag == tag {
+			lines[i].state = s
+			lines[i].lru = c.clock
+			return AccessResult{Hit: true, Latency: c.cfg.HitLat}
+		}
+		if lines[i].state == Invalid {
+			victim = i
+		}
+	}
+	if lines[victim].state != Invalid {
+		for i := range lines {
+			if lines[i].lru < lines[victim].lru {
+				victim = i
+			}
+		}
+	}
+	res := AccessResult{Latency: c.cfg.HitLat + c.cfg.MissLat}
+	v := &lines[victim]
+	if v.state != Invalid && v.dirty {
+		res.Writeback = true
+		res.VictimAdr = (v.tag*uint32(c.cfg.Sets) + set) * uint32(c.cfg.LineBytes)
+	}
+	*v = cacheLine{tag: tag, state: s, lru: c.clock, dirty: s == Modified}
+	return res
+}
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,21 @@
+// Package upl is the Uniprocessor Library (§3.2): branch predictors,
+// set-associative caches, and structural processor models assembled from
+// stage modules over the core handshake contract. The paper's released
+// UPL modeled IA-64 and Alpha; here the models execute LibertyRISC (lr32)
+// programs through the emulator-drives-timing path of Figure 1.
+//
+// Two processor templates are provided:
+//
+//   - InOrderCPU: a five-stage in-order pipeline (fetch, decode/hazard,
+//     execute, memory, writeback), each stage its own module instance
+//     communicating through ports.
+//   - OOOCPU: an out-of-order core whose instruction window and reorder
+//     buffer are literal pcl.Queue instances customized only through the
+//     algorithmic selection parameter — the paper's single-template reuse
+//     claim (C1) made executable.
+//
+// Timing is functional-first: the lr32 emulator executes instructions in
+// program order at fetch, producing dynamic instruction records that flow
+// through the structural pipeline; branch mispredictions and cache misses
+// charge their penalties against the timing model.
+package upl

@@ -1,0 +1,77 @@
+package upl
+
+import (
+	"fmt"
+
+	"liberty/internal/isa"
+)
+
+// DynInst is one dynamic instruction record produced by the functional
+// front end and consumed by the structural timing pipeline.
+type DynInst struct {
+	Seq    uint64 // 1-based dynamic sequence number
+	PC     uint32
+	In     isa.Inst
+	NextPC uint32
+
+	Branch  bool // conditional branch
+	Taken   bool
+	Mispred bool // front end charged a misprediction for this instruction
+
+	IsMem   bool
+	IsWrite bool
+	MemAddr uint32
+
+	// SrcSeqs are the sequence numbers of the instructions producing this
+	// instruction's register sources (0 = value available from the start).
+	// Filled by the out-of-order tracker.
+	SrcSeqs []uint64
+}
+
+func (d *DynInst) String() string {
+	return fmt.Sprintf("#%d %08x %s", d.Seq, d.PC, isa.Disassemble(d.In))
+}
+
+// Latencies gives per-class execute latencies for the timing models.
+type Latencies struct {
+	ALU, Shift, Mul, Div, Mem, Branch, Jump int
+}
+
+// DefaultLatencies models a simple integer core: single-cycle ALU,
+// 3-cycle multiply, 12-cycle unpipelined divide.
+func DefaultLatencies() Latencies {
+	return Latencies{ALU: 1, Shift: 1, Mul: 3, Div: 12, Mem: 1, Branch: 1, Jump: 1}
+}
+
+// Of returns the execute latency for an instruction.
+func (l Latencies) Of(in isa.Inst) int {
+	switch in.Op.Class() {
+	case isa.ClassALU:
+		return l.ALU
+	case isa.ClassShift:
+		return l.Shift
+	case isa.ClassMulDiv:
+		switch in.Op {
+		case isa.OpMul, isa.OpMulhu:
+			return l.Mul
+		default:
+			return l.Div
+		}
+	case isa.ClassLoad, isa.ClassStore:
+		return l.Mem
+	case isa.ClassBranch:
+		return l.Branch
+	default:
+		return l.Jump
+	}
+}
+
+// unpipelined reports whether the instruction monopolizes its functional
+// unit for its full latency (divide).
+func unpipelined(in isa.Inst) bool {
+	switch in.Op {
+	case isa.OpDiv, isa.OpDivu, isa.OpRem, isa.OpRemu:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package upl
+
+import (
+	core "liberty/internal/core"
+	"liberty/internal/isa"
+)
+
+// CPUCfg configures the structural processor templates.
+type CPUCfg struct {
+	Predictor         string // "taken", "nottaken", "bimodal", "gshare", "twolevel"
+	PredictorBits     int
+	MispredictPenalty int
+	ICache, DCache    CacheCfg
+	L2                CacheCfg // optional second-level data cache
+	UseBTB, UseRAS    bool     // indirect-target prediction in the front end
+	Lat               Latencies
+	MaxInsts          uint64
+
+	// Out-of-order only.
+	WindowSize  int // instruction window capacity (default 16)
+	ROBSize     int // reorder buffer capacity (default 32)
+	IssueWidth  int // instructions issued per cycle (default 2)
+	CommitWidth int // instructions committed per cycle (default 2)
+	FetchWidth  int // instructions fetched per cycle (default IssueWidth)
+}
+
+func (c *CPUCfg) fill() {
+	if c.Predictor == "" {
+		c.Predictor = "bimodal"
+	}
+	if c.Lat == (Latencies{}) {
+		c.Lat = DefaultLatencies()
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 16
+	}
+	if c.ROBSize <= 0 {
+		c.ROBSize = 32
+	}
+	if c.IssueWidth <= 0 {
+		c.IssueWidth = 2
+	}
+	if c.CommitWidth <= 0 {
+		c.CommitWidth = 2
+	}
+	if c.FetchWidth <= 0 {
+		c.FetchWidth = c.IssueWidth
+	}
+}
+
+// InOrderCPU is the five-stage scalar pipeline template: fetch →
+// decode/hazard → execute → memory → writeback, each stage a module
+// instance wired through ports.
+type InOrderCPU struct {
+	core.Composite
+
+	Fetch  *FetchStage
+	Decode *DecodeStage
+	Exec   *ExecStage
+	Mem    *MemStage
+	WB     *WBStage
+}
+
+// NewInOrderCPU builds the pipeline into b over a loaded program.
+func NewInOrderCPU(b *core.Builder, name string, prog *isa.Program, cfg CPUCfg) (*InOrderCPU, error) {
+	cfg.fill()
+	pred, err := NewPredictor(cfg.Predictor, cfg.PredictorBits)
+	if err != nil {
+		return nil, err
+	}
+	emu := isa.NewCPU()
+	prog.LoadInto(emu.Mem)
+	emu.Reset(prog.Entry)
+
+	c := &InOrderCPU{}
+	c.Init(name, c)
+	c.Fetch, err = NewFetchStage(core.Sub(name, "fetch"), emu, FetchCfg{
+		Width:             1,
+		Predictor:         pred,
+		MispredictPenalty: cfg.MispredictPenalty,
+		ICache:            cfg.ICache,
+		MaxInsts:          cfg.MaxInsts,
+		UseBTB:            cfg.UseBTB,
+		UseRAS:            cfg.UseRAS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Decode = NewDecodeStage(core.Sub(name, "decode"), cfg.Lat)
+	c.Exec = NewExecStage(core.Sub(name, "exec"), cfg.Lat)
+	c.Mem, err = NewMemStageL2(core.Sub(name, "mem"), cfg.DCache, cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	c.WB = NewWBStage(core.Sub(name, "wb"), nil)
+
+	for _, inst := range []core.Instance{c.Fetch, c.Decode, c.Exec, c.Mem, c.WB} {
+		b.Add(inst)
+		c.AddChild(inst)
+	}
+	if err := b.Connect(c.Fetch, "out", c.Decode, "in"); err != nil {
+		return nil, err
+	}
+	if err := b.Connect(c.Decode, "out", c.Exec, "in"); err != nil {
+		return nil, err
+	}
+	if err := b.Connect(c.Exec, "out", c.Mem, "in"); err != nil {
+		return nil, err
+	}
+	if err := b.Connect(c.Mem, "out", c.WB, "in"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Done reports whether the program has halted and the pipeline drained.
+func (c *InOrderCPU) Done() bool {
+	return c.Fetch.Done() && c.WB.Retired() == c.Fetch.Emu().Instret-c.Fetch.Skipped()
+}
+
+// Retired returns the number of committed instructions.
+func (c *InOrderCPU) Retired() uint64 { return c.WB.Retired() }
+
+// Emu exposes architectural state.
+func (c *InOrderCPU) Emu() *isa.CPU { return c.Fetch.Emu() }
+
+// IPC returns retired instructions per elapsed cycle.
+func (c *InOrderCPU) IPC(sim *core.Sim) float64 {
+	if sim.Now() == 0 {
+		return 0
+	}
+	return float64(c.WB.Retired()) / float64(sim.Now())
+}

@@ -1,0 +1,470 @@
+package upl_test
+
+import (
+	"testing"
+
+	core "liberty/internal/core"
+	"liberty/internal/isa"
+	"liberty/internal/simtest"
+	"liberty/internal/upl"
+)
+
+// --- predictors ---
+
+func accuracy(p upl.Predictor, pcs []uint32, outcomes []bool) float64 {
+	hits := 0
+	for i, pc := range pcs {
+		if p.Predict(pc) == outcomes[i] {
+			hits++
+		}
+		p.Update(pc, outcomes[i])
+	}
+	return float64(hits) / float64(len(pcs))
+}
+
+func TestBimodalLearnsBiasedBranch(t *testing.T) {
+	// Loop-closing branch: taken 99 times, not-taken once, repeated.
+	var pcs []uint32
+	var outs []bool
+	for rep := 0; rep < 10; rep++ {
+		for i := 0; i < 99; i++ {
+			pcs = append(pcs, 0x100)
+			outs = append(outs, true)
+		}
+		pcs = append(pcs, 0x100)
+		outs = append(outs, false)
+	}
+	if acc := accuracy(upl.NewBimodal(10), pcs, outs); acc < 0.95 {
+		t.Fatalf("bimodal accuracy %.3f on biased branch, want >= 0.95", acc)
+	}
+}
+
+func TestTwoLevelBeatsBimodalOnAlternating(t *testing.T) {
+	var pcs []uint32
+	var outs []bool
+	for i := 0; i < 2000; i++ {
+		pcs = append(pcs, 0x200)
+		outs = append(outs, i%2 == 0) // T N T N ...
+	}
+	bi := accuracy(upl.NewBimodal(10), pcs, outs)
+	tl := accuracy(upl.NewTwoLevel(10), pcs, outs)
+	if tl < 0.95 {
+		t.Fatalf("two-level accuracy %.3f on alternating branch, want >= 0.95", tl)
+	}
+	if tl <= bi {
+		t.Fatalf("two-level (%.3f) should beat bimodal (%.3f) on alternating pattern", tl, bi)
+	}
+}
+
+func TestGShareLearnsCorrelation(t *testing.T) {
+	// Branch B is taken iff branch A was taken; A alternates.
+	var pcs []uint32
+	var outs []bool
+	a := false
+	for i := 0; i < 3000; i++ {
+		a = !a
+		pcs = append(pcs, 0x300, 0x400)
+		outs = append(outs, a, a)
+	}
+	if acc := accuracy(upl.NewGShare(12), pcs, outs); acc < 0.9 {
+		t.Fatalf("gshare accuracy %.3f on correlated branches, want >= 0.9", acc)
+	}
+}
+
+func TestPredictorFactory(t *testing.T) {
+	for _, kind := range []string{"taken", "nottaken", "bimodal", "gshare", "twolevel"} {
+		if _, err := upl.NewPredictor(kind, 8); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if _, err := upl.NewPredictor("oracle", 8); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+}
+
+// --- cache ---
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := upl.NewCache(upl.CacheCfg{Sets: 1, Ways: 2, LineBytes: 16, HitLat: 1, MissLat: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill both ways: A, B. Touch A. Insert C -> evicts B (LRU).
+	c.Access(0x000, false) // A
+	c.Access(0x010, false) // B
+	c.Access(0x000, false) // touch A
+	c.Access(0x020, false) // C evicts B
+	if c.Lookup(0x000) == upl.Invalid {
+		t.Fatal("A should survive (recently used)")
+	}
+	if c.Lookup(0x010) != upl.Invalid {
+		t.Fatal("B should have been evicted (LRU)")
+	}
+	if c.Lookup(0x020) == upl.Invalid {
+		t.Fatal("C should be resident")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c, err := upl.NewCache(upl.CacheCfg{Sets: 1, Ways: 1, LineBytes: 16, HitLat: 1, MissLat: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0x00, true) // dirty A
+	res := c.Access(0x10, false)
+	if !res.Writeback || res.VictimAdr != 0x00 {
+		t.Fatalf("expected writeback of line 0x00, got %+v", res)
+	}
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks)
+	}
+	// Clean eviction: no writeback.
+	res = c.Access(0x20, false)
+	if res.Writeback {
+		t.Fatal("clean eviction should not write back")
+	}
+}
+
+func TestCacheHitAndMissLatency(t *testing.T) {
+	c, _ := upl.NewCache(upl.CacheCfg{Sets: 4, Ways: 1, LineBytes: 16, HitLat: 2, MissLat: 9})
+	if res := c.Access(0x40, false); res.Hit || res.Latency != 11 {
+		t.Fatalf("first access: %+v, want miss with latency 11", res)
+	}
+	if res := c.Access(0x44, false); !res.Hit || res.Latency != 2 {
+		t.Fatalf("same-line access: %+v, want hit with latency 2", res)
+	}
+	if r := c.MissRate(); r != 0.5 {
+		t.Fatalf("miss rate %.2f, want 0.5", r)
+	}
+}
+
+func TestCacheRejectsBadGeometry(t *testing.T) {
+	for _, cfg := range []upl.CacheCfg{
+		{Sets: 3, Ways: 1, LineBytes: 16},
+		{Sets: 4, Ways: 0, LineBytes: 16},
+		{Sets: 4, Ways: 1, LineBytes: 24},
+	} {
+		if _, err := upl.NewCache(cfg); err == nil {
+			t.Errorf("accepted bad geometry %+v", cfg)
+		}
+	}
+}
+
+// --- structural pipelines ---
+
+func runInOrder(t *testing.T, src string, cfg upl.CPUCfg, maxCycles uint64) (*upl.InOrderCPU, *core.Sim) {
+	t.Helper()
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewBuilder()
+	cpu, err := upl.NewInOrderCPU(b, "cpu", prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simtest.Build(t, b)
+	done, err := sim.RunUntil(func(*core.Sim) bool { return cpu.Done() }, maxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatalf("pipeline did not finish in %d cycles (retired %d of %d)",
+			maxCycles, cpu.Retired(), cpu.Emu().Instret)
+	}
+	if err := cpu.Fetch.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return cpu, sim
+}
+
+func runOOO(t *testing.T, src string, cfg upl.CPUCfg, maxCycles uint64) (*upl.OOOCPU, *core.Sim) {
+	t.Helper()
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewBuilder()
+	cpu, err := upl.NewOOOCPU(b, "cpu", prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simtest.Build(t, b)
+	done, err := sim.RunUntil(func(*core.Sim) bool { return cpu.Done() }, maxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatalf("OOO core did not finish in %d cycles (retired %d of %d)",
+			maxCycles, cpu.Retired(), cpu.Emu().Instret)
+	}
+	return cpu, sim
+}
+
+func TestInOrderRunsFibCorrectly(t *testing.T) {
+	cpu, sim := runInOrder(t, isa.ProgFib, upl.CPUCfg{}, 20000)
+	if v := cpu.Emu().R[isa.RegV0]; v != 55 {
+		t.Fatalf("fib(10) = %d, want 55 (timing model corrupted architecture?)", v)
+	}
+	ipc := cpu.IPC(sim)
+	if ipc <= 0 || ipc > 1.0 {
+		t.Fatalf("scalar in-order IPC = %.3f, want (0, 1]", ipc)
+	}
+}
+
+func TestInOrderHazardStallsCounted(t *testing.T) {
+	_, sim := runInOrder(t, isa.ProgHazards, upl.CPUCfg{}, 20000)
+	if sim.Stats().CounterValue("cpu/decode.hazard_stalls") == 0 {
+		t.Fatal("ProgHazards should cause load-use or muldiv stalls")
+	}
+}
+
+func TestInOrderPredictorMatters(t *testing.T) {
+	// A tight loop's closing branch is almost always taken: a bimodal
+	// predictor should beat static not-taken.
+	_, simNT := runInOrder(t, isa.ProgSum, upl.CPUCfg{Predictor: "nottaken"}, 50000)
+	_, simBi := runInOrder(t, isa.ProgSum, upl.CPUCfg{Predictor: "bimodal"}, 50000)
+	if simBi.Now() >= simNT.Now() {
+		t.Fatalf("bimodal (%d cycles) should beat static not-taken (%d cycles)",
+			simBi.Now(), simNT.Now())
+	}
+}
+
+func TestInOrderDCacheMissesSlowExecution(t *testing.T) {
+	fast := upl.CPUCfg{DCache: upl.CacheCfg{Sets: 64, Ways: 2, LineBytes: 32, HitLat: 1, MissLat: 2}}
+	slow := upl.CPUCfg{DCache: upl.CacheCfg{Sets: 1, Ways: 1, LineBytes: 4, HitLat: 1, MissLat: 40}}
+	_, simFast := runInOrder(t, isa.ProgSum, fast, 100000)
+	_, simSlow := runInOrder(t, isa.ProgSum, slow, 100000)
+	if simSlow.Now() <= simFast.Now() {
+		t.Fatalf("thrashing dcache (%d cycles) should be slower than big one (%d)",
+			simSlow.Now(), simFast.Now())
+	}
+}
+
+func TestOOORunsCorrectly(t *testing.T) {
+	cpu, _ := runOOO(t, isa.ProgHazards, upl.CPUCfg{}, 20000)
+	if v := cpu.Emu().R[isa.RegV0]; v != 3969 {
+		t.Fatalf("checksum = %d, want 3969", v)
+	}
+	if cpu.Retired() != cpu.Emu().Instret {
+		t.Fatalf("retired %d of %d", cpu.Retired(), cpu.Emu().Instret)
+	}
+}
+
+// ilpProg has abundant instruction-level parallelism: eight independent
+// accumulator chains.
+const ilpProg = `
+main:   li   t0, 0
+        li   t1, 0
+        li   t2, 0
+        li   t3, 0
+        li   t4, 0
+        li   t5, 0
+        li   t6, 0
+        li   t7, 0
+        li   s0, 200
+loop:   addi t0, t0, 1
+        addi t1, t1, 2
+        addi t2, t2, 3
+        addi t3, t3, 4
+        addi t4, t4, 5
+        addi t5, t5, 6
+        addi t6, t6, 7
+        addi t7, t7, 8
+        addi s0, s0, -1
+        bgtz s0, loop
+        add  v0, t0, t1
+        halt
+`
+
+func TestOOOBeatsInOrderOnILP(t *testing.T) {
+	inCfg := upl.CPUCfg{Predictor: "bimodal"}
+	oooCfg := upl.CPUCfg{Predictor: "bimodal", IssueWidth: 4, FetchWidth: 4, CommitWidth: 4}
+	inCPU, inSim := runInOrder(t, ilpProg, inCfg, 100000)
+	oooCPU, oooSim := runOOO(t, ilpProg, oooCfg, 100000)
+	inIPC := inCPU.IPC(inSim)
+	oooIPC := oooCPU.IPC(oooSim)
+	if oooIPC <= inIPC {
+		t.Fatalf("OOO IPC %.3f should beat in-order IPC %.3f on ILP-rich code", oooIPC, inIPC)
+	}
+	if oooIPC <= 1.0 {
+		t.Fatalf("4-wide OOO should exceed IPC 1 on independent chains, got %.3f", oooIPC)
+	}
+}
+
+func TestOOOWindowSizeAblation(t *testing.T) {
+	small := upl.CPUCfg{WindowSize: 2, ROBSize: 4, IssueWidth: 4, FetchWidth: 4, CommitWidth: 4}
+	large := upl.CPUCfg{WindowSize: 32, ROBSize: 64, IssueWidth: 4, FetchWidth: 4, CommitWidth: 4}
+	sCPU, sSim := runOOO(t, ilpProg, small, 100000)
+	lCPU, lSim := runOOO(t, ilpProg, large, 100000)
+	if lCPU.IPC(lSim) < sCPU.IPC(sSim) {
+		t.Fatalf("larger window IPC %.3f should not trail smaller window %.3f",
+			lCPU.IPC(lSim), sCPU.IPC(sSim))
+	}
+}
+
+func TestOOOInOrderCommit(t *testing.T) {
+	// The WB stage panics (surfacing as a step error) on out-of-order
+	// retirement, so a clean run proves commit order.
+	runOOO(t, isa.ProgSort, upl.CPUCfg{IssueWidth: 2, FetchWidth: 2}, 200000)
+}
+
+func TestPipelinesAreDeterministic(t *testing.T) {
+	c1, s1 := runInOrder(t, isa.ProgFib, upl.CPUCfg{}, 20000)
+	c2, s2 := runInOrder(t, isa.ProgFib, upl.CPUCfg{}, 20000)
+	if s1.Now() != s2.Now() || c1.Retired() != c2.Retired() {
+		t.Fatalf("in-order runs differ: %d/%d vs %d/%d cycles/retired",
+			s1.Now(), c1.Retired(), s2.Now(), c2.Retired())
+	}
+	o1, os1 := runOOO(t, isa.ProgCall, upl.CPUCfg{}, 200000)
+	o2, os2 := runOOO(t, isa.ProgCall, upl.CPUCfg{}, 200000)
+	if os1.Now() != os2.Now() || o1.Retired() != o2.Retired() {
+		t.Fatal("OOO runs differ")
+	}
+}
+
+func TestRASAcceleratesReturns(t *testing.T) {
+	// Recursive calls make jr-ra hot: the RAS should remove most of the
+	// indirect-redirect penalty.
+	_, simNoRAS := runInOrder(t, isa.ProgCall, upl.CPUCfg{}, 200000)
+	_, simRAS := runInOrder(t, isa.ProgCall, upl.CPUCfg{UseRAS: true}, 200000)
+	if simRAS.Now() >= simNoRAS.Now() {
+		t.Fatalf("RAS (%d cycles) should beat no-RAS (%d cycles) on recursive code",
+			simRAS.Now(), simNoRAS.Now())
+	}
+}
+
+func TestBTBAcceleratesRepeatedIndirects(t *testing.T) {
+	// A loop dispatching through the same register target repeatedly.
+	src := `
+main:   la   t9, body
+        li   t0, 60
+loop:   jalr t8, t9          # indirect call, same target each time
+        addi t0, t0, -1
+        bgtz t0, loop
+        halt
+body:   jr   t8
+`
+	_, simNo := runInOrder(t, src, upl.CPUCfg{}, 200000)
+	_, simBTB := runInOrder(t, src, upl.CPUCfg{UseBTB: true, UseRAS: true}, 200000)
+	if simBTB.Now() >= simNo.Now() {
+		t.Fatalf("BTB (%d cycles) should beat no-BTB (%d cycles) on repeated indirects",
+			simBTB.Now(), simNo.Now())
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := upl.NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // evicts 1
+	if v, ok := r.Pop(); !ok || v != 3 {
+		t.Fatalf("pop = %d,%v want 3", v, ok)
+	}
+	if v, ok := r.Pop(); !ok || v != 2 {
+		t.Fatalf("pop = %d,%v want 2", v, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("stack should be empty (1 was evicted)")
+	}
+}
+
+func TestTwoLevelHierarchyHelpsThrashingL1(t *testing.T) {
+	// A tiny L1 thrashes on ProgSum's array; a big L2 behind it should
+	// recover most of the loss versus going straight to memory.
+	tinyL1 := upl.CacheCfg{Sets: 1, Ways: 1, LineBytes: 8, HitLat: 1, MissLat: 40}
+	withL2 := upl.CPUCfg{
+		DCache: upl.CacheCfg{Sets: 1, Ways: 1, LineBytes: 8, HitLat: 1, MissLat: 40},
+		L2:     upl.CacheCfg{Sets: 64, Ways: 4, LineBytes: 32, HitLat: 4, MissLat: 40},
+	}
+	_, simNoL2 := runInOrder(t, isa.ProgSum, upl.CPUCfg{DCache: tinyL1}, 200000)
+	cpu, simL2 := runInOrder(t, isa.ProgSum, withL2, 200000)
+	if simL2.Now() >= simNoL2.Now() {
+		t.Fatalf("L2 (%d cycles) should beat memory-only (%d cycles)", simL2.Now(), simNoL2.Now())
+	}
+	if cpu.Mem.L2() == nil || cpu.Mem.L2().Accesses == 0 {
+		t.Fatal("L2 saw no traffic")
+	}
+}
+
+func TestSampledSimulationApproximatesFullDetail(t *testing.T) {
+	prog, err := isa.Assemble(isa.ProgLong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-detail reference.
+	bFull := core.NewBuilder()
+	full, err := upl.NewInOrderCPU(bFull, "cpu", prog, upl.CPUCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simFull := simtest.Build(t, bFull)
+	ok, err := simFull.RunUntil(func(*core.Sim) bool { return full.Done() }, 5_000_000)
+	if err != nil || !ok {
+		t.Fatalf("full run: ok=%v err=%v", ok, err)
+	}
+	fullCycles := simFull.Now()
+
+	// Sampled run: 10% detail.
+	bS := core.NewBuilder()
+	cpu, err := upl.NewInOrderCPU(bS, "cpu", prog, upl.CPUCfg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simS := simtest.Build(t, bS)
+	res, err := upl.RunSampled(simS, cpu, upl.SampleCfg{DetailInsts: 300, SkipInsts: 2700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cpu.Done() {
+		t.Fatalf("sampled run incomplete: retired=%d skipped=%d", res.Retired, res.Skipped)
+	}
+	// Architectural correctness is untouched by sampling.
+	if full.Emu().R[isa.RegV0] != cpu.Emu().R[isa.RegV0] {
+		t.Fatalf("sampling changed architecture: %d vs %d",
+			full.Emu().R[isa.RegV0], cpu.Emu().R[isa.RegV0])
+	}
+	// Detail share near the configured 10%.
+	if res.DetailedShare > 0.25 {
+		t.Fatalf("detailed share %.2f, want ~0.1 (speedup lost)", res.DetailedShare)
+	}
+	// The cycle estimate lands within 15% of ground truth on this
+	// phase-uniform workload.
+	ratio := float64(res.EstCycles) / float64(fullCycles)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("sampled estimate %d vs full %d cycles (ratio %.3f) outside 15%%",
+			res.EstCycles, fullCycles, ratio)
+	}
+}
+
+// loadParallelProg issues eight independent loads per iteration: with
+// loads only ordered against stores, the OOO core overlaps their cache
+// latencies.
+const loadParallelProg = `
+main:   la   s1, buf
+        li   s0, 100
+loop:   lw   t0, 0(s1)
+        lw   t1, 4(s1)
+        lw   t2, 8(s1)
+        lw   t3, 12(s1)
+        lw   t4, 16(s1)
+        lw   t5, 20(s1)
+        lw   t6, 24(s1)
+        lw   t7, 28(s1)
+        addi s0, s0, -1
+        bgtz s0, loop
+        add  v0, t0, t7
+        halt
+        .data
+buf:    .space 64
+`
+
+func TestOOOOverlapsIndependentLoads(t *testing.T) {
+	cfg := upl.CPUCfg{IssueWidth: 4, FetchWidth: 4, CommitWidth: 4, WindowSize: 32, ROBSize: 64}
+	inCPU, inSim := runInOrder(t, loadParallelProg, upl.CPUCfg{}, 500000)
+	oooCPU, oooSim := runOOO(t, loadParallelProg, cfg, 500000)
+	if oooCPU.IPC(oooSim) <= inCPU.IPC(inSim)*1.3 {
+		t.Fatalf("OOO should exploit load-level parallelism: in-order IPC %.3f vs OOO %.3f",
+			inCPU.IPC(inSim), oooCPU.IPC(oooSim))
+	}
+}

@@ -1,0 +1,150 @@
+// Package lse is the public surface of the Liberty Simulation
+// Environment: the structural, composable modeling engine (signals,
+// ports, module templates, the reactive scheduler), the template registry
+// the component libraries publish into, and the LSS specification
+// language front end.
+//
+// Quickstart (Go API):
+//
+//	b := lse.NewBuilder()
+//	src, _ := b.Instantiate("pcl.source", "src", lse.Params{"count": 100})
+//	q, _ := b.Instantiate("pcl.queue", "q", lse.Params{"capacity": 4})
+//	snk, _ := b.Instantiate("pcl.sink", "snk", nil)
+//	b.Connect(src, "out", q, "in")
+//	b.Connect(q, "out", snk, "in")
+//	sim, _ := b.Build()
+//	sim.Run(1000)
+//	sim.Stats().Dump(os.Stdout)
+//
+// Quickstart (LSS):
+//
+//	sim, _ := lse.BuildLSS(`
+//	    instance src : pcl.source(count = 100);
+//	    instance q   : pcl.queue(capacity = 4);
+//	    instance snk : pcl.sink();
+//	    src.out -> q.in;
+//	    q.out -> snk.in;
+//	`, nil)
+//
+// The component libraries (pcl, upl, ccl, mpl, nilib) register their
+// templates into DefaultRegistry from their init functions; importing
+// them (directly or via this package) makes their templates available to
+// both APIs.
+package lse
+
+import (
+	"io"
+
+	core "liberty/internal/core"
+	"liberty/internal/lss"
+
+	// The component libraries register their templates on import.
+	_ "liberty/internal/ccl"
+	_ "liberty/internal/pcl"
+)
+
+// Engine types, re-exported.
+type (
+	// Builder assembles netlists and constructs simulators.
+	Builder = core.Builder
+	// Sim is an executable simulator.
+	Sim = core.Sim
+	// Instance is a module instance.
+	Instance = core.Instance
+	// Base is embedded by every module implementation.
+	Base = core.Base
+	// Composite is a hierarchical instance built from sub-instances.
+	Composite = core.Composite
+	// Port is a named bundle of 3-signal connections.
+	Port = core.Port
+	// PortOpts customizes port arity and default control.
+	PortOpts = core.PortOpts
+	// ControlFn overrides default handshake resolution.
+	ControlFn = core.ControlFn
+	// Conn is one connection (data/enable/ack signal triple).
+	Conn = core.Conn
+	// Status is a signal resolution state.
+	Status = core.Status
+	// SigKind identifies one of a connection's three signals.
+	SigKind = core.SigKind
+	// Params carries template customization values.
+	Params = core.Params
+	// Template is a registered, reusable module description.
+	Template = core.Template
+	// Registry maps template names to templates.
+	Registry = core.Registry
+	// Tracer observes engine activity.
+	Tracer = core.Tracer
+	// TextTracer writes a readable signal trace.
+	TextTracer = core.TextTracer
+	// StatSet is the simulator's statistics collection.
+	StatSet = core.StatSet
+	// Counter is a statistics counter.
+	Counter = core.Counter
+	// Histogram is a statistics histogram.
+	Histogram = core.Histogram
+	// ContractError reports a communication-contract violation.
+	ContractError = core.ContractError
+	// BuildError reports a netlist assembly problem.
+	BuildError = core.BuildError
+	// ParamError reports a missing or ill-typed parameter.
+	ParamError = core.ParamError
+)
+
+// Signal status values.
+const (
+	Unknown = core.Unknown
+	No      = core.No
+	Yes     = core.Yes
+)
+
+// Port directions.
+const (
+	In  = core.In
+	Out = core.Out
+)
+
+// Signal kinds.
+const (
+	SigData   = core.SigData
+	SigEnable = core.SigEnable
+	SigAck    = core.SigAck
+)
+
+// NewBuilder returns a netlist builder over DefaultRegistry.
+func NewBuilder() *Builder { return core.NewBuilder() }
+
+// NewRegistry returns an empty template registry.
+func NewRegistry() *Registry { return core.NewRegistry() }
+
+// DefaultRegistry is the process-wide template registry.
+var DefaultRegistry = core.DefaultRegistry
+
+// Register adds a template to DefaultRegistry.
+func Register(t *Template) { core.Register(t) }
+
+// RegisterFn publishes a named algorithmic-parameter function for use
+// from textual specifications.
+func RegisterFn(name string, fn any) { core.RegisterFn(name, fn) }
+
+// Sub composes a hierarchical child-instance name.
+func Sub(parent, child string) string { return core.Sub(parent, child) }
+
+// PortOf returns an instance's named port, following composite exports.
+func PortOf(inst Instance, name string) (*Port, error) { return core.PortOf(inst, name) }
+
+// BuildLSS parses and elaborates an LSS specification onto b (a fresh
+// builder when nil) and constructs the simulator — the full Figure 1
+// pipeline in one call.
+func BuildLSS(src string, b *Builder) (*Sim, error) { return lss.Build(src, b) }
+
+// ParseLSS parses a specification without elaborating it.
+func ParseLSS(src string) (*lss.File, error) { return lss.Parse(src) }
+
+// WriteDot renders a simulator's netlist as a Graphviz digraph for
+// structural visualization.
+func WriteDot(w io.Writer, s *Sim) { core.WriteDot(w, s) }
+
+// NewVCDTracer returns a tracer writing a VCD waveform of every
+// connection's handshake signals (sequential scheduler only).
+func NewVCDTracer(w io.Writer) *core.VCDTracer { return core.NewVCDTracer(w) }

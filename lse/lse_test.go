@@ -1,0 +1,49 @@
+package lse_test
+
+import (
+	"strings"
+	"testing"
+
+	"liberty/lse"
+)
+
+// TestFacadeEndToEnd drives the whole public surface: registry-based
+// instantiation, LSS construction, custom templates, algorithmic
+// function registration, stats, and visualization.
+func TestFacadeEndToEnd(t *testing.T) {
+	// A user-defined template registered through the facade.
+	lse.Register(&lse.Template{
+		Name: "test.doubler",
+		Doc:  "forwards its input twice... actually a pass-through for the test",
+		Build: func(b *lse.Builder, name string, p lse.Params) (lse.Instance, error) {
+			return b.Instantiate("pcl.queue", name, lse.Params{"capacity": p.Int("capacity", 2)})
+		},
+	})
+	sim, err := lse.BuildLSS(`
+		instance src : pcl.source(count = 12);
+		instance d   : test.doubler(capacity = 3);
+		instance snk : pcl.sink();
+		src.out -> d.in;
+		d.out -> snk.in;
+	`, lse.NewBuilder().SetSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Stats().CounterValue("snk.received"); got != 12 {
+		t.Fatalf("received %d, want 12", got)
+	}
+	var dot strings.Builder
+	lse.WriteDot(&dot, sim)
+	if !strings.Contains(dot.String(), "digraph liberty") {
+		t.Fatal("WriteDot produced no graph")
+	}
+	if _, err := lse.ParseLSS("instance a : pcl.sink();"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lse.PortOf(sim.Instance("snk"), "in"); err != nil {
+		t.Fatal(err)
+	}
+}
