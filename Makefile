@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: full gate — vet, build, and the test suite under the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

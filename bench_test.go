@@ -13,6 +13,7 @@ import (
 	core "liberty/internal/core"
 	"liberty/internal/isa"
 	"liberty/internal/mono"
+	"liberty/internal/obs"
 	"liberty/internal/pcl"
 	"liberty/internal/systems"
 	"liberty/internal/upl"
@@ -36,7 +37,7 @@ func BenchmarkFig1ConstructSimulator(b *testing.B) {
 		b.Run(spec, func(b *testing.B) {
 			var instances int
 			for i := 0; i < b.N; i++ {
-				sim, err := lse.BuildLSS(src, lse.NewBuilder())
+				sim, err := lse.LoadLSS(src)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -621,5 +622,36 @@ func BenchmarkA5SampledSimulation(b *testing.B) {
 		}
 		b.ReportMetric(float64(res.EstCycles), "simcycles")
 		b.ReportMetric(res.DetailedShare, "detail_share")
+	})
+}
+
+// BenchmarkObsOverhead quantifies the cost of the observability layer on
+// the structural in-order pipeline from C4: "off" is the baseline every
+// other benchmark pays (one nil check per scheduler event), "metrics"
+// adds the atomic scheduler counters and sampled react timing, "events"
+// additionally streams every resolution through a filtered ring tracer.
+// Acceptance: off stays within 2% of the pre-observability engine.
+func BenchmarkObsOverhead(b *testing.B) {
+	prog := isa.MustAssemble(isa.ProgSum)
+	run := func(b *testing.B, opts ...core.BuildOption) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			bld := core.NewBuilder(opts...)
+			cpu, err := upl.NewInOrderCPU(bld, "cpu", prog, upl.CPUCfg{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := bld.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			runToDone(b, sim, cpu.Done, 1_000_000)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("metrics", func(b *testing.B) { run(b, core.WithMetrics()) })
+	b.Run("events", func(b *testing.B) {
+		run(b, core.WithMetrics(),
+			core.WithTracer(obs.NewEventTracer(4096).FilterInstances("cpu.*")))
 	})
 }

@@ -10,11 +10,18 @@
 //
 // Flags:
 //
-//	-cycles N     cycles to simulate (default 1000)
-//	-seed N       deterministic random seed (default 0)
-//	-workers N    scheduler workers; >1 selects the parallel scheduler
-//	-trace        dump the signal trace to stderr
-//	-templates    list registered module templates and exit
+//	-cycles N      cycles to simulate (default 1000)
+//	-seed N        deterministic random seed (default 0)
+//	-workers N     scheduler workers; >1 selects the parallel scheduler
+//	-trace         dump the signal trace to stderr
+//	-profile       collect scheduler metrics; print a hot-module report
+//	-stats-json    emit the statistics snapshot as JSON on stdout
+//	-stats-csv F   write the statistics snapshot as CSV to file F
+//	-events N      keep the last N signal events; dump them on exit
+//	-templates     list registered module templates and exit
+//
+// With -stats-json, progress chatter moves to stderr so stdout stays
+// machine-readable.
 package main
 
 import (
@@ -24,7 +31,6 @@ import (
 	"strconv"
 	"strings"
 
-	"liberty/internal/lss"
 	"liberty/lse"
 )
 
@@ -62,6 +68,10 @@ func main() {
 	dot := flag.String("dot", "", "write the netlist as a Graphviz digraph to this file")
 	vcd := flag.String("vcd", "", "write a VCD waveform of every connection to this file")
 	stats := flag.String("stats", "", "only dump statistics whose names start with this prefix")
+	statsJSON := flag.Bool("stats-json", false, "emit the statistics snapshot as JSON on stdout")
+	statsCSV := flag.String("stats-csv", "", "write the statistics snapshot as CSV to this file")
+	profile := flag.Bool("profile", false, "collect scheduler metrics and print a hot-module report to stderr")
+	events := flag.Int("events", 0, "keep the last N signal events and dump them to stderr on exit")
 	defs := defines{}
 	flag.Var(defs, "D", "override a top-level let binding: -D name=value (repeatable)")
 	listTemplates := flag.Bool("templates", false, "list registered module templates and exit")
@@ -83,42 +93,91 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	b := lse.NewBuilder().SetSeed(*seed).SetWorkers(*workers)
-	if *trace {
-		b.SetTracer(&lse.TextTracer{W: os.Stderr})
+
+	info := os.Stdout
+	if *statsJSON {
+		info = os.Stderr // keep stdout pure JSON
 	}
-	var vcdFile *os.File
+	opts := []lse.BuildOption{lse.WithSeed(*seed), lse.WithWorkers(*workers)}
+	if *trace {
+		opts = append(opts, lse.WithTracer(&lse.TextTracer{W: os.Stderr}))
+	}
 	if *vcd != "" {
-		var err error
-		vcdFile, err = os.Create(*vcd)
+		vcdFile, err := os.Create(*vcd)
 		if err != nil {
 			fatal(err)
 		}
 		defer vcdFile.Close()
-		b.SetTracer(lse.NewVCDTracer(vcdFile))
+		opts = append(opts, lse.WithTracer(lse.NewVCDTracer(vcdFile)))
 	}
-	sim, err := lss.BuildWith(string(src), b, defs)
+	var ev *lse.EventTracer
+	if *events > 0 {
+		ev = lse.NewEventTracer(*events)
+	}
+	if *profile || ev != nil {
+		opts = append(opts, lse.WithObserver(&lse.Observer{Metrics: *profile, Events: ev}))
+	}
+	sim, err := lse.LoadLSSWith(string(src), defs, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("constructed simulator: %d instances, %d connections\n",
+	fmt.Fprintf(info, "constructed simulator: %d instances, %d connections\n",
 		len(sim.Instances()), len(sim.Conns()))
 	if *dot != "" {
 		f, err := os.Create(*dot)
 		if err != nil {
 			fatal(err)
 		}
-		lse.WriteDot(f, sim)
+		if err := lse.WriteDot(f, sim); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *dot, err))
+		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote netlist graph to %s\n", *dot)
+		fmt.Fprintf(info, "wrote netlist graph to %s\n", *dot)
 	}
-	if err := sim.Run(*cycles); err != nil {
-		fatal(err)
+	runErr := sim.Run(*cycles)
+	if runErr != nil && ev != nil {
+		// A contract violation is exactly when the captured event tail
+		// matters; dump it before exiting.
+		fmt.Fprintf(os.Stderr, "last %d signal events before failure:\n", ev.Len())
+		ev.WriteText(os.Stderr)
 	}
-	fmt.Printf("simulated %d cycles\n\n", sim.Now())
-	sim.Stats().DumpPrefix(os.Stdout, *stats)
+	if runErr != nil {
+		fatal(runErr)
+	}
+	fmt.Fprintf(info, "simulated %d cycles\n\n", sim.Now())
+
+	switch {
+	case *statsJSON:
+		if err := lse.WriteStatsJSON(os.Stdout, sim); err != nil {
+			fatal(err)
+		}
+	default:
+		sim.Stats().DumpPrefix(os.Stdout, *stats)
+	}
+	if *statsCSV != "" {
+		f, err := os.Create(*statsCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lse.WriteStatsCSV(f, sim); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(info, "wrote statistics CSV to %s\n", *statsCSV)
+	}
+	if *profile {
+		if err := lse.WriteHotReport(os.Stderr, sim, 10); err != nil {
+			fatal(err)
+		}
+	}
+	if ev != nil && runErr == nil {
+		fmt.Fprintf(os.Stderr, "last %d signal events:\n", ev.Len())
+		ev.WriteText(os.Stderr)
+	}
 }
 
 func fatal(err error) {

@@ -7,16 +7,27 @@
 //
 //	orion [-w 8] [-h 8] [-torus] [-pattern uniform] [-size 4]
 //	      [-cycles 2000] [-rates 0.05,0.1,...] [-seed 1]
+//	      [-metrics-addr :8123]
+//
+// Sweeps are cancellable: an interrupt (Ctrl-C) stops the current point
+// on a cycle boundary and prints the points measured so far. With
+// -metrics-addr, a live JSON snapshot of the point being simulated is
+// served at /metrics (and expvar at /debug/vars) for watching long
+// characterizations progress.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"liberty/internal/ccl"
+	"liberty/internal/obs"
 )
 
 func main() {
@@ -31,6 +42,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	ratesFlag := flag.String("rates", "0.02,0.05,0.1,0.15,0.2,0.3,0.4,0.6,0.8,0.95",
 		"comma-separated offered loads (packets/node/cycle)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live JSON metrics on this HTTP address while sweeping")
 	flag.Parse()
 
 	var rates []float64
@@ -46,14 +58,35 @@ func main() {
 		W: *w, H: *h, Torus: *torus, Adaptive: *adaptive, VCs: *vcs,
 		Pattern: *pattern, Size: *size, Cycles: *cycles, Seed: *seed,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *metricsAddr != "" {
+		ms := obs.NewMetricsServer()
+		cfg.Metrics = true // the endpoint is only useful with scheduler metrics on
+		cfg.OnSim = ms.Set
+		go func() {
+			if err := ms.ListenAndServe(*metricsAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "orion: metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "orion: serving live metrics on http://%s/metrics\n", *metricsAddr)
+	}
+
 	topo := "mesh"
 	if *torus {
 		topo = "torus"
 	}
 	fmt.Printf("orion: %dx%d %s, %s traffic, %d-flit packets, %d cycles/point\n\n",
 		*w, *h, topo, *pattern, *size, *cycles)
-	pts, err := ccl.RunSweep(cfg, rates)
+	pts, err := ccl.RunSweepContext(ctx, cfg, rates)
 	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "orion: interrupted after %d of %d points\n", len(pts), len(rates))
+			ccl.PrintSweep(os.Stdout, pts)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "orion:", err)
 		os.Exit(1)
 	}

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	b := core.NewBuilder().SetSeed(42)
+	b := core.NewBuilder(core.WithSeed(42))
 	cmp, err := systems.BuildCMP(b, "cmp", systems.CMPCfg{
 		W: 4, H: 4, RefsPer: 150, SharedPct: 30, Seed: 42,
 	})

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	b := core.NewBuilder().SetSeed(3)
+	b := core.NewBuilder(core.WithSeed(3))
 	grid, err := systems.BuildCMP(b, "grid", systems.CMPCfg{
 		W: 4, H: 2, Torus: true, // 8 boards on a wraparound backplane
 		RefsPer: 120, SharedPct: 20, Seed: 3,

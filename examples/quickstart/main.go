@@ -22,7 +22,7 @@ q.out   -> snk.in;
 
 func main() {
 	// --- Go API ---
-	b := lse.NewBuilder().SetSeed(7)
+	b := lse.NewBuilder(lse.WithSeed(7))
 	src, err := b.Instantiate("pcl.source", "src", lse.Params{"rate": 0.7, "count": 100})
 	if err != nil {
 		log.Fatal(err)
@@ -48,7 +48,7 @@ func main() {
 	sim.Stats().Dump(os.Stdout)
 
 	// --- LSS ---
-	sim2, err := lse.BuildLSS(spec, lse.NewBuilder().SetSeed(7))
+	sim2, err := lse.LoadLSS(spec, lse.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -162,7 +162,7 @@ func part2() {
 		meanLat   float64
 	}
 	runWith := func(attach func(b *lse.Builder, nw *ccl.Network) (func() bool, error)) result {
-		b := lse.NewBuilder().SetSeed(123)
+		b := lse.NewBuilder(lse.WithSeed(123))
 		nw, err := ccl.BuildCrossbar(b, "net", 2, 4)
 		if err != nil {
 			log.Fatal(err)

@@ -20,7 +20,7 @@ func main() {
 		samples   = 50
 		threshold = 40
 	)
-	b := core.NewBuilder().SetSeed(11)
+	b := core.NewBuilder(core.WithSeed(11))
 	net, err := systems.BuildSensorNet(b, "sn", nodes, samples, threshold)
 	if err != nil {
 		log.Fatal(err)

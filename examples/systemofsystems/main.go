@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	b := core.NewBuilder().SetSeed(2026)
+	b := core.NewBuilder(core.WithSeed(2026))
 	sos, err := systems.BuildSoS(b, "sos", systems.SoSCfg{
 		Clusters:   3,
 		SensorsPer: 3,

@@ -378,7 +378,7 @@ func TestSpecsElaborate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim, err := lse.BuildLSS(string(src), lse.NewBuilder().SetSeed(1))
+		sim, err := lse.LoadLSS(string(src), lse.WithSeed(1))
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}

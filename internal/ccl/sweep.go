@@ -1,6 +1,7 @@
 package ccl
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,6 +23,13 @@ type SweepCfg struct {
 	Seed     int64
 	BufDepth int
 	Power    PowerParams
+
+	// Metrics enables scheduler metrics collection for each point's
+	// simulator, and OnSim, when set, receives each simulator right
+	// after construction — the hook a live metrics endpoint uses to
+	// follow a sweep from point to point.
+	Metrics bool
+	OnSim   func(*core.Sim)
 }
 
 func (c *SweepCfg) fill() {
@@ -80,8 +88,18 @@ func patternByName(name string, nodes int) (PatternFn, error) {
 
 // MeasurePoint runs one operating point and returns its measurements.
 func MeasurePoint(cfg SweepCfg, rate float64) (SweepPoint, error) {
+	return MeasurePointContext(context.Background(), cfg, rate)
+}
+
+// MeasurePointContext is MeasurePoint with cancellation: the run stops
+// with ctx.Err() on a cycle boundary when ctx is cancelled.
+func MeasurePointContext(ctx context.Context, cfg SweepCfg, rate float64) (SweepPoint, error) {
 	cfg.fill()
-	b := core.NewBuilder().SetSeed(cfg.Seed)
+	opts := []core.BuildOption{core.WithSeed(cfg.Seed)}
+	if cfg.Metrics {
+		opts = append(opts, core.WithMetrics())
+	}
+	b := core.NewBuilder(opts...)
 	nw, err := BuildMesh(b, "net", MeshCfg{
 		W: cfg.W, H: cfg.H, Torus: cfg.Torus, BufDepth: cfg.BufDepth,
 		Adaptive: cfg.Adaptive, VCs: cfg.VCs,
@@ -120,7 +138,10 @@ func MeasurePoint(cfg SweepCfg, rate float64) (SweepPoint, error) {
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	if err := sim.Run(cfg.Warmup + cfg.Cycles); err != nil {
+	if cfg.OnSim != nil {
+		cfg.OnSim(sim)
+	}
+	if err := sim.RunContext(ctx, cfg.Warmup+cfg.Cycles); err != nil {
 		return SweepPoint{}, err
 	}
 	var received int64
@@ -150,11 +171,18 @@ func MeasurePoint(cfg SweepCfg, rate float64) (SweepPoint, error) {
 
 // RunSweep measures every rate and returns the curve.
 func RunSweep(cfg SweepCfg, rates []float64) ([]SweepPoint, error) {
+	return RunSweepContext(context.Background(), cfg, rates)
+}
+
+// RunSweepContext is RunSweep with cancellation: it stops at the first
+// point interrupted by ctx, returning the error alongside the points
+// measured so far.
+func RunSweepContext(ctx context.Context, cfg SweepCfg, rates []float64) ([]SweepPoint, error) {
 	out := make([]SweepPoint, 0, len(rates))
 	for _, r := range rates {
-		pt, err := MeasurePoint(cfg, r)
+		pt, err := MeasurePointContext(ctx, cfg, r)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		out = append(out, pt)
 	}

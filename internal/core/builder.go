@@ -15,6 +15,7 @@ type Builder struct {
 	seed      int64
 	workers   int
 	tracer    Tracer
+	metrics   bool
 	instances []Instance
 	byName    map[string]Instance
 	conns     []*Conn
@@ -23,20 +24,30 @@ type Builder struct {
 }
 
 // NewBuilder returns a Builder using DefaultRegistry, seed 0 and the
-// sequential scheduler.
-func NewBuilder() *Builder {
-	return &Builder{reg: DefaultRegistry, workers: 1, byName: make(map[string]Instance)}
+// sequential scheduler, then applies opts.
+func NewBuilder(opts ...BuildOption) *Builder {
+	b := &Builder{reg: DefaultRegistry, workers: 1, byName: make(map[string]Instance)}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
 }
 
 // SetRegistry selects the template registry used by Instantiate.
+//
+// Deprecated: pass WithRegistry to NewBuilder instead.
 func (b *Builder) SetRegistry(r *Registry) *Builder { b.reg = r; return b }
 
 // SetSeed sets the simulator's deterministic random seed.
+//
+// Deprecated: pass WithSeed to NewBuilder or Build instead.
 func (b *Builder) SetSeed(seed int64) *Builder { b.seed = seed; return b }
 
 // SetWorkers selects the number of scheduler workers. Values above one
 // enable the parallel fixed-point scheduler, which produces results
 // bit-identical to the sequential one.
+//
+// Deprecated: pass WithWorkers to NewBuilder or Build instead.
 func (b *Builder) SetWorkers(n int) *Builder {
 	if n < 1 {
 		n = 1
@@ -45,8 +56,27 @@ func (b *Builder) SetWorkers(n int) *Builder {
 	return b
 }
 
-// SetTracer attaches a Tracer to the simulator under construction.
+// SetTracer attaches a Tracer to the simulator under construction,
+// replacing any tracer attached earlier.
+//
+// Deprecated: pass WithTracer to NewBuilder or Build instead; WithTracer
+// composes with previously attached tracers rather than replacing them.
 func (b *Builder) SetTracer(t Tracer) *Builder { b.tracer = t; return b }
+
+// addTracer composes t with any tracer already attached.
+func (b *Builder) addTracer(t Tracer) {
+	if t == nil {
+		return
+	}
+	switch cur := b.tracer.(type) {
+	case nil:
+		b.tracer = t
+	case MultiTracer:
+		b.tracer = append(cur, t)
+	default:
+		b.tracer = MultiTracer{cur, t}
+	}
+}
 
 // Err returns the errors recorded so far, joined.
 func (b *Builder) Err() error { return errors.Join(b.errs...) }
@@ -135,9 +165,13 @@ func (b *Builder) ConnectPorts(sp, dp *Port) error {
 	return nil
 }
 
-// Build validates the netlist and constructs the simulator. The Builder
-// must not be reused afterwards.
-func (b *Builder) Build() (*Sim, error) {
+// Build validates the netlist and constructs the simulator, applying any
+// remaining configuration options first. The Builder must not be reused
+// afterwards.
+func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
+	for _, o := range opts {
+		o(b)
+	}
 	if b.built {
 		return nil, &BuildError{Op: "build", Where: "?", Detail: "builder already built"}
 	}
@@ -165,6 +199,9 @@ func (b *Builder) Build() (*Sim, error) {
 		byName:    b.byName,
 		conns:     b.conns,
 		stats:     newStatSet(),
+	}
+	if b.metrics {
+		s.metrics = newMetrics(s)
 	}
 	for i, inst := range s.instances {
 		inst.base().attach(s, i)

@@ -343,7 +343,7 @@ func TestTracerObservesResolutions(t *testing.T) {
 	src := newSource("src")
 	snk := newSink("snk", nil)
 	var sb strings.Builder
-	b := core.NewBuilder().SetTracer(&core.TextTracer{W: &sb})
+	b := core.NewBuilder(core.WithTracer(&core.TextTracer{W: &sb}))
 	b.Add(src)
 	b.Add(snk)
 	b.Connect(src, "out", snk, "in")

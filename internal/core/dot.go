@@ -7,16 +7,35 @@ import (
 	"strings"
 )
 
+// errWriter latches the first write error so straight-line rendering code
+// can skip per-call checks.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}
+
 // WriteDot renders the netlist as a Graphviz digraph — the structural
 // view behind the paper's "interactive system visualizer": every module
 // instance is a node, every 3-signal connection an edge labeled with its
 // port endpoints. Composite children are clustered by hierarchical name
-// prefix.
-func WriteDot(w io.Writer, s *Sim) {
-	fmt.Fprintln(w, "digraph liberty {")
-	fmt.Fprintln(w, "  rankdir=LR;")
-	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\", fontsize=10];")
-	fmt.Fprintln(w, "  edge [fontname=\"monospace\", fontsize=8];")
+// prefix. It returns the first error the writer reported.
+func WriteDot(w io.Writer, s *Sim) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "digraph liberty {")
+	fmt.Fprintln(ew, "  rankdir=LR;")
+	fmt.Fprintln(ew, "  node [shape=box, fontname=\"monospace\", fontsize=10];")
+	fmt.Fprintln(ew, "  edge [fontname=\"monospace\", fontsize=8];")
 
 	// Group instances by their first hierarchy segment.
 	groups := map[string][]Instance{}
@@ -38,21 +57,22 @@ func WriteDot(w io.Writer, s *Sim) {
 	for gi, seg := range order {
 		indent := "  "
 		if seg != "" {
-			fmt.Fprintf(w, "  subgraph cluster_%d {\n    label=%q;\n    style=rounded;\n", gi, seg)
+			fmt.Fprintf(ew, "  subgraph cluster_%d {\n    label=%q;\n    style=rounded;\n", gi, seg)
 			indent = "    "
 		}
 		for _, inst := range groups[seg] {
-			fmt.Fprintf(w, "%s%q;\n", indent, inst.Name())
+			fmt.Fprintf(ew, "%s%q;\n", indent, inst.Name())
 		}
 		if seg != "" {
-			fmt.Fprintln(w, "  }")
+			fmt.Fprintln(ew, "  }")
 		}
 	}
 	for _, c := range s.conns {
 		src := c.src.owner.name
 		dst := c.dst.owner.name
-		fmt.Fprintf(w, "  %q -> %q [label=\"%s[%d]→%s[%d]\"];\n",
+		fmt.Fprintf(ew, "  %q -> %q [label=\"%s[%d]→%s[%d]\"];\n",
 			src, dst, c.src.name, c.srcIdx, c.dst.name, c.dstIdx)
 	}
-	fmt.Fprintln(w, "}")
+	fmt.Fprintln(ew, "}")
+	return ew.err
 }

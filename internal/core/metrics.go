@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// reactSampleMask selects which react invocations are wall-clock timed:
+// per instance, invocation counts n with n&mask == 1 (the 1st, 9th, 17th,
+// ...). Sampling keeps metrics cheap enough to leave on; the estimate
+// scales the sampled time by the sampling ratio.
+const reactSampleMask = 7
+
+// Metrics aggregates scheduler-level observability counters: where each
+// cycle's work went — reactive wakes, fixed-point iterations, parallel
+// rounds, default-control fallbacks — and per-instance react activity.
+// Collection is enabled with WithMetrics (or via an observability
+// Observer); when disabled the scheduler pays a single nil check per
+// event. All counters are updated atomically, so the parallel scheduler
+// records concurrently without coordination.
+type Metrics struct {
+	cycles atomic.Uint64
+	wakes  atomic.Uint64
+	reacts atomic.Uint64
+	iters  atomic.Uint64
+	rounds atomic.Uint64
+
+	defaults [3]atomic.Uint64 // indexed by SigKind
+	breaks   [3]atomic.Uint64 // dependency-cycle breaks, by SigKind
+
+	roundSize Histogram // parallel round batch sizes
+
+	insts []InstanceMetrics // indexed by instance id
+}
+
+func newMetrics(s *Sim) *Metrics {
+	m := &Metrics{insts: make([]InstanceMetrics, len(s.instances))}
+	for i, inst := range s.instances {
+		m.insts[i].name = inst.Name()
+	}
+	return m
+}
+
+// Cycles returns the number of cycles stepped since construction.
+func (m *Metrics) Cycles() uint64 { return m.cycles.Load() }
+
+// Wakes returns the number of reactive wake-ups scheduled: how many times
+// a signal resolution (or the cycle-start broadcast) moved an instance
+// from idle to the work queue. Re-raising at an already-scheduled
+// instance does not count.
+func (m *Metrics) Wakes() uint64 { return m.wakes.Load() }
+
+// Reacts returns the total number of reactive-handler invocations.
+func (m *Metrics) Reacts() uint64 { return m.reacts.Load() }
+
+// FixedPointIters returns the number of reactive fixed-point iterations:
+// sequential drain passes that executed at least one handler, or parallel
+// barrier rounds. Default-control resolution re-runs the fixed point
+// after every applied default, so this counts how many times quiescence
+// was re-established.
+func (m *Metrics) FixedPointIters() uint64 { return m.iters.Load() }
+
+// ParallelRounds returns the number of barrier-synchronized rounds the
+// parallel scheduler ran (0 under the sequential scheduler).
+func (m *Metrics) ParallelRounds() uint64 { return m.rounds.Load() }
+
+// RoundSizes returns the histogram of parallel round batch sizes.
+func (m *Metrics) RoundSizes() *Histogram { return &m.roundSize }
+
+// DefaultFallbacks returns the number of signals of kind k resolved by
+// default control rather than by module code.
+func (m *Metrics) DefaultFallbacks(k SigKind) uint64 { return m.defaults[k].Load() }
+
+// CycleBreaks returns the number of genuine default-dependency cycles
+// broken for signal kind k. Every break is also counted as a fallback.
+func (m *Metrics) CycleBreaks(k SigKind) uint64 { return m.breaks[k].Load() }
+
+// InstanceMetrics accumulates one instance's react activity.
+type InstanceMetrics struct {
+	name    string
+	reacts  atomic.Uint64
+	sampled atomic.Uint64
+	nanos   atomic.Int64
+}
+
+// InstanceMetric is a point-in-time view of one instance's react
+// activity. ReactTime is estimated from sampled invocations.
+type InstanceMetric struct {
+	Name      string
+	Reacts    uint64
+	ReactTime time.Duration
+}
+
+func (im *InstanceMetrics) snapshot() InstanceMetric {
+	r := im.reacts.Load()
+	s := im.sampled.Load()
+	n := im.nanos.Load()
+	var est time.Duration
+	if s > 0 {
+		est = time.Duration(float64(n) * float64(r) / float64(s))
+	}
+	return InstanceMetric{Name: im.name, Reacts: r, ReactTime: est}
+}
+
+// Instances returns a snapshot of per-instance react metrics in netlist
+// assembly order.
+func (m *Metrics) Instances() []InstanceMetric {
+	out := make([]InstanceMetric, len(m.insts))
+	for i := range m.insts {
+		out[i] = m.insts[i].snapshot()
+	}
+	return out
+}

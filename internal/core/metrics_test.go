@@ -1,0 +1,309 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	core "liberty/internal/core"
+)
+
+// driver sends a datum on every out connection at cycle start and has no
+// reactive handler; default control resolves its enables (mirroring data).
+type driver struct {
+	core.Base
+	out *core.Port
+}
+
+func newDriver(name string) *driver {
+	d := &driver{}
+	d.Init(name, d)
+	d.out = d.AddOutPort("out")
+	d.OnCycleStart(func() {
+		for i := 0; i < d.out.Width(); i++ {
+			d.out.Send(i, i)
+		}
+	})
+	return d
+}
+
+// acker accepts firm data reactively and optionally reports each react
+// invocation to a shared observer.
+type acker struct {
+	core.Base
+	in      *core.Port
+	onReact func()
+}
+
+func newAcker(name string) *acker {
+	a := &acker{}
+	a.Init(name, a)
+	a.in = a.AddInPort("in")
+	a.OnReact(func() {
+		if a.onReact != nil {
+			a.onReact()
+		}
+		for i := 0; i < a.in.Width(); i++ {
+			if a.in.DataStatus(i) == core.Yes && a.in.EnableStatus(i) == core.Yes {
+				a.in.Ack(i)
+			}
+		}
+	})
+	return a
+}
+
+// deadEnd declares ports but no handlers; every one of its signals falls
+// to default control.
+type deadEnd struct {
+	core.Base
+}
+
+func newDeadEnd(name string) *deadEnd {
+	d := &deadEnd{}
+	d.Init(name, d)
+	d.AddInPort("in")
+	d.AddOutPort("out")
+	return d
+}
+
+// buildFanout assembles the golden 3-instance netlist: one driver fanning
+// out to two ackers.
+func buildFanout(t *testing.T, opts ...core.BuildOption) *core.Sim {
+	t.Helper()
+	b := core.NewBuilder(opts...)
+	drv := newDriver("drv")
+	b1 := newAcker("b1")
+	b2 := newAcker("b2")
+	b.Add(drv)
+	b.Add(b1)
+	b.Add(b2)
+	b.Connect(drv, "out", b1, "in")
+	b.Connect(drv, "out", b2, "in")
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestSchedulerMetricsGolden pins the exact per-cycle scheduler counts of
+// the known fan-out netlist, for the sequential and parallel schedulers.
+//
+// Each cycle: the driver's two Sends wake both ackers (2 wakes); the
+// react-phase broadcast finds them already scheduled; the initial fixed
+// point runs both (2 reacts, 1 iteration) but neither can ack yet (enable
+// unresolved); default control then resolves the two enables (2 enable
+// fallbacks), each re-waking and re-running one acker (2 wakes, 2 reacts,
+// 2 iterations), which acks — so the ack round has nothing left to do.
+func TestSchedulerMetricsGolden(t *testing.T) {
+	const cycles = 5
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := buildFanout(t, core.WithWorkers(tc.workers), core.WithMetrics())
+			if err := sim.Run(cycles); err != nil {
+				t.Fatal(err)
+			}
+			m := sim.Metrics()
+			if m == nil {
+				t.Fatal("metrics enabled but nil")
+			}
+			if got := m.Cycles(); got != cycles {
+				t.Errorf("cycles = %d, want %d", got, cycles)
+			}
+			if got := m.Wakes(); got != 4*cycles {
+				t.Errorf("wakes = %d, want %d", got, 4*cycles)
+			}
+			if got := m.Reacts(); got != 4*cycles {
+				t.Errorf("reacts = %d, want %d", got, 4*cycles)
+			}
+			if got := m.FixedPointIters(); got != 3*cycles {
+				t.Errorf("fixed-point iters = %d, want %d", got, 3*cycles)
+			}
+			wantDefaults := map[core.SigKind]uint64{
+				core.SigData:   0,
+				core.SigEnable: 2 * cycles,
+				core.SigAck:    0,
+			}
+			for k, want := range wantDefaults {
+				if got := m.DefaultFallbacks(k); got != want {
+					t.Errorf("default fallbacks[%s] = %d, want %d", k, got, want)
+				}
+				if got := m.CycleBreaks(k); got != 0 {
+					t.Errorf("cycle breaks[%s] = %d, want 0", k, got)
+				}
+			}
+			if tc.workers > 1 {
+				if got := m.ParallelRounds(); got != 3*cycles {
+					t.Errorf("parallel rounds = %d, want %d", got, 3*cycles)
+				}
+				if got := m.RoundSizes().Count(); got != 3*cycles {
+					t.Errorf("round size samples = %d, want %d", got, 3*cycles)
+				}
+			} else if got := m.ParallelRounds(); got != 0 {
+				t.Errorf("parallel rounds = %d, want 0 for sequential", got)
+			}
+			// Per-instance profile: each acker reacted twice per cycle,
+			// the handler-less driver never.
+			byName := map[string]core.InstanceMetric{}
+			for _, im := range m.Instances() {
+				byName[im.Name] = im
+			}
+			if got := byName["drv"].Reacts; got != 0 {
+				t.Errorf("drv reacts = %d, want 0", got)
+			}
+			for _, n := range []string{"b1", "b2"} {
+				if got := byName[n].Reacts; got != 2*cycles {
+					t.Errorf("%s reacts = %d, want %d", n, got, 2*cycles)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerMetricsCycleBreaks pins default-dependency cycle
+// accounting: two handler-less modules wired into a loop force one break
+// per signal kind per cycle, after which the second connection defaults
+// normally.
+func TestSchedulerMetricsCycleBreaks(t *testing.T) {
+	b := core.NewBuilder(core.WithMetrics())
+	x := newDeadEnd("x")
+	y := newDeadEnd("y")
+	b.Add(x)
+	b.Add(y)
+	b.Connect(x, "out", y, "in")
+	b.Connect(y, "out", x, "in")
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 3
+	if err := sim.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Metrics()
+	for _, k := range []core.SigKind{core.SigData, core.SigEnable, core.SigAck} {
+		if got := m.DefaultFallbacks(k); got != 2*cycles {
+			t.Errorf("default fallbacks[%s] = %d, want %d", k, got, 2*cycles)
+		}
+		if got := m.CycleBreaks(k); got != 1*cycles {
+			t.Errorf("cycle breaks[%s] = %d, want %d", k, got, cycles)
+		}
+	}
+	if got := m.Wakes(); got != 0 {
+		t.Errorf("wakes = %d, want 0 (no reactive handlers)", got)
+	}
+}
+
+// TestMetricsDisabledByDefault: without WithMetrics the simulator carries
+// no metrics and the run is unaffected.
+func TestMetricsDisabledByDefault(t *testing.T) {
+	sim := buildFanout(t)
+	if err := sim.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Metrics() != nil {
+		t.Fatal("metrics collected without WithMetrics")
+	}
+}
+
+// TestHistogramQuantiles checks the fixed-bucket estimates stay within
+// their bucket bounds and degenerate cases are exact.
+func TestHistogramQuantiles(t *testing.T) {
+	var h core.Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("count/min/max = %d/%v/%v", h.Count(), h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", got)
+	}
+	// The true p50 (50) lives in bucket (32, 64]; p95 (95) and p99 (99)
+	// in (64, 128] clamped to max.
+	if p := h.P50(); p < 32 || p > 64 {
+		t.Errorf("p50 = %v, want within (32, 64]", p)
+	}
+	if p := h.P95(); p < 64 || p > 100 {
+		t.Errorf("p95 = %v, want within (64, 100]", p)
+	}
+	if p := h.P99(); p < 64 || p > 100 {
+		t.Errorf("p99 = %v, want within (64, 100]", p)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want min", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("q1 = %v, want max", got)
+	}
+
+	// A single sample collapses every quantile to it exactly.
+	var one core.Histogram
+	one.Observe(5)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := one.Quantile(q); got != 5 {
+			t.Errorf("single-sample q%v = %v, want 5", q, got)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve exercises Observe from react handlers
+// running under the parallel scheduler — the data race the old
+// implementation had. Run with -race to enforce the safety claim.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var shared core.Histogram
+	b := core.NewBuilder(core.WithWorkers(8))
+	drv := newDriver("drv")
+	b.Add(drv)
+	const fanout = 8
+	for i := 0; i < fanout; i++ {
+		a := newAcker(string(rune('a' + i)))
+		v := float64(i)
+		a.onReact = func() { shared.Observe(v) }
+		b.Add(a)
+		b.Connect(drv, "out", a, "in")
+	}
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 50
+	if err := sim.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	// Every acker reacts at least twice per cycle (initial fixed point +
+	// enable default), so the histogram saw all of them.
+	if got := shared.Count(); got < 2*fanout*cycles {
+		t.Fatalf("observed %d samples, want >= %d", got, 2*fanout*cycles)
+	}
+}
+
+// TestRunContextCancel: a cancelled context stops the run on a cycle
+// boundary and surfaces ctx.Err().
+func TestRunContextCancel(t *testing.T) {
+	sim := buildFanout(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sim.RunContext(ctx, 100); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if sim.Now() != 0 {
+		t.Fatalf("cancelled before first cycle but Now() = %d", sim.Now())
+	}
+	ok, err := sim.RunUntilContext(ctx, func(*core.Sim) bool { return false }, 100)
+	if ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunUntilContext = %v/%v, want false/context.Canceled", ok, err)
+	}
+	if err := sim.RunContext(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Now() != 4 {
+		t.Fatalf("Now() = %d, want 4", sim.Now())
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+// BuildOption configures the simulator under construction. Options are
+// accepted by NewBuilder and by Build; the last option to touch a setting
+// wins, except WithTracer, which composes.
+type BuildOption func(*Builder)
+
+// WithSeed sets the simulator's deterministic random seed.
+func WithSeed(seed int64) BuildOption {
+	return func(b *Builder) { b.seed = seed }
+}
+
+// WithWorkers selects the number of scheduler workers. Values above one
+// enable the parallel fixed-point scheduler, which produces results
+// bit-identical to the sequential one; values below one are clamped.
+func WithWorkers(n int) BuildOption {
+	return func(b *Builder) {
+		if n < 1 {
+			n = 1
+		}
+		b.workers = n
+	}
+}
+
+// WithTracer attaches a Tracer to the simulator under construction.
+// Unlike the deprecated SetTracer, repeated WithTracer options compose:
+// every attached tracer observes every event.
+func WithTracer(t Tracer) BuildOption {
+	return func(b *Builder) { b.addTracer(t) }
+}
+
+// WithRegistry selects the template registry used by Instantiate. Only
+// meaningful as a NewBuilder option — by Build time all instantiation has
+// already happened.
+func WithRegistry(r *Registry) BuildOption {
+	return func(b *Builder) { b.reg = r }
+}
+
+// WithMetrics enables scheduler metrics collection (see Metrics). The
+// instrumented counters are cheap enough to leave on for production
+// sweeps; when the option is absent, Sim.Metrics returns nil and the
+// scheduler pays only a nil check per event.
+func WithMetrics() BuildOption {
+	return func(b *Builder) { b.metrics = true }
+}

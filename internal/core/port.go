@@ -77,6 +77,9 @@ func (p *Port) Conn(i int) *Conn { return p.conns[p.check(i)] }
 // Owner returns the instance the port belongs to.
 func (p *Port) Owner() Instance { return p.owner.self }
 
+// FullName returns the port's "instance.port" name.
+func (p *Port) FullName() string { return p.fullName() }
+
 func (p *Port) fullName() string {
 	if p.owner == nil {
 		return "?." + p.name

@@ -32,6 +32,19 @@ func (c *Conn) Src() (*Port, int) { return c.src, c.srcIdx }
 // Dst returns the input-side port and the connection's index on it.
 func (c *Conn) Dst() (*Port, int) { return c.dst, c.dstIdx }
 
+// Status returns the current resolution state of signal k — the read
+// tracers use to inspect a connection mid-cycle.
+func (c *Conn) Status(k SigKind) Status { return c.status(k) }
+
+// Data returns the value carried by the data signal and whether it is
+// valid (i.e. the data signal has resolved Yes this cycle).
+func (c *Conn) Data() (any, bool) {
+	if Status(c.dataS.Load()) != Yes {
+		return nil, false
+	}
+	return c.data, true
+}
+
 func (c *Conn) String() string {
 	return fmt.Sprintf("%s[%d]->%s[%d]", c.src.fullName(), c.srcIdx, c.dst.fullName(), c.dstIdx)
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 type phase uint8
@@ -27,6 +29,7 @@ type Sim struct {
 	byName    map[string]Instance
 	conns     []*Conn
 	stats     *StatSet
+	metrics   *Metrics // nil unless built with WithMetrics
 
 	phase phase
 	cycle uint64
@@ -46,6 +49,10 @@ func (s *Sim) Now() uint64 { return s.cycle }
 
 // Stats returns the simulator's statistics set.
 func (s *Sim) Stats() *StatSet { return s.stats }
+
+// Metrics returns the simulator's scheduler metrics, or nil when the
+// simulator was built without WithMetrics.
+func (s *Sim) Metrics() *Metrics { return s.metrics }
 
 // Instances returns the netlist's instances in assembly order.
 func (s *Sim) Instances() []Instance { return s.instances }
@@ -70,6 +77,9 @@ func (s *Sim) wake(b *Base) {
 	if !b.scheduled.CompareAndSwap(false, true) {
 		return
 	}
+	if m := s.metrics; m != nil {
+		m.wakes.Add(1)
+	}
 	if s.par {
 		s.wakeMu.Lock()
 		s.wakes = append(s.wakes, b)
@@ -84,14 +94,38 @@ func (s *Sim) drain() {
 		s.drainParallel()
 		return
 	}
+	ran := s.qhead < len(s.queue)
 	for s.qhead < len(s.queue) {
 		b := s.queue[s.qhead]
 		s.qhead++
 		b.scheduled.Store(false)
-		b.react()
+		s.runReact(b)
 	}
 	s.queue = s.queue[:0]
 	s.qhead = 0
+	if m := s.metrics; m != nil && ran {
+		m.iters.Add(1)
+	}
+}
+
+// runReact invokes one reactive handler, recording invocation counts and
+// sampled wall time when metrics are enabled.
+func (s *Sim) runReact(b *Base) {
+	m := s.metrics
+	if m == nil {
+		b.react()
+		return
+	}
+	m.reacts.Add(1)
+	im := &m.insts[b.id]
+	if n := im.reacts.Add(1); n&reactSampleMask != 1 {
+		b.react()
+		return
+	}
+	t0 := time.Now()
+	b.react()
+	im.nanos.Add(time.Since(t0).Nanoseconds())
+	im.sampled.Add(1)
 }
 
 // drainParallel runs the reactive fixed point in barrier-synchronized
@@ -110,6 +144,11 @@ func (s *Sim) drainParallel() {
 	defer func() { s.par = false }()
 	for len(batch) > 0 {
 		sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+		if m := s.metrics; m != nil {
+			m.rounds.Add(1)
+			m.iters.Add(1)
+			m.roundSize.Observe(float64(len(batch)))
+		}
 		var wg sync.WaitGroup
 		n := s.workers
 		if n > len(batch) {
@@ -122,7 +161,7 @@ func (s *Sim) drainParallel() {
 				for i := w; i < len(batch); i += n {
 					b := batch[i]
 					b.scheduled.Store(false)
-					b.react()
+					s.runReact(b)
 				}
 			}(w)
 		}
@@ -176,6 +215,9 @@ func (s *Sim) defaultRound(k SigKind) {
 		if !progress {
 			for _, c := range s.conns {
 				if c.status(k) == Unknown {
+					if m := s.metrics; m != nil {
+						m.breaks[k].Add(1)
+					}
 					s.applyDefault(c, k)
 					s.drain()
 					break
@@ -219,6 +261,9 @@ func (s *Sim) defaultDepsResolved(c *Conn, k SigKind) bool {
 }
 
 func (s *Sim) applyDefault(c *Conn, k SigKind) {
+	if m := s.metrics; m != nil {
+		m.defaults[k].Add(1)
+	}
 	switch k {
 	case SigData:
 		c.raise(SigData, No, nil)
@@ -310,12 +355,29 @@ func (s *Sim) Step() (err error) {
 	}
 	s.phase = phaseIdle
 	s.cycle++
+	if m := s.metrics; m != nil {
+		m.cycles.Add(1)
+	}
 	return nil
 }
 
 // Run advances the simulation n cycles, stopping at the first error.
-func (s *Sim) Run(n uint64) error {
+func (s *Sim) Run(n uint64) error { return s.RunContext(context.Background(), n) }
+
+// RunContext advances the simulation n cycles, stopping at the first
+// error or when ctx is cancelled (returning ctx.Err()). Cancellation is
+// checked between cycles, so a cancelled run always stops on a cycle
+// boundary with the simulator in a consistent state.
+func (s *Sim) RunContext(ctx context.Context, n uint64) error {
+	done := ctx.Done()
 	for i := uint64(0); i < n; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		if err := s.Step(); err != nil {
 			return fmt.Errorf("cycle %d: %w", s.cycle, err)
 		}
@@ -326,9 +388,23 @@ func (s *Sim) Run(n uint64) error {
 // RunUntil advances the simulation until pred returns true or max cycles
 // elapse. It reports whether pred was satisfied.
 func (s *Sim) RunUntil(pred func(*Sim) bool, max uint64) (bool, error) {
+	return s.RunUntilContext(context.Background(), pred, max)
+}
+
+// RunUntilContext is RunUntil with cancellation: it additionally stops,
+// returning ctx.Err(), when ctx is cancelled between cycles.
+func (s *Sim) RunUntilContext(ctx context.Context, pred func(*Sim) bool, max uint64) (bool, error) {
+	done := ctx.Done()
 	for i := uint64(0); i < max; i++ {
 		if pred(s) {
 			return true, nil
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return false, ctx.Err()
+			default:
+			}
 		}
 		if err := s.Step(); err != nil {
 			return false, fmt.Errorf("cycle %d: %w", s.cycle, err)

@@ -18,6 +18,42 @@ type Tracer interface {
 	OnCycleEnd(n uint64)
 }
 
+// MultiTracer fans every tracer callback out to each element in order.
+// The Builder composes one automatically when several tracers are
+// attached via WithTracer.
+type MultiTracer []Tracer
+
+// OnCycleBegin implements Tracer.
+func (m MultiTracer) OnCycleBegin(n uint64) {
+	for _, t := range m {
+		t.OnCycleBegin(n)
+	}
+}
+
+// OnResolve implements Tracer.
+func (m MultiTracer) OnResolve(c *Conn, k SigKind, s Status) {
+	for _, t := range m {
+		t.OnResolve(c, k, s)
+	}
+}
+
+// OnCycleEnd implements Tracer.
+func (m MultiTracer) OnCycleEnd(n uint64) {
+	for _, t := range m {
+		t.OnCycleEnd(n)
+	}
+}
+
+// Attach forwards the post-build netlist to elements that want it (e.g.
+// the VCD tracer's variable definitions).
+func (m MultiTracer) Attach(s *Sim) {
+	for _, t := range m {
+		if at, ok := t.(interface{ Attach(*Sim) }); ok {
+			at.Attach(s)
+		}
+	}
+}
+
 // TextTracer writes a human-readable signal trace. Filter, when non-nil,
 // selects which connections to log.
 type TextTracer struct {

@@ -88,14 +88,27 @@ func (e *Elaborator) ElaborateWith(f *File, vars map[string]any) error {
 	return e.exec(f.Stmts, top)
 }
 
-// Build parses src and elaborates it onto a fresh builder, returning the
-// constructed simulator.
+// Load parses src, elaborates it onto a fresh builder configured by
+// opts, and constructs the simulator — the Figure 1 pipeline in one
+// call. vars predefines top-level bindings that shadow same-named `let`
+// statements (the mechanism behind lsc -D overrides); pass nil for none.
+func Load(src string, vars map[string]any, opts ...core.BuildOption) (*core.Sim, error) {
+	return BuildWith(src, core.NewBuilder(opts...), vars)
+}
+
+// Build parses src and elaborates it onto b (a fresh builder when nil),
+// returning the constructed simulator.
+//
+// Deprecated: use Load, which configures the builder from options
+// instead of accepting a possibly-nil one.
 func Build(src string, b *core.Builder) (*core.Sim, error) {
 	return BuildWith(src, b, nil)
 }
 
 // BuildWith is Build with predefined top-level bindings overriding the
 // spec's own `let` values.
+//
+// Deprecated: use Load.
 func BuildWith(src string, b *core.Builder, vars map[string]any) (*core.Sim, error) {
 	f, err := Parse(src)
 	if err != nil {

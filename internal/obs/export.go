@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+
+	core "liberty/internal/core"
+)
+
+// HistogramStats is the exported summary of one histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+func histStats(h *core.Histogram) HistogramStats {
+	return HistogramStats{
+		Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+		Min: h.Min(), Max: h.Max(),
+		P50: h.P50(), P95: h.P95(), P99: h.P99(),
+	}
+}
+
+// InstanceStats is the exported react profile of one instance.
+type InstanceStats struct {
+	Name        string `json:"name"`
+	Reacts      uint64 `json:"reacts"`
+	ReactTimeNs int64  `json:"react_time_ns"`
+}
+
+// SchedulerStats is the exported view of core.Metrics: where the
+// engine's time went, cycle by cycle.
+type SchedulerStats struct {
+	Cycles           uint64            `json:"cycles"`
+	Wakes            uint64            `json:"wakes"`
+	Reacts           uint64            `json:"reacts"`
+	FixedPointIters  uint64            `json:"fixed_point_iters"`
+	ParallelRounds   uint64            `json:"parallel_rounds"`
+	RoundSize        *HistogramStats   `json:"round_size,omitempty"`
+	DefaultFallbacks map[string]uint64 `json:"default_fallbacks"`
+	CycleBreaks      map[string]uint64 `json:"cycle_breaks"`
+}
+
+// Snapshot is a point-in-time, machine-readable view of a simulator:
+// identity, the full StatSet, and — when the simulator was built with
+// metrics — scheduler counters and the per-instance react profile sorted
+// hottest first.
+type Snapshot struct {
+	Cycles     uint64                    `json:"cycles"`
+	Seed       int64                     `json:"seed"`
+	Instances  int                       `json:"instances"`
+	Conns      int                       `json:"conns"`
+	Counters   map[string]int64          `json:"counters"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+	Scheduler  *SchedulerStats           `json:"scheduler,omitempty"`
+	Hot        []InstanceStats           `json:"hot,omitempty"`
+}
+
+var sigKinds = [...]core.SigKind{core.SigData, core.SigEnable, core.SigAck}
+
+// TakeSnapshot captures the simulator's current statistics and metrics.
+// It is safe to call while the simulator is between cycles; counters are
+// read atomically, so a snapshot taken mid-cycle is merely slightly torn,
+// never corrupt.
+func TakeSnapshot(s *core.Sim) Snapshot {
+	snap := Snapshot{
+		Cycles:     s.Now(),
+		Seed:       s.Seed(),
+		Instances:  len(s.Instances()),
+		Conns:      len(s.Conns()),
+		Counters:   map[string]int64{},
+		Histograms: map[string]HistogramStats{},
+	}
+	st := s.Stats()
+	for _, name := range st.Names() {
+		if c := st.Counter(name); c != nil {
+			snap.Counters[name] = c.Value()
+			continue
+		}
+		if h := st.Histogram(name); h != nil {
+			snap.Histograms[name] = histStats(h)
+		}
+	}
+	m := s.Metrics()
+	if m == nil {
+		return snap
+	}
+	sched := &SchedulerStats{
+		Cycles:           m.Cycles(),
+		Wakes:            m.Wakes(),
+		Reacts:           m.Reacts(),
+		FixedPointIters:  m.FixedPointIters(),
+		ParallelRounds:   m.ParallelRounds(),
+		DefaultFallbacks: map[string]uint64{},
+		CycleBreaks:      map[string]uint64{},
+	}
+	for _, k := range sigKinds {
+		sched.DefaultFallbacks[k.String()] = m.DefaultFallbacks(k)
+		sched.CycleBreaks[k.String()] = m.CycleBreaks(k)
+	}
+	if rs := m.RoundSizes(); rs.Count() > 0 {
+		hs := histStats(rs)
+		sched.RoundSize = &hs
+	}
+	snap.Scheduler = sched
+	for _, im := range m.Instances() {
+		snap.Hot = append(snap.Hot, InstanceStats{
+			Name: im.Name, Reacts: im.Reacts, ReactTimeNs: im.ReactTime.Nanoseconds(),
+		})
+	}
+	sort.SliceStable(snap.Hot, func(i, j int) bool {
+		if snap.Hot[i].ReactTimeNs != snap.Hot[j].ReactTimeNs {
+			return snap.Hot[i].ReactTimeNs > snap.Hot[j].ReactTimeNs
+		}
+		return snap.Hot[i].Reacts > snap.Hot[j].Reacts
+	})
+	return snap
+}
+
+// WriteJSON writes the simulator's snapshot to w as indented JSON.
+func WriteJSON(w io.Writer, s *core.Sim) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(TakeSnapshot(s))
+}
+
+// WriteCSV writes the simulator's snapshot to w as CSV rows of the form
+// kind,name,field,value — a flat layout spreadsheet tooling ingests
+// without a schema.
+func WriteCSV(w io.Writer, s *core.Sim) error {
+	snap := TakeSnapshot(s)
+	cw := csv.NewWriter(w)
+	row := func(kind, name, field string, value any) {
+		var v string
+		switch x := value.(type) {
+		case int64:
+			v = strconv.FormatInt(x, 10)
+		case uint64:
+			v = strconv.FormatUint(x, 10)
+		case float64:
+			v = strconv.FormatFloat(x, 'g', -1, 64)
+		default:
+			v = ""
+		}
+		cw.Write([]string{kind, name, field, v})
+	}
+	row("sim", "", "cycles", snap.Cycles)
+	row("sim", "", "seed", snap.Seed)
+	row("sim", "", "instances", int64(snap.Instances))
+	row("sim", "", "conns", int64(snap.Conns))
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		row("counter", n, "value", snap.Counters[n])
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		row("histogram", n, "count", h.Count)
+		row("histogram", n, "mean", h.Mean)
+		row("histogram", n, "min", h.Min)
+		row("histogram", n, "max", h.Max)
+		row("histogram", n, "p50", h.P50)
+		row("histogram", n, "p95", h.P95)
+		row("histogram", n, "p99", h.P99)
+	}
+	if sc := snap.Scheduler; sc != nil {
+		row("scheduler", "", "cycles", sc.Cycles)
+		row("scheduler", "", "wakes", sc.Wakes)
+		row("scheduler", "", "reacts", sc.Reacts)
+		row("scheduler", "", "fixed_point_iters", sc.FixedPointIters)
+		row("scheduler", "", "parallel_rounds", sc.ParallelRounds)
+		for _, k := range sigKinds {
+			row("scheduler", k.String(), "default_fallbacks", sc.DefaultFallbacks[k.String()])
+			row("scheduler", k.String(), "cycle_breaks", sc.CycleBreaks[k.String()])
+		}
+	}
+	for _, inst := range snap.Hot {
+		row("instance", inst.Name, "reacts", inst.Reacts)
+		row("instance", inst.Name, "react_time_ns", inst.ReactTimeNs)
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,210 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	core "liberty/internal/core"
+	"liberty/internal/obs"
+	"liberty/internal/pcl"
+)
+
+// buildChain assembles a source → queue → sink pipeline with metrics on
+// and the given extra options.
+func buildChain(t *testing.T, opts ...core.BuildOption) *core.Sim {
+	t.Helper()
+	b := core.NewBuilder(append([]core.BuildOption{core.WithSeed(1), core.WithMetrics()}, opts...)...)
+	src, err := pcl.NewSource("src", core.Params{"count": int64(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pcl.NewQueue("q", core.Params{"capacity": int64(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snk, err := pcl.NewSink("snk", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Add(src)
+	b.Add(q)
+	b.Add(snk)
+	b.Connect(src, "out", q, "in")
+	b.Connect(q, "out", snk, "in")
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestEventTracerRingAndOrder(t *testing.T) {
+	ev := obs.NewEventTracer(10)
+	sim := buildChain(t, core.WithTracer(ev))
+	if err := sim.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.Len(); got != 10 {
+		t.Fatalf("ring holds %d events, want capacity 10", got)
+	}
+	events := ev.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Fatalf("events out of order: %v after %v", events[i], events[i-1])
+		}
+	}
+	// A 50-cycle run's ring tail must come from the final cycles.
+	if events[0].Cycle < 45 {
+		t.Fatalf("oldest retained event from cycle %d, want the run's tail", events[0].Cycle)
+	}
+	var txt bytes.Buffer
+	if err := ev.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(txt.String(), "\n"); got != 10 {
+		t.Fatalf("WriteText produced %d lines, want 10", got)
+	}
+}
+
+func TestEventTracerFilters(t *testing.T) {
+	inst := obs.NewEventTracer(256).FilterInstances("q")
+	port := obs.NewEventTracer(256).FilterPorts("snk.*")
+	sim := buildChain(t, core.WithTracer(inst), core.WithTracer(port))
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Len() == 0 || port.Len() == 0 {
+		t.Fatalf("filters dropped everything: inst=%d port=%d", inst.Len(), port.Len())
+	}
+	for _, e := range inst.Events() {
+		if e.Src != "q" && e.Dst != "q" {
+			t.Fatalf("instance filter leaked %+v", e)
+		}
+	}
+	for _, e := range port.Events() {
+		if !strings.Contains(e.Conn, "snk.") {
+			t.Fatalf("port filter leaked %+v", e)
+		}
+	}
+}
+
+func TestSnapshotJSONAndCSV(t *testing.T) {
+	sim := buildChain(t)
+	if err := sim.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.TakeSnapshot(sim)
+	if snap.Cycles != 100 || snap.Instances != 3 || snap.Conns != 2 {
+		t.Fatalf("snapshot identity wrong: %+v", snap)
+	}
+	if snap.Counters["snk.received"] != 20 {
+		t.Fatalf("snk.received = %d, want 20", snap.Counters["snk.received"])
+	}
+	if _, ok := snap.Histograms["q.occupancy"]; !ok {
+		t.Fatal("snapshot missing q.occupancy histogram")
+	}
+	if snap.Scheduler == nil || snap.Scheduler.Cycles != 100 || snap.Scheduler.Wakes == 0 {
+		t.Fatalf("scheduler stats missing or empty: %+v", snap.Scheduler)
+	}
+	if len(snap.Hot) != 3 {
+		t.Fatalf("hot profile has %d instances, want 3", len(snap.Hot))
+	}
+	for i := 1; i < len(snap.Hot); i++ {
+		if snap.Hot[i].ReactTimeNs > snap.Hot[i-1].ReactTimeNs {
+			t.Fatal("hot profile not sorted by react time")
+		}
+	}
+
+	var js bytes.Buffer
+	if err := obs.WriteJSON(&js, sim); err != nil {
+		t.Fatal(err)
+	}
+	var rt obs.Snapshot
+	if err := json.Unmarshal(js.Bytes(), &rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Scheduler == nil || rt.Scheduler.Wakes != snap.Scheduler.Wakes {
+		t.Fatalf("JSON round-trip lost scheduler stats")
+	}
+
+	var cv bytes.Buffer
+	if err := obs.WriteCSV(&cv, sim); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&cv).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output unparsable: %v", err)
+	}
+	found := map[string]bool{}
+	for _, r := range rows {
+		if len(r) != 4 {
+			t.Fatalf("row %v has %d fields, want 4", r, len(r))
+		}
+		found[r[0]] = true
+	}
+	for _, kind := range []string{"sim", "counter", "histogram", "scheduler", "instance"} {
+		if !found[kind] {
+			t.Fatalf("CSV missing %q rows", kind)
+		}
+	}
+}
+
+func TestHotReport(t *testing.T) {
+	sim := buildChain(t)
+	if err := sim.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := obs.WriteHotReport(&out, sim, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "top 2 of 3") {
+		t.Fatalf("report header wrong:\n%s", out.String())
+	}
+
+	// Without metrics the report must refuse, not fabricate.
+	b := core.NewBuilder()
+	s2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteHotReport(&out, s2, 2); err == nil {
+		t.Fatal("hot report without metrics should error")
+	}
+}
+
+func TestMetricsServer(t *testing.T) {
+	ms := obs.NewMetricsServer()
+	rec := httptest.NewRecorder()
+	ms.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 503 {
+		t.Fatalf("empty server returned %d, want 503", rec.Code)
+	}
+
+	sim := buildChain(t)
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	ms.Set(sim)
+	rec = httptest.NewRecorder()
+	ms.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics endpoint returned %d", rec.Code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("endpoint body not a snapshot: %v", err)
+	}
+	if snap.Cycles != 10 {
+		t.Fatalf("endpoint cycles = %d, want 10", snap.Cycles)
+	}
+	rec = httptest.NewRecorder()
+	ms.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 {
+		t.Fatalf("expvar endpoint returned %d", rec.Code)
+	}
+}

@@ -1,0 +1,26 @@
+package obs
+
+import core "liberty/internal/core"
+
+// Observer bundles the observability configuration threaded through a
+// build: scheduler metrics collection and structured event capture. Zero
+// fields are skipped, so an Observer enables exactly what it names.
+type Observer struct {
+	// Metrics enables scheduler metrics (core.WithMetrics).
+	Metrics bool
+	// Events, when non-nil, is attached as a tracer and captures the
+	// structured event stream.
+	Events *EventTracer
+}
+
+// Options expands the observer into the build options that realize it.
+func (o *Observer) Options() []core.BuildOption {
+	var opts []core.BuildOption
+	if o.Metrics {
+		opts = append(opts, core.WithMetrics())
+	}
+	if o.Events != nil {
+		opts = append(opts, core.WithTracer(o.Events))
+	}
+	return opts
+}

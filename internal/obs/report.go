@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	core "liberty/internal/core"
+)
+
+// WriteHotReport writes the per-instance "hot module" report: the topN
+// instances by estimated cumulative react time, with invocation counts
+// and each instance's share of total react time. The simulator must have
+// been built with metrics enabled.
+func WriteHotReport(w io.Writer, s *core.Sim, topN int) error {
+	m := s.Metrics()
+	if m == nil {
+		return fmt.Errorf("obs: hot report requires a simulator built with metrics (WithMetrics)")
+	}
+	snap := TakeSnapshot(s)
+	var totalNs int64
+	for _, inst := range snap.Hot {
+		totalNs += inst.ReactTimeNs
+	}
+	if topN <= 0 || topN > len(snap.Hot) {
+		topN = len(snap.Hot)
+	}
+	if _, err := fmt.Fprintf(w, "hot modules (top %d of %d, %s total react time, %d reacts):\n",
+		topN, len(snap.Hot), time.Duration(totalNs), snap.Scheduler.Reacts); err != nil {
+		return err
+	}
+	for _, inst := range snap.Hot[:topN] {
+		share := 0.0
+		if totalNs > 0 {
+			share = 100 * float64(inst.ReactTimeNs) / float64(totalNs)
+		}
+		if _, err := fmt.Fprintf(w, "  %-40s %10d reacts %12s %6.1f%%\n",
+			inst.Name, inst.Reacts, time.Duration(inst.ReactTimeNs), share); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+
+	core "liberty/internal/core"
+)
+
+// MetricsServer exposes a live JSON snapshot of a (possibly changing)
+// simulator over HTTP — the endpoint long-running sweeps publish so an
+// operator can watch a characterization progress. The current simulator
+// is swapped with Set as a sweep moves between operating points; requests
+// arriving between points report the last one set.
+type MetricsServer struct {
+	mu   sync.Mutex
+	sim  *core.Sim
+	once sync.Once
+}
+
+// NewMetricsServer returns a server with no simulator attached yet.
+func NewMetricsServer() *MetricsServer { return &MetricsServer{} }
+
+// Set publishes s as the simulator the server reports on.
+func (ms *MetricsServer) Set(s *core.Sim) {
+	ms.mu.Lock()
+	ms.sim = s
+	ms.mu.Unlock()
+}
+
+func (ms *MetricsServer) current() *core.Sim {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.sim
+}
+
+// ServeHTTP implements http.Handler, answering with the current
+// simulator's JSON snapshot (503 before the first Set).
+func (ms *MetricsServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s := ms.current()
+	if s == nil {
+		http.Error(w, "no simulator attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = WriteJSON(w, s)
+}
+
+// Publish registers the server's snapshot under name in the process-wide
+// expvar registry (visible at /debug/vars). Safe to call repeatedly; only
+// the first call registers.
+func (ms *MetricsServer) Publish(name string) {
+	ms.once.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any {
+			s := ms.current()
+			if s == nil {
+				return nil
+			}
+			return TakeSnapshot(s)
+		}))
+	})
+}
+
+// Handler returns a mux serving the snapshot at /metrics and the expvar
+// page at /debug/vars.
+func (ms *MetricsServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", ms)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// ListenAndServe publishes the server under the "liberty" expvar name and
+// serves Handler on addr, blocking like http.ListenAndServe.
+func (ms *MetricsServer) ListenAndServe(addr string) error {
+	ms.Publish("liberty")
+	return http.ListenAndServe(addr, ms.Handler())
+}

@@ -1,10 +1,14 @@
 // Package lse is the public surface of the Liberty Simulation
 // Environment: the structural, composable modeling engine (signals,
 // ports, module templates, the reactive scheduler), the template registry
-// the component libraries publish into, and the LSS specification
-// language front end.
+// the component libraries publish into, the LSS specification language
+// front end, and the observability layer (scheduler metrics, structured
+// event traces, statistics exporters).
 //
-// Quickstart (Go API):
+// # Quickstart (Go API)
+//
+// Simulators are assembled by a Builder and configured with functional
+// options at build time:
 //
 //	b := lse.NewBuilder()
 //	src, _ := b.Instantiate("pcl.source", "src", lse.Params{"count": 100})
@@ -12,19 +16,47 @@
 //	snk, _ := b.Instantiate("pcl.sink", "snk", nil)
 //	b.Connect(src, "out", q, "in")
 //	b.Connect(q, "out", snk, "in")
-//	sim, _ := b.Build()
+//	sim, _ := b.Build(lse.WithSeed(1), lse.WithWorkers(4))
 //	sim.Run(1000)
 //	sim.Stats().Dump(os.Stdout)
 //
-// Quickstart (LSS):
+// # Quickstart (LSS)
 //
-//	sim, _ := lse.BuildLSS(`
+// LoadLSS parses, elaborates and constructs in one call:
+//
+//	sim, _ := lse.LoadLSS(`
 //	    instance src : pcl.source(count = 100);
 //	    instance q   : pcl.queue(capacity = 4);
 //	    instance snk : pcl.sink();
 //	    src.out -> q.in;
 //	    q.out -> snk.in;
-//	`, nil)
+//	`, lse.WithSeed(1))
+//
+// # Observability
+//
+// Building with WithMetrics (or a WithObserver bundle) turns on scheduler
+// metrics: reactive wakes, fixed-point iterations, parallel rounds and
+// batch sizes, default-control fallbacks per signal kind, and a sampled
+// per-instance react-time profile. The obs exporters turn a simulator
+// into machine-readable artifacts:
+//
+//	ev := lse.NewEventTracer(256).FilterInstances("router*")
+//	sim, _ := b.Build(lse.WithObserver(&lse.Observer{Metrics: true, Events: ev}))
+//	sim.Run(10_000)
+//	lse.WriteStatsJSON(os.Stdout, sim)    // full JSON snapshot
+//	lse.WriteStatsCSV(f, sim)             // flat CSV rows
+//	lse.WriteHotReport(os.Stderr, sim, 8) // hottest modules by react time
+//	ev.WriteText(os.Stderr)               // last 256 filtered signal events
+//
+// Long sweeps are cancellable via Sim.RunContext / Sim.RunUntilContext,
+// and a MetricsServer (see cmd/orion -metrics-addr) serves live JSON
+// snapshots plus expvar over HTTP while a sweep runs.
+//
+// # Deprecations
+//
+// The Builder setter chain (SetSeed, SetWorkers, SetTracer, SetRegistry)
+// and the nil-builder BuildLSS entry point still work but are deprecated
+// in favor of the options API above.
 //
 // The component libraries (pcl, upl, ccl, mpl, nilib) register their
 // templates into DefaultRegistry from their init functions; importing
@@ -37,6 +69,7 @@ import (
 
 	core "liberty/internal/core"
 	"liberty/internal/lss"
+	"liberty/internal/obs"
 
 	// The component libraries register their templates on import.
 	_ "liberty/internal/ccl"
@@ -47,6 +80,8 @@ import (
 type (
 	// Builder assembles netlists and constructs simulators.
 	Builder = core.Builder
+	// BuildOption configures a simulator under construction.
+	BuildOption = core.BuildOption
 	// Sim is an executable simulator.
 	Sim = core.Sim
 	// Instance is a module instance.
@@ -77,18 +112,38 @@ type (
 	Tracer = core.Tracer
 	// TextTracer writes a readable signal trace.
 	TextTracer = core.TextTracer
+	// MultiTracer fans callbacks out to several tracers.
+	MultiTracer = core.MultiTracer
 	// StatSet is the simulator's statistics collection.
 	StatSet = core.StatSet
 	// Counter is a statistics counter.
 	Counter = core.Counter
-	// Histogram is a statistics histogram.
+	// Histogram is a statistics histogram with percentile estimates.
 	Histogram = core.Histogram
+	// Metrics aggregates scheduler observability counters.
+	Metrics = core.Metrics
+	// InstanceMetric is one instance's react profile.
+	InstanceMetric = core.InstanceMetric
 	// ContractError reports a communication-contract violation.
 	ContractError = core.ContractError
 	// BuildError reports a netlist assembly problem.
 	BuildError = core.BuildError
 	// ParamError reports a missing or ill-typed parameter.
 	ParamError = core.ParamError
+)
+
+// Observability types, re-exported from the obs layer.
+type (
+	// Observer bundles observability configuration for WithObserver.
+	Observer = obs.Observer
+	// EventTracer captures structured events into a ring buffer.
+	EventTracer = obs.EventTracer
+	// Event is one structured trace record.
+	Event = obs.Event
+	// Snapshot is a machine-readable statistics/metrics capture.
+	Snapshot = obs.Snapshot
+	// MetricsServer serves live JSON snapshots over HTTP.
+	MetricsServer = obs.MetricsServer
 )
 
 // Signal status values.
@@ -111,8 +166,9 @@ const (
 	SigAck    = core.SigAck
 )
 
-// NewBuilder returns a netlist builder over DefaultRegistry.
-func NewBuilder() *Builder { return core.NewBuilder() }
+// NewBuilder returns a netlist builder over DefaultRegistry, configured
+// by opts.
+func NewBuilder(opts ...BuildOption) *Builder { return core.NewBuilder(opts...) }
 
 // NewRegistry returns an empty template registry.
 func NewRegistry() *Registry { return core.NewRegistry() }
@@ -133,18 +189,77 @@ func Sub(parent, child string) string { return core.Sub(parent, child) }
 // PortOf returns an instance's named port, following composite exports.
 func PortOf(inst Instance, name string) (*Port, error) { return core.PortOf(inst, name) }
 
-// BuildLSS parses and elaborates an LSS specification onto b (a fresh
-// builder when nil) and constructs the simulator — the full Figure 1
+// Build options.
+var (
+	// WithSeed sets the deterministic random seed.
+	WithSeed = core.WithSeed
+	// WithWorkers selects the scheduler worker count (>1 = parallel).
+	WithWorkers = core.WithWorkers
+	// WithTracer attaches a tracer; repeated options compose.
+	WithTracer = core.WithTracer
+	// WithRegistry selects the template registry (NewBuilder only).
+	WithRegistry = core.WithRegistry
+	// WithMetrics enables scheduler metrics collection.
+	WithMetrics = core.WithMetrics
+)
+
+// WithObserver applies an observability bundle — scheduler metrics and/or
+// structured event capture — to the simulator under construction.
+func WithObserver(o *Observer) BuildOption {
+	return func(b *Builder) {
+		for _, opt := range o.Options() {
+			opt(b)
+		}
+	}
+}
+
+// LoadLSS parses and elaborates an LSS specification onto a fresh builder
+// configured by opts, and constructs the simulator — the full Figure 1
 // pipeline in one call.
+func LoadLSS(src string, opts ...BuildOption) (*Sim, error) {
+	return lss.Load(src, nil, opts...)
+}
+
+// LoadLSSWith is LoadLSS with predefined top-level bindings that shadow
+// same-named `let` statements (the mechanism behind lsc -D overrides).
+func LoadLSSWith(src string, defines map[string]any, opts ...BuildOption) (*Sim, error) {
+	return lss.Load(src, defines, opts...)
+}
+
+// BuildLSS parses and elaborates an LSS specification onto b (a fresh
+// builder when nil) and constructs the simulator.
+//
+// Deprecated: use LoadLSS (or LoadLSSWith), which configures the builder
+// from options instead of accepting a possibly-nil one.
 func BuildLSS(src string, b *Builder) (*Sim, error) { return lss.Build(src, b) }
 
 // ParseLSS parses a specification without elaborating it.
 func ParseLSS(src string) (*lss.File, error) { return lss.Parse(src) }
 
 // WriteDot renders a simulator's netlist as a Graphviz digraph for
-// structural visualization.
-func WriteDot(w io.Writer, s *Sim) { core.WriteDot(w, s) }
+// structural visualization, returning the first writer error.
+func WriteDot(w io.Writer, s *Sim) error { return core.WriteDot(w, s) }
 
 // NewVCDTracer returns a tracer writing a VCD waveform of every
 // connection's handshake signals (sequential scheduler only).
 func NewVCDTracer(w io.Writer) *core.VCDTracer { return core.NewVCDTracer(w) }
+
+// NewEventTracer returns a structured event tracer keeping the last
+// capacity signal events; attach it with WithTracer or WithObserver.
+func NewEventTracer(capacity int) *EventTracer { return obs.NewEventTracer(capacity) }
+
+// NewMetricsServer returns an HTTP server exposing live JSON snapshots.
+func NewMetricsServer() *MetricsServer { return obs.NewMetricsServer() }
+
+// TakeSnapshot captures a simulator's statistics and scheduler metrics.
+func TakeSnapshot(s *Sim) Snapshot { return obs.TakeSnapshot(s) }
+
+// WriteStatsJSON writes a simulator's snapshot to w as indented JSON.
+func WriteStatsJSON(w io.Writer, s *Sim) error { return obs.WriteJSON(w, s) }
+
+// WriteStatsCSV writes a simulator's snapshot to w as flat CSV rows.
+func WriteStatsCSV(w io.Writer, s *Sim) error { return obs.WriteCSV(w, s) }
+
+// WriteHotReport writes the per-instance "hot module" react-time report
+// (requires a simulator built with WithMetrics or an Observer).
+func WriteHotReport(w io.Writer, s *Sim, topN int) error { return obs.WriteHotReport(w, s, topN) }

@@ -1,6 +1,9 @@
 package lse_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -8,8 +11,9 @@ import (
 )
 
 // TestFacadeEndToEnd drives the whole public surface: registry-based
-// instantiation, LSS construction, custom templates, algorithmic
-// function registration, stats, and visualization.
+// instantiation, LSS construction through the options API, custom
+// templates, algorithmic function registration, stats, observability and
+// visualization.
 func TestFacadeEndToEnd(t *testing.T) {
 	// A user-defined template registered through the facade.
 	lse.Register(&lse.Template{
@@ -19,24 +23,72 @@ func TestFacadeEndToEnd(t *testing.T) {
 			return b.Instantiate("pcl.queue", name, lse.Params{"capacity": p.Int("capacity", 2)})
 		},
 	})
-	sim, err := lse.BuildLSS(`
+	ev := lse.NewEventTracer(64).FilterInstances("snk")
+	sim, err := lse.LoadLSS(`
 		instance src : pcl.source(count = 12);
 		instance d   : test.doubler(capacity = 3);
 		instance snk : pcl.sink();
 		src.out -> d.in;
 		d.out -> snk.in;
-	`, lse.NewBuilder().SetSeed(4))
+	`, lse.WithSeed(4), lse.WithObserver(&lse.Observer{Metrics: true, Events: ev}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sim.Run(40); err != nil {
+	if err := sim.RunContext(context.Background(), 40); err != nil {
 		t.Fatal(err)
 	}
 	if got := sim.Stats().CounterValue("snk.received"); got != 12 {
 		t.Fatalf("received %d, want 12", got)
 	}
+
+	// Scheduler metrics were collected and exported.
+	if sim.Metrics() == nil {
+		t.Fatal("WithObserver{Metrics: true} left Sim.Metrics nil")
+	}
+	snap := lse.TakeSnapshot(sim)
+	if snap.Scheduler == nil || snap.Scheduler.Wakes == 0 {
+		t.Fatalf("snapshot has no scheduler counters: %+v", snap.Scheduler)
+	}
+	var js bytes.Buffer
+	if err := lse.WriteStatsJSON(&js, sim); err != nil {
+		t.Fatal(err)
+	}
+	var decoded lse.Snapshot
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("stats JSON does not round-trip: %v", err)
+	}
+	if decoded.Counters["snk.received"] != 12 {
+		t.Fatalf("JSON snapshot counter = %d, want 12", decoded.Counters["snk.received"])
+	}
+	var csvOut bytes.Buffer
+	if err := lse.WriteStatsCSV(&csvOut, sim); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvOut.String(), "counter,snk.received,value,12") {
+		t.Fatalf("CSV snapshot missing counter row:\n%s", csvOut.String())
+	}
+	var hot bytes.Buffer
+	if err := lse.WriteHotReport(&hot, sim, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hot.String(), "hot modules") {
+		t.Fatalf("hot report malformed:\n%s", hot.String())
+	}
+
+	// The event tracer captured only the filtered instance.
+	if ev.Len() == 0 {
+		t.Fatal("event tracer captured nothing")
+	}
+	for _, e := range ev.Events() {
+		if e.Src != "snk" && e.Dst != "snk" {
+			t.Fatalf("filter leaked event %+v", e)
+		}
+	}
+
 	var dot strings.Builder
-	lse.WriteDot(&dot, sim)
+	if err := lse.WriteDot(&dot, sim); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(dot.String(), "digraph liberty") {
 		t.Fatal("WriteDot produced no graph")
 	}
@@ -45,5 +97,37 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if _, err := lse.PortOf(sim.Instance("snk"), "in"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDeprecatedShims keeps the pre-redesign surface working: the
+// nil-builder BuildLSS entry point and the Builder setter chain must
+// behave exactly like the options API.
+func TestDeprecatedShims(t *testing.T) {
+	spec := `
+		instance src : pcl.source(count = 5);
+		instance snk : pcl.sink();
+		src.out -> snk.in;
+	`
+	old, err := lse.BuildLSS(spec, lse.NewBuilder().SetSeed(4).SetWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lse.BuildLSS(spec, nil); err != nil {
+		t.Fatalf("nil-builder shim broke: %v", err)
+	}
+	niu, err := lse.LoadLSS(spec, lse.WithSeed(4), lse.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*lse.Sim{old, niu} {
+		if err := s.Run(30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := old.Stats().CounterValue("snk.received")
+	z := niu.Stats().CounterValue("snk.received")
+	if a != 5 || z != 5 {
+		t.Fatalf("deprecated=%d options=%d, want 5 and 5", a, z)
 	}
 }
