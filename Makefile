@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-smoke
 
 ## check: full gate — vet, build, and the test suite under the race detector.
 check: vet build race
@@ -19,3 +19,7 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+## bench-smoke: fast CI sanity pass over the scheduler benchmarks.
+bench-smoke:
+	$(GO) test -bench='BenchmarkLevelized|BenchmarkA1' -benchtime=10x -run=^$$ .

@@ -367,26 +367,7 @@ func BenchmarkC7NICThroughput(b *testing.B) {
 func BenchmarkA1ParallelScheduler(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			bld := core.NewBuilder().SetSeed(1).SetWorkers(workers)
-			nw, err := ccl.BuildMesh(bld, "net", ccl.MeshCfg{W: 4, H: 4})
-			if err != nil {
-				b.Fatal(err)
-			}
-			for i := 0; i < nw.Nodes; i++ {
-				src, _ := pcl.NewSource(fmt.Sprintf("src%d", i), core.Params{
-					"rate": 0.2,
-					"gen":  ccl.PacketGen(i, nw.Nodes, ccl.UniformPattern, ccl.FixedSize(2)),
-				})
-				snk, _ := pcl.NewSink(fmt.Sprintf("snk%d", i), nil)
-				bld.Add(src)
-				bld.Add(snk)
-				nw.ConnectSource(bld, i, src, "out")
-				nw.ConnectSink(bld, i, snk, "in")
-			}
-			sim, err := bld.Build()
-			if err != nil {
-				b.Fatal(err)
-			}
+			sim := buildMeshTraffic(b, core.WithWorkers(workers))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := sim.Step(); err != nil {
@@ -395,6 +376,87 @@ func BenchmarkA1ParallelScheduler(b *testing.B) {
 			}
 		})
 	}
+}
+
+// buildMeshTraffic assembles the 4x4 mesh under uniform traffic shared by
+// the scheduler benchmarks.
+func buildMeshTraffic(b testing.TB, opts ...core.BuildOption) *core.Sim {
+	b.Helper()
+	bld := core.NewBuilder(opts...).SetSeed(1)
+	nw, err := ccl.BuildMesh(bld, "net", ccl.MeshCfg{W: 4, H: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nw.Nodes; i++ {
+		src, _ := pcl.NewSource(fmt.Sprintf("src%d", i), core.Params{
+			"rate": 0.2,
+			"gen":  ccl.PacketGen(i, nw.Nodes, ccl.UniformPattern, ccl.FixedSize(2)),
+		})
+		snk, _ := pcl.NewSink(fmt.Sprintf("snk%d", i), nil)
+		bld.Add(src)
+		bld.Add(snk)
+		nw.ConnectSource(bld, i, src, "out")
+		nw.ConnectSink(bld, i, snk, "in")
+	}
+	sim, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}
+
+// benchScheduler steps sim b.N cycles and reports fixed-point iterations
+// per simulated cycle — the work the static schedule removes.
+func benchScheduler(b *testing.B, sim *core.Sim) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if m := sim.Metrics(); m != nil {
+		b.ReportMetric(float64(m.FixedPointIters())/float64(b.N), "fpiters/cycle")
+	}
+}
+
+// BenchmarkLevelizedPipeline compares the dynamic fixed-point path against
+// the levelized static schedule on a 256-deep pipeline of handler-less
+// modules — the netlist shape default control exists for (§2.1: modules
+// may omit control code entirely). Every signal falls to default control;
+// the sequential scanner's backward ack round degenerates to O(conns²)
+// rescans while the static sweep resolves each level in order. The
+// levelized engine must report zero fixed-point iterations: the chain is
+// acyclic, so every default lands in the statically ordered sweep.
+func BenchmarkLevelizedPipeline(b *testing.B) {
+	b.Run("fixedpoint", func(b *testing.B) {
+		benchScheduler(b, buildDefaultChain(b, 256,
+			core.WithScheduler(core.SchedulerSequential), core.WithMetrics()))
+	})
+	b.Run("levelized", func(b *testing.B) {
+		sim := buildDefaultChain(b, 256,
+			core.WithScheduler(core.SchedulerLevelized), core.WithMetrics())
+		benchScheduler(b, sim)
+		if got := sim.Metrics().FixedPointIters(); got != 0 {
+			b.Fatalf("acyclic chain reported %d fixed-point iterations, want 0", got)
+		}
+	})
+}
+
+// BenchmarkLevelizedMesh compares the same engines on a 16x16 torus mesh
+// of handler-less modules: one large cyclic SCC where the residue
+// worklist (dirty-signal seeded, precomputed dependency lists) replaces
+// the sequential scanner's full-netlist eligibility rescans between cycle
+// breaks.
+func BenchmarkLevelizedMesh(b *testing.B) {
+	b.Run("fixedpoint", func(b *testing.B) {
+		benchScheduler(b, buildDefaultMesh(b, 16, 16,
+			core.WithScheduler(core.SchedulerSequential), core.WithMetrics()))
+	})
+	b.Run("levelized", func(b *testing.B) {
+		benchScheduler(b, buildDefaultMesh(b, 16, 16,
+			core.WithScheduler(core.SchedulerLevelized), core.WithMetrics()))
+	})
 }
 
 // BenchmarkA2ContractCost isolates the 3-signal handshake's host cost: a

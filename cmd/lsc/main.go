@@ -12,7 +12,10 @@
 //
 //	-cycles N      cycles to simulate (default 1000)
 //	-seed N        deterministic random seed (default 0)
+//	-scheduler S   auto | sequential | parallel | levelized (default auto)
+//	-schedule      dump the static schedule (SCCs, levels, break sites)
 //	-workers N     scheduler workers; >1 selects the parallel scheduler
+//	               (deprecated as a selector — use -scheduler)
 //	-trace         dump the signal trace to stderr
 //	-profile       collect scheduler metrics; print a hot-module report
 //	-stats-json    emit the statistics snapshot as JSON on stdout
@@ -63,7 +66,9 @@ func (d defines) Set(s string) error {
 func main() {
 	cycles := flag.Uint64("cycles", 1000, "cycles to simulate")
 	seed := flag.Int64("seed", 0, "deterministic random seed")
-	workers := flag.Int("workers", 1, "scheduler workers (>1 = parallel scheduler)")
+	scheduler := flag.String("scheduler", "auto", "scheduling engine: auto, sequential, parallel or levelized")
+	schedule := flag.Bool("schedule", false, "dump the static schedule (levelized scheduler) to stderr")
+	workers := flag.Int("workers", 1, "scheduler workers (>1 = parallel scheduler; deprecated as a selector, use -scheduler)")
 	trace := flag.Bool("trace", false, "dump the signal trace to stderr")
 	dot := flag.String("dot", "", "write the netlist as a Graphviz digraph to this file")
 	vcd := flag.String("vcd", "", "write a VCD waveform of every connection to this file")
@@ -98,7 +103,20 @@ func main() {
 	if *statsJSON {
 		info = os.Stderr // keep stdout pure JSON
 	}
-	opts := []lse.BuildOption{lse.WithSeed(*seed), lse.WithWorkers(*workers)}
+	opts := []lse.BuildOption{lse.WithSeed(*seed)}
+	if *workers != 1 {
+		// Only forward an explicit worker count: WithWorkers doubles as the
+		// legacy scheduler selector and would otherwise pin -scheduler auto
+		// to the sequential engine.
+		opts = append(opts, lse.WithWorkers(*workers))
+	}
+	if *scheduler != "auto" {
+		kind, err := schedulerKind(*scheduler)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, lse.WithScheduler(kind))
+	}
 	if *trace {
 		opts = append(opts, lse.WithTracer(&lse.TextTracer{W: os.Stderr}))
 	}
@@ -121,8 +139,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(info, "constructed simulator: %d instances, %d connections\n",
-		len(sim.Instances()), len(sim.Conns()))
+	fmt.Fprintf(info, "constructed simulator: %d instances, %d connections (%s scheduler)\n",
+		len(sim.Instances()), len(sim.Conns()), sim.Scheduler())
+	if *schedule {
+		if err := lse.WriteScheduleReport(os.Stderr, sim); err != nil {
+			fatal(err)
+		}
+	}
 	if *dot != "" {
 		f, err := os.Create(*dot)
 		if err != nil {
@@ -178,6 +201,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "last %d signal events:\n", ev.Len())
 		ev.WriteText(os.Stderr)
 	}
+}
+
+func schedulerKind(name string) (lse.SchedulerKind, error) {
+	switch name {
+	case "auto":
+		return lse.SchedulerAuto, nil
+	case "sequential":
+		return lse.SchedulerSequential, nil
+	case "parallel":
+		return lse.SchedulerParallel, nil
+	case "levelized":
+		return lse.SchedulerLevelized, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel or levelized)", name)
 }
 
 func fatal(err error) {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 // Builder assembles a netlist — instances and their connections — and
@@ -13,6 +14,7 @@ import (
 type Builder struct {
 	reg       *Registry
 	seed      int64
+	sched     SchedulerKind
 	workers   int
 	tracer    Tracer
 	metrics   bool
@@ -23,8 +25,8 @@ type Builder struct {
 	built     bool
 }
 
-// NewBuilder returns a Builder using DefaultRegistry, seed 0 and the
-// sequential scheduler, then applies opts.
+// NewBuilder returns a Builder using DefaultRegistry, seed 0 and
+// automatic scheduler selection (see WithScheduler), then applies opts.
 func NewBuilder(opts ...BuildOption) *Builder {
 	b := &Builder{reg: DefaultRegistry, workers: 1, byName: make(map[string]Instance)}
 	for _, o := range opts {
@@ -44,16 +46,28 @@ func (b *Builder) SetRegistry(r *Registry) *Builder { b.reg = r; return b }
 func (b *Builder) SetSeed(seed int64) *Builder { b.seed = seed; return b }
 
 // SetWorkers selects the number of scheduler workers. Values above one
-// enable the parallel fixed-point scheduler, which produces results
+// select the parallel fixed-point scheduler, which produces results
 // bit-identical to the sequential one.
 //
-// Deprecated: pass WithWorkers to NewBuilder or Build instead.
+// Deprecated: pass WithScheduler (and optionally WithWorkers) to
+// NewBuilder or Build instead.
 func (b *Builder) SetWorkers(n int) *Builder {
+	b.setWorkers(n)
+	return b
+}
+
+// setWorkers implements the WithWorkers/SetWorkers shim: the worker
+// count doubles as a legacy scheduler selector.
+func (b *Builder) setWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
 	b.workers = n
-	return b
+	if n > 1 {
+		b.sched = SchedulerParallel
+	} else {
+		b.sched = SchedulerSequential
+	}
 }
 
 // SetTracer attaches a Tracer to the simulator under construction,
@@ -191,9 +205,11 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 		return nil, err
 	}
 	b.built = true
+	sched, workers := resolveScheduler(b.sched, b.workers)
 	s := &Sim{
 		seed:      b.seed,
-		workers:   b.workers,
+		sched:     sched,
+		workers:   workers,
 		tracer:    b.tracer,
 		instances: b.instances,
 		byName:    b.byName,
@@ -209,12 +225,40 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	for _, c := range s.conns {
 		c.sim = s
 	}
+	if sched == SchedulerLevelized {
+		s.schedule = buildSchedule(s)
+	}
+	if workers > 1 {
+		s.pool = newWorkerPool(workers)
+		// Workers hold only pool-internal references, so the simulator
+		// stays collectable; release them when it goes.
+		runtime.SetFinalizer(s, (*Sim).Close)
+	}
 	// Tracers that need the finished netlist (e.g. the VCD tracer's
 	// variable definitions) hook in here.
 	if at, ok := s.tracer.(interface{ Attach(*Sim) }); ok {
 		at.Attach(s)
 	}
 	return s, nil
+}
+
+// resolveScheduler pins the scheduler selection down to a concrete
+// engine and worker count.
+func resolveScheduler(sched SchedulerKind, workers int) (SchedulerKind, int) {
+	if workers < 1 {
+		workers = 1
+	}
+	switch sched {
+	case SchedulerAuto:
+		sched = SchedulerLevelized
+	case SchedulerSequential:
+		workers = 1
+	case SchedulerParallel:
+		if workers < 2 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	return sched, workers
 }
 
 // Sub composes a hierarchical child-instance name.

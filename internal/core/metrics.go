@@ -53,11 +53,14 @@ func (m *Metrics) Wakes() uint64 { return m.wakes.Load() }
 // Reacts returns the total number of reactive-handler invocations.
 func (m *Metrics) Reacts() uint64 { return m.reacts.Load() }
 
-// FixedPointIters returns the number of reactive fixed-point iterations:
-// sequential drain passes that executed at least one handler, or parallel
-// barrier rounds. Default-control resolution re-runs the fixed point
-// after every applied default, so this counts how many times quiescence
-// was re-established.
+// FixedPointIters returns the number of fixed-point iterations the
+// scheduler could not resolve statically. Under the sequential and
+// parallel engines: drain passes that executed at least one handler, or
+// parallel barrier rounds — default-control resolution re-runs the fixed
+// point after every applied default, so this counts how many times
+// quiescence was re-established. Under the levelized engine: residue
+// worklist steps, i.e. defaults applied inside or downstream of a
+// dependency cycle; exactly zero when the module graph is acyclic.
 func (m *Metrics) FixedPointIters() uint64 { return m.iters.Load() }
 
 // ParallelRounds returns the number of barrier-synchronized rounds the

@@ -5,21 +5,70 @@ package core
 // wins, except WithTracer, which composes.
 type BuildOption func(*Builder)
 
+// SchedulerKind selects the engine that resolves each cycle's signals.
+type SchedulerKind uint8
+
+const (
+	// SchedulerAuto lets Build choose: currently the levelized static
+	// scheduler, which is bit-identical to the sequential fixed point and
+	// strictly faster.
+	SchedulerAuto SchedulerKind = iota
+	// SchedulerSequential is the demand-driven sequential engine: a single
+	// work queue runs reactive handlers to a fixed point, and default
+	// control re-scans the netlist dependency-aware until quiescent.
+	SchedulerSequential
+	// SchedulerParallel is the barrier-synchronized parallel fixed-point
+	// engine: each reactive round is partitioned across a persistent
+	// worker pool. Results are bit-identical to SchedulerSequential.
+	SchedulerParallel
+	// SchedulerLevelized is the static scheduling engine: at Build time
+	// the per-kind signal dependency graph is condensed into strongly
+	// connected components (Tarjan) and the component DAG is levelized.
+	// Acyclic levels resolve in one deterministic sweep with no
+	// fixed-point iteration; only genuinely cyclic components iterate,
+	// driven by a worklist seeded from dirty signals. Results are
+	// bit-identical to SchedulerSequential. With WithWorkers(n>1) given
+	// after it, reactive rounds additionally run on the worker pool.
+	SchedulerLevelized
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedulerAuto:
+		return "auto"
+	case SchedulerSequential:
+		return "sequential"
+	case SchedulerParallel:
+		return "parallel"
+	case SchedulerLevelized:
+		return "levelized"
+	}
+	return "invalid"
+}
+
+// WithScheduler selects the scheduling engine. All schedulers produce
+// bit-identical per-cycle signal assignments and statistics; they differ
+// only in host-time cost and in the scheduler metrics they report.
+func WithScheduler(k SchedulerKind) BuildOption {
+	return func(b *Builder) { b.sched = k }
+}
+
+// WithWorkers selects the number of scheduler workers and, as a
+// deprecated side effect, the scheduler itself: n>1 implies
+// SchedulerParallel, n<=1 SchedulerSequential (values below one are
+// clamped). To combine a worker pool with the levelized engine, pass
+// WithScheduler(SchedulerLevelized) after WithWorkers — the worker count
+// is kept, only the engine selection is overridden.
+//
+// Deprecated: use WithScheduler to pick the engine; WithWorkers remains
+// only as a worker-count knob and legacy scheduler selector.
+func WithWorkers(n int) BuildOption {
+	return func(b *Builder) { b.setWorkers(n) }
+}
+
 // WithSeed sets the simulator's deterministic random seed.
 func WithSeed(seed int64) BuildOption {
 	return func(b *Builder) { b.seed = seed }
-}
-
-// WithWorkers selects the number of scheduler workers. Values above one
-// enable the parallel fixed-point scheduler, which produces results
-// bit-identical to the sequential one; values below one are clamped.
-func WithWorkers(n int) BuildOption {
-	return func(b *Builder) {
-		if n < 1 {
-			n = 1
-		}
-		b.workers = n
-	}
 }
 
 // WithTracer attaches a Tracer to the simulator under construction.

@@ -14,9 +14,15 @@ import (
 // gates, registers and sinks, deterministically from seed, and returns the
 // sinks so results can be compared across scheduler configurations.
 func buildRandomNetlist(t *testing.T, seed int64, workers int) (*core.Sim, []*sink) {
+	return buildRandomNetlistOpts(t, seed, core.WithWorkers(workers))
+}
+
+// buildRandomNetlistOpts is buildRandomNetlist with arbitrary build
+// options, so scheduler differential tests can select engines directly.
+func buildRandomNetlistOpts(t *testing.T, seed int64, opts ...core.BuildOption) (*core.Sim, []*sink) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	b := core.NewBuilder().SetSeed(seed).SetWorkers(workers)
+	b := core.NewBuilder(opts...).SetSeed(seed)
 
 	nChains := 2 + rng.Intn(4)
 	var sinks []*sink

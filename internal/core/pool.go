@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool is the persistent goroutine pool behind parallel reactive
+// rounds. Workers are spawned once at Build and fed one poolRound per
+// barrier round; work within a round is claimed by atomic counter, so a
+// slow instance does not idle the other workers. The pool replaces the
+// per-round goroutine spawn the parallel scheduler used previously.
+type workerPool struct {
+	n     int
+	tasks chan *poolRound
+	stop  sync.Once
+}
+
+// poolRound is one barrier round: a pre-sorted batch of scheduled
+// instances to react, shared by up to n workers.
+type poolRound struct {
+	sim   *Sim
+	batch []*Base
+	next  atomic.Int64
+	wg    sync.WaitGroup
+
+	panicMu sync.Mutex
+	panicV  any
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{n: n, tasks: make(chan *poolRound, n)}
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for r := range p.tasks {
+		p.runOne(r)
+	}
+}
+
+func (p *workerPool) runOne(r *poolRound) {
+	defer func() {
+		// A contract violation inside a handler must reach Sim.Step's
+		// recover on the stepping goroutine, not kill the process from a
+		// pool worker; capture it and let run re-raise it.
+		if e := recover(); e != nil {
+			r.panicMu.Lock()
+			if r.panicV == nil {
+				r.panicV = e
+			}
+			r.panicMu.Unlock()
+		}
+		r.wg.Done()
+	}()
+	for {
+		i := int(r.next.Add(1)) - 1
+		if i >= len(r.batch) {
+			return
+		}
+		b := r.batch[i]
+		b.scheduled.Store(false)
+		r.sim.runReact(b)
+	}
+}
+
+// run executes one round and blocks until every batch entry has reacted.
+// A panic captured in a worker is re-raised here, on the caller's
+// goroutine.
+func (p *workerPool) run(s *Sim, batch []*Base) {
+	r := &poolRound{sim: s, batch: batch}
+	k := p.n
+	if k > len(batch) {
+		k = len(batch)
+	}
+	r.wg.Add(k)
+	for i := 0; i < k; i++ {
+		p.tasks <- r
+	}
+	r.wg.Wait()
+	if r.panicV != nil {
+		panic(r.panicV)
+	}
+}
+
+// close releases the workers. Safe to call more than once; invoked by
+// Sim.Close and by the simulator's finalizer.
+func (p *workerPool) close() {
+	p.stop.Do(func() { close(p.tasks) })
+}

@@ -1,0 +1,318 @@
+package core
+
+// schedule.go is the static scheduling engine. At Build time the module
+// graph's SCC condensation (graph.go) partitions every connection, per
+// signal direction, into either a levelized sweep — connections whose
+// default can be applied in one statically-ordered pass, because every
+// dependency lives in a strictly earlier level — or a residue of
+// connections inside or downstream of a dependency cycle, which iterate
+// at runtime on a worklist seeded by dirty signals. The per-cycle result
+// is bit-identical to the sequential fixed point: default values depend
+// only on the connection's own earlier-round signals, reactive handlers
+// are monotonic, and cycle breaks fire at the same lowest-id unresolved
+// connection the sequential scanner would pick.
+
+// ScheduleInfo describes the static schedule computed at Build time for
+// the levelized scheduler. Sim.Schedule returns nil for other schedulers.
+type ScheduleInfo struct {
+	// Scheduler is the resolved scheduler kind (always SchedulerLevelized
+	// when the info exists).
+	Scheduler SchedulerKind
+	// Workers is the resolved worker count (1 = reactive rounds run on
+	// the calling goroutine).
+	Workers int
+	// Modules is the number of instances in the netlist.
+	Modules int
+	// SCCs is the number of strongly connected components of the module
+	// graph; CyclicSCCs of them contain a genuine dependency cycle, the
+	// largest spanning LargestSCC modules.
+	SCCs       int
+	CyclicSCCs int
+	LargestSCC int
+	// ForwardLevels and AckLevels are the depths of the statically
+	// ordered sweeps for forward signals (data, enable) and acks.
+	ForwardLevels int
+	AckLevels     int
+	// SweepConns/ResidueConns split the forward-direction connections
+	// into statically ordered and runtime-iterated; AckSweepConns and
+	// AckResidueConns do the same for the backward ack direction.
+	SweepConns      int
+	ResidueConns    int
+	AckSweepConns   int
+	AckResidueConns int
+	// BreakSites lists, per cyclic SCC, the connection where a default
+	// dependency cycle is broken first (the lowest-id connection internal
+	// to the SCC) — the place to add explicit control when a model's
+	// cycle-break behavior matters.
+	BreakSites []string
+}
+
+// schedule carries the precomputed static schedule and the runtime
+// worklist scratch state.
+type schedule struct {
+	fwdLevels [][]*Conn // static sweep batches for data/enable, id-ordered within a level
+	ackLevels [][]*Conn // static sweep batches for ack
+	fwdResidue []*Conn  // id-ordered connections needing runtime iteration
+	ackResidue []*Conn
+
+	// Per-connection dependency and dependent lists, shared per module:
+	// forward deps of c are the inputs of c's driving module, forward
+	// dependents the outputs of c's receiving module; ack direction is
+	// the mirror image.
+	fwdDeps       [][]*Conn
+	ackDeps       [][]*Conn
+	fwdDependents [][]*Conn
+	ackDependents [][]*Conn
+
+	// Worklist scratch, reused across cycles.
+	remaining []int32 // conn id -> unresolved dep count; -1 = not pending
+	ready     []*Conn
+	pending   int
+
+	info ScheduleInfo
+}
+
+// Schedule returns the static schedule computed at Build time, or nil
+// when the simulator does not use the levelized scheduler.
+func (s *Sim) Schedule() *ScheduleInfo {
+	if s.schedule == nil {
+		return nil
+	}
+	return &s.schedule.info
+}
+
+// Scheduler returns the resolved scheduler kind the simulator runs.
+func (s *Sim) Scheduler() SchedulerKind { return s.sched }
+
+// Workers returns the resolved scheduler worker count.
+func (s *Sim) Workers() int { return s.workers }
+
+// buildSchedule runs the Build-time static scheduling pass.
+func buildSchedule(s *Sim) *schedule {
+	g := buildModuleGraph(s.instances, s.conns)
+	fwdLevel, ackLevel, fwdTaint, ackTaint := g.levelize(s.conns)
+
+	nm := len(s.instances)
+	moduleIns := make([][]*Conn, nm)
+	moduleOuts := make([][]*Conn, nm)
+	for _, c := range s.conns {
+		moduleOuts[c.src.owner.id] = append(moduleOuts[c.src.owner.id], c)
+		moduleIns[c.dst.owner.id] = append(moduleIns[c.dst.owner.id], c)
+	}
+
+	sc := &schedule{
+		fwdDeps:       make([][]*Conn, len(s.conns)),
+		ackDeps:       make([][]*Conn, len(s.conns)),
+		fwdDependents: make([][]*Conn, len(s.conns)),
+		ackDependents: make([][]*Conn, len(s.conns)),
+		remaining:     make([]int32, len(s.conns)),
+		ready:         make([]*Conn, 0, 16),
+	}
+	maxFwd, maxAck := 0, 0
+	for _, c := range s.conns {
+		if l := fwdLevel[g.sccOf[c.src.owner.id]]; l > maxFwd {
+			maxFwd = l
+		}
+		if l := ackLevel[g.sccOf[c.dst.owner.id]]; l > maxAck {
+			maxAck = l
+		}
+	}
+	sc.fwdLevels = make([][]*Conn, maxFwd+1)
+	sc.ackLevels = make([][]*Conn, maxAck+1)
+	// s.conns is id-ordered, so appending in order keeps every level and
+	// residue list pre-sorted by connection id.
+	for _, c := range s.conns {
+		sc.fwdDeps[c.id] = moduleIns[c.src.owner.id]
+		sc.ackDeps[c.id] = moduleOuts[c.dst.owner.id]
+		sc.fwdDependents[c.id] = moduleOuts[c.dst.owner.id]
+		sc.ackDependents[c.id] = moduleIns[c.src.owner.id]
+		if fs := g.sccOf[c.src.owner.id]; fwdTaint[fs] {
+			sc.fwdResidue = append(sc.fwdResidue, c)
+		} else {
+			sc.fwdLevels[fwdLevel[fs]] = append(sc.fwdLevels[fwdLevel[fs]], c)
+		}
+		if as := g.sccOf[c.dst.owner.id]; ackTaint[as] {
+			sc.ackResidue = append(sc.ackResidue, c)
+		} else {
+			sc.ackLevels[ackLevel[as]] = append(sc.ackLevels[ackLevel[as]], c)
+		}
+	}
+	sc.fwdLevels = compactLevels(sc.fwdLevels)
+	sc.ackLevels = compactLevels(sc.ackLevels)
+
+	info := &sc.info
+	info.Scheduler = SchedulerLevelized
+	info.Workers = s.workers
+	info.Modules = nm
+	info.SCCs = g.nSCC
+	for scc, cyc := range g.cyclic {
+		if g.sccSize[scc] > info.LargestSCC {
+			info.LargestSCC = g.sccSize[scc]
+		}
+		if cyc {
+			info.CyclicSCCs++
+		}
+	}
+	info.ForwardLevels = len(sc.fwdLevels)
+	info.AckLevels = len(sc.ackLevels)
+	for _, lvl := range sc.fwdLevels {
+		info.SweepConns += len(lvl)
+	}
+	for _, lvl := range sc.ackLevels {
+		info.AckSweepConns += len(lvl)
+	}
+	info.ResidueConns = len(sc.fwdResidue)
+	info.AckResidueConns = len(sc.ackResidue)
+	// The break site of a cyclic SCC is its lowest-id internal
+	// connection: the first one the stall scan reaches.
+	seen := make(map[int]bool)
+	for _, c := range s.conns {
+		scc := g.sccOf[c.src.owner.id]
+		if scc == g.sccOf[c.dst.owner.id] && g.cyclic[scc] && !seen[scc] {
+			seen[scc] = true
+			info.BreakSites = append(info.BreakSites, c.String())
+		}
+	}
+	return sc
+}
+
+func compactLevels(levels [][]*Conn) [][]*Conn {
+	out := levels[:0]
+	for _, lvl := range levels {
+		if len(lvl) > 0 {
+			out = append(out, lvl)
+		}
+	}
+	return out
+}
+
+// applyDefaultsLevelized is the levelized scheduler's default-control
+// phase: per round (data, enable, ack), first the static sweep, then the
+// residue worklist. Replaces the sequential re-scanning fixed point.
+func (s *Sim) applyDefaultsLevelized() {
+	sc := s.schedule
+	s.sweep(SigData, sc.fwdLevels)
+	s.runResidue(SigData, sc.fwdResidue, sc.fwdDeps, sc.fwdDependents)
+	s.sweep(SigEnable, sc.fwdLevels)
+	s.runResidue(SigEnable, sc.fwdResidue, sc.fwdDeps, sc.fwdDependents)
+	s.sweep(SigAck, sc.ackLevels)
+	s.runResidue(SigAck, sc.ackResidue, sc.ackDeps, sc.ackDependents)
+}
+
+// sweep applies defaults level by level. Connections within one level
+// are mutually independent by construction (a level-L connection's
+// dependencies all live in levels < L), so each level is defaulted as a
+// single batch followed by one reactive drain — no fixed-point iteration
+// and no eligibility checks.
+func (s *Sim) sweep(k SigKind, levels [][]*Conn) {
+	for _, lvl := range levels {
+		applied := false
+		for _, c := range lvl {
+			if c.status(k) == Unknown {
+				s.applyDefault(c, k)
+				applied = true
+			}
+		}
+		if applied {
+			s.drain()
+		}
+	}
+}
+
+// runResidue resolves the cyclic residue of signal kind k with a
+// worklist: each connection tracks how many of its dependencies are
+// still unresolved; resolutions observed during reactive drains
+// decrement the counts and feed newly eligible connections into the
+// ready queue. When the queue stalls with connections outstanding, a
+// genuine dependency cycle is broken at the lowest-id unresolved
+// connection — the same site the sequential scanner picks.
+func (s *Sim) runResidue(k SigKind, conns []*Conn, deps, dependents [][]*Conn) {
+	if len(conns) == 0 {
+		return
+	}
+	sc := s.schedule
+	sc.pending = 0
+	ready := sc.ready[:0]
+	for _, c := range conns {
+		if c.status(k) != Unknown {
+			sc.remaining[c.id] = -1
+			continue
+		}
+		n := int32(0)
+		for _, d := range deps[c.id] {
+			if d.status(k) == Unknown {
+				n++
+			}
+		}
+		sc.remaining[c.id] = n
+		sc.pending++
+		if n == 0 {
+			ready = append(ready, c)
+		}
+	}
+	s.residueKind = k
+	s.residueOn = true
+	defer func() { s.residueOn = false }()
+	head := 0
+	for sc.pending > 0 {
+		var c *Conn
+		if head < len(ready) {
+			c = ready[head]
+			head++
+			if c.status(k) != Unknown {
+				continue // resolved by a reactive handler meanwhile
+			}
+		} else {
+			// Stall: break the cycle at the lowest-id unresolved conn.
+			for _, cc := range conns {
+				if cc.status(k) == Unknown {
+					c = cc
+					break
+				}
+			}
+			if m := s.metrics; m != nil {
+				m.breaks[k].Add(1)
+			}
+		}
+		if m := s.metrics; m != nil {
+			m.iters.Add(1)
+		}
+		s.applyDefault(c, k)
+		s.drain()
+		// Fold the resolutions the drain produced back into the
+		// worklist. The buffer is only appended to from raise(), which
+		// cannot run concurrently with this loop.
+		for _, rc := range s.resolvedBuf {
+			if sc.remaining[rc.id] >= 0 {
+				sc.remaining[rc.id] = -1
+				sc.pending--
+			}
+			for _, d := range dependents[rc.id] {
+				if sc.remaining[d.id] > 0 {
+					sc.remaining[d.id]--
+					if sc.remaining[d.id] == 0 {
+						ready = append(ready, d)
+					}
+				}
+			}
+		}
+		s.resolvedBuf = s.resolvedBuf[:0]
+	}
+	sc.ready = ready[:0]
+}
+
+// noteResolve feeds kind-k resolutions to the active residue worklist.
+// Called from raise on every successful resolution; a single flag check
+// when the worklist is idle.
+func (s *Sim) noteResolve(c *Conn, k SigKind) {
+	if !s.residueOn || k != s.residueKind {
+		return
+	}
+	if s.par {
+		s.wakeMu.Lock()
+		s.resolvedBuf = append(s.resolvedBuf, c)
+		s.wakeMu.Unlock()
+		return
+	}
+	s.resolvedBuf = append(s.resolvedBuf, c)
+}

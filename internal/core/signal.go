@@ -84,6 +84,7 @@ func (c *Conn) raise(k SigKind, s Status, v any) bool {
 	}
 	if cell.CompareAndSwap(uint32(Unknown), uint32(s)) {
 		c.sim.onResolve(c, k, s)
+		c.sim.noteResolve(c, k)
 		// Wake the endpoint that observes this signal.
 		if k == SigAck {
 			c.sim.wake(c.src.owner)

@@ -23,13 +23,16 @@ const (
 // remaining signals, and state commits.
 type Sim struct {
 	seed      int64
+	sched     SchedulerKind // resolved: Sequential, Parallel or Levelized
 	workers   int
 	tracer    Tracer
 	instances []Instance
 	byName    map[string]Instance
 	conns     []*Conn
 	stats     *StatSet
-	metrics   *Metrics // nil unless built with WithMetrics
+	metrics   *Metrics  // nil unless built with WithMetrics
+	schedule  *schedule // nil unless the levelized scheduler is selected
+	pool      *workerPool
 
 	phase phase
 	cycle uint64
@@ -39,6 +42,23 @@ type Sim struct {
 	par    bool // inside a parallel drain round
 	wakeMu sync.Mutex
 	wakes  []*Base // wakes collected during a parallel round
+	batch  []*Base // reused parallel round buffer
+
+	// Residue-worklist plumbing (levelized scheduler): while a residue
+	// run is active, raise() reports each kind-matching resolution here.
+	residueOn   bool
+	residueKind SigKind
+	resolvedBuf []*Conn
+}
+
+// Close releases the simulator's worker pool, if any. Optional: a
+// finalizer releases it when the simulator is garbage collected; Close
+// merely makes the release deterministic. The simulator must not be
+// stepped afterwards.
+func (s *Sim) Close() {
+	if s.pool != nil {
+		s.pool.close()
+	}
 }
 
 // Seed returns the simulator's random seed.
@@ -103,7 +123,9 @@ func (s *Sim) drain() {
 	}
 	s.queue = s.queue[:0]
 	s.qhead = 0
-	if m := s.metrics; m != nil && ran {
+	// Under the levelized scheduler, fixed-point iterations are counted
+	// by the residue worklist instead (zero on acyclic netlists).
+	if m := s.metrics; m != nil && ran && s.schedule == nil {
 		m.iters.Add(1)
 	}
 }
@@ -129,46 +151,60 @@ func (s *Sim) runReact(b *Base) {
 }
 
 // drainParallel runs the reactive fixed point in barrier-synchronized
-// rounds. Within a round the ready set is partitioned across workers;
-// signal resolution is atomic and single-assignment, and each signal has a
-// unique driving instance, so rounds race only on wake bookkeeping.
-// Monotonic confluence makes the result identical to sequential execution.
+// rounds on the persistent worker pool. Within a round the ready set is
+// claimed by the workers; signal resolution is atomic and
+// single-assignment, and each signal has a unique driving instance, so
+// rounds race only on wake bookkeeping. Monotonic confluence makes the
+// result identical to sequential execution.
 func (s *Sim) drainParallel() {
 	// Move any sequentially-queued wakes (from cycle-start) into the
 	// round set.
-	batch := make([]*Base, 0, len(s.queue))
-	batch = append(batch, s.queue[s.qhead:]...)
+	batch := append(s.batch[:0], s.queue[s.qhead:]...)
 	s.queue = s.queue[:0]
 	s.qhead = 0
+	s.wakes = s.wakes[:0]
 	s.par = true
-	defer func() { s.par = false }()
+	defer func() {
+		s.par = false
+		s.batch = batch[:0]
+	}()
 	for len(batch) > 0 {
-		sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+		batch = sortWakes(batch)
 		if m := s.metrics; m != nil {
 			m.rounds.Add(1)
-			m.iters.Add(1)
+			if s.schedule == nil {
+				m.iters.Add(1)
+			}
 			m.roundSize.Observe(float64(len(batch)))
 		}
-		var wg sync.WaitGroup
-		n := s.workers
-		if n > len(batch) {
-			n = len(batch)
-		}
-		for w := 0; w < n; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := w; i < len(batch); i += n {
-					b := batch[i]
-					b.scheduled.Store(false)
-					s.runReact(b)
-				}
-			}(w)
-		}
-		wg.Wait()
+		s.pool.run(s, batch)
 		batch = append(batch[:0], s.wakes...)
 		s.wakes = s.wakes[:0]
 	}
+}
+
+// sortWakes puts a round batch into deterministic id order and drops
+// duplicates. Cycle-start broadcasts arrive already ordered, so the
+// common case is a single linear scan with no sort.
+func sortWakes(batch []*Base) []*Base {
+	sorted := true
+	for i := 1; i < len(batch); i++ {
+		if batch[i].id <= batch[i-1].id {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return batch
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+	out := batch[:1]
+	for _, b := range batch[1:] {
+		if b != out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // applyDefaults resolves still-Unknown signals using default control
@@ -188,6 +224,10 @@ func (s *Sim) drainParallel() {
 // killed at the head. A genuine dependency cycle is broken at the
 // lowest-id unresolved connection.
 func (s *Sim) applyDefaults() {
+	if s.schedule != nil {
+		s.applyDefaultsLevelized()
+		return
+	}
 	s.defaultRound(SigData)
 	s.defaultRound(SigEnable)
 	s.defaultRound(SigAck)

@@ -50,8 +50,47 @@ type SchedulerStats struct {
 	CycleBreaks      map[string]uint64 `json:"cycle_breaks"`
 }
 
+// ScheduleStats is the exported view of the static schedule the levelized
+// scheduler computed at Build time: how the netlist partitioned into
+// statically ordered sweep levels versus the cyclic residue, and where
+// default-dependency cycles break.
+type ScheduleStats struct {
+	Scheduler       string   `json:"scheduler"`
+	Workers         int      `json:"workers"`
+	Modules         int      `json:"modules"`
+	SCCs            int      `json:"sccs"`
+	CyclicSCCs      int      `json:"cyclic_sccs"`
+	LargestSCC      int      `json:"largest_scc"`
+	ForwardLevels   int      `json:"forward_levels"`
+	AckLevels       int      `json:"ack_levels"`
+	SweepConns      int      `json:"sweep_conns"`
+	ResidueConns    int      `json:"residue_conns"`
+	AckSweepConns   int      `json:"ack_sweep_conns"`
+	AckResidueConns int      `json:"ack_residue_conns"`
+	BreakSites      []string `json:"break_sites,omitempty"`
+}
+
+func scheduleStats(info *core.ScheduleInfo) *ScheduleStats {
+	return &ScheduleStats{
+		Scheduler:       info.Scheduler.String(),
+		Workers:         info.Workers,
+		Modules:         info.Modules,
+		SCCs:            info.SCCs,
+		CyclicSCCs:      info.CyclicSCCs,
+		LargestSCC:      info.LargestSCC,
+		ForwardLevels:   info.ForwardLevels,
+		AckLevels:       info.AckLevels,
+		SweepConns:      info.SweepConns,
+		ResidueConns:    info.ResidueConns,
+		AckSweepConns:   info.AckSweepConns,
+		AckResidueConns: info.AckResidueConns,
+		BreakSites:      info.BreakSites,
+	}
+}
+
 // Snapshot is a point-in-time, machine-readable view of a simulator:
-// identity, the full StatSet, and — when the simulator was built with
+// identity, the full StatSet, the static schedule (when the simulator
+// runs the levelized scheduler), and — when the simulator was built with
 // metrics — scheduler counters and the per-instance react profile sorted
 // hottest first.
 type Snapshot struct {
@@ -61,6 +100,7 @@ type Snapshot struct {
 	Conns      int                       `json:"conns"`
 	Counters   map[string]int64          `json:"counters"`
 	Histograms map[string]HistogramStats `json:"histograms"`
+	Schedule   *ScheduleStats            `json:"schedule,omitempty"`
 	Scheduler  *SchedulerStats           `json:"scheduler,omitempty"`
 	Hot        []InstanceStats           `json:"hot,omitempty"`
 }
@@ -89,6 +129,9 @@ func TakeSnapshot(s *core.Sim) Snapshot {
 		if h := st.Histogram(name); h != nil {
 			snap.Histograms[name] = histStats(h)
 		}
+	}
+	if info := s.Schedule(); info != nil {
+		snap.Schedule = scheduleStats(info)
 	}
 	m := s.Metrics()
 	if m == nil {
@@ -179,6 +222,23 @@ func WriteCSV(w io.Writer, s *core.Sim) error {
 		row("histogram", n, "p50", h.P50)
 		row("histogram", n, "p95", h.P95)
 		row("histogram", n, "p99", h.P99)
+	}
+	if sd := snap.Schedule; sd != nil {
+		cw.Write([]string{"schedule", "", "scheduler", sd.Scheduler})
+		row("schedule", "", "workers", int64(sd.Workers))
+		row("schedule", "", "modules", int64(sd.Modules))
+		row("schedule", "", "sccs", int64(sd.SCCs))
+		row("schedule", "", "cyclic_sccs", int64(sd.CyclicSCCs))
+		row("schedule", "", "largest_scc", int64(sd.LargestSCC))
+		row("schedule", "", "forward_levels", int64(sd.ForwardLevels))
+		row("schedule", "", "ack_levels", int64(sd.AckLevels))
+		row("schedule", "", "sweep_conns", int64(sd.SweepConns))
+		row("schedule", "", "residue_conns", int64(sd.ResidueConns))
+		row("schedule", "", "ack_sweep_conns", int64(sd.AckSweepConns))
+		row("schedule", "", "ack_residue_conns", int64(sd.AckResidueConns))
+		for i, site := range sd.BreakSites {
+			cw.Write([]string{"schedule", strconv.Itoa(i), "break_site", site})
+		}
 	}
 	if sc := snap.Scheduler; sc != nil {
 		row("scheduler", "", "cycles", sc.Cycles)

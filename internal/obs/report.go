@@ -8,6 +8,37 @@ import (
 	core "liberty/internal/core"
 )
 
+// WriteScheduleReport writes a human-readable dump of the static schedule
+// the levelized scheduler computed at Build time. The simulator must run
+// the levelized scheduler (the default); for the legacy sequential and
+// parallel engines there is no static schedule to report.
+func WriteScheduleReport(w io.Writer, s *core.Sim) error {
+	info := s.Schedule()
+	if info == nil {
+		return fmt.Errorf("obs: schedule report requires the levelized scheduler (running %s)", s.Scheduler())
+	}
+	if _, err := fmt.Fprintf(w, "static schedule (%s, %d worker(s)):\n", info.Scheduler, info.Workers); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  modules:        %d in %d SCC(s), %d cyclic (largest %d modules)\n",
+		info.Modules, info.SCCs, info.CyclicSCCs, info.LargestSCC)
+	fmt.Fprintf(w, "  forward sweep:  %d conns over %d level(s), %d in cyclic residue\n",
+		info.SweepConns, info.ForwardLevels, info.ResidueConns)
+	fmt.Fprintf(w, "  ack sweep:      %d conns over %d level(s), %d in cyclic residue\n",
+		info.AckSweepConns, info.AckLevels, info.AckResidueConns)
+	if len(info.BreakSites) == 0 {
+		_, err := fmt.Fprintf(w, "  cycle breaks:   none — fully static schedule, zero fixed-point iterations\n")
+		return err
+	}
+	fmt.Fprintf(w, "  cycle breaks (per cyclic SCC, lowest-id connection first):\n")
+	for _, site := range info.BreakSites {
+		if _, err := fmt.Fprintf(w, "    %s\n", site); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteHotReport writes the per-instance "hot module" report: the topN
 // instances by estimated cumulative react time, with invocation counts
 // and each instance's share of total react time. The simulator must have

@@ -16,9 +16,23 @@
 //	snk, _ := b.Instantiate("pcl.sink", "snk", nil)
 //	b.Connect(src, "out", q, "in")
 //	b.Connect(q, "out", snk, "in")
-//	sim, _ := b.Build(lse.WithSeed(1), lse.WithWorkers(4))
+//	sim, _ := b.Build(lse.WithSeed(1))
 //	sim.Run(1000)
 //	sim.Stats().Dump(os.Stdout)
+//
+// # Scheduler selection
+//
+// WithScheduler picks the engine that resolves each cycle's signals. The
+// default (SchedulerAuto) is the levelized static scheduler: at build
+// time the signal dependency graph is condensed into strongly connected
+// components and levelized, so acyclic regions resolve in one
+// deterministic sweep with no fixed-point iteration; only genuine cycles
+// iterate, on a worklist. SchedulerSequential and SchedulerParallel are
+// the classic dynamic fixed-point engines. Every scheduler produces
+// bit-identical per-cycle signal assignments and statistics:
+//
+//	sim, _ := b.Build(lse.WithScheduler(lse.SchedulerLevelized))
+//	lse.WriteScheduleReport(os.Stderr, sim) // SCCs, levels, break sites
 //
 // # Quickstart (LSS)
 //
@@ -56,7 +70,9 @@
 //
 // The Builder setter chain (SetSeed, SetWorkers, SetTracer, SetRegistry)
 // and the nil-builder BuildLSS entry point still work but are deprecated
-// in favor of the options API above.
+// in favor of the options API above. WithWorkers as a scheduler selector
+// is deprecated in favor of WithScheduler; it remains the worker-count
+// knob for the parallel engines.
 //
 // The component libraries (pcl, upl, ccl, mpl, nilib) register their
 // templates into DefaultRegistry from their init functions; importing
@@ -102,6 +118,10 @@ type (
 	Status = core.Status
 	// SigKind identifies one of a connection's three signals.
 	SigKind = core.SigKind
+	// SchedulerKind selects the engine that resolves each cycle.
+	SchedulerKind = core.SchedulerKind
+	// ScheduleInfo describes the levelized scheduler's static schedule.
+	ScheduleInfo = core.ScheduleInfo
 	// Params carries template customization values.
 	Params = core.Params
 	// Template is a registered, reusable module description.
@@ -142,6 +162,8 @@ type (
 	Event = obs.Event
 	// Snapshot is a machine-readable statistics/metrics capture.
 	Snapshot = obs.Snapshot
+	// ScheduleStats is the snapshot's static-schedule section.
+	ScheduleStats = obs.ScheduleStats
 	// MetricsServer serves live JSON snapshots over HTTP.
 	MetricsServer = obs.MetricsServer
 )
@@ -164,6 +186,21 @@ const (
 	SigData   = core.SigData
 	SigEnable = core.SigEnable
 	SigAck    = core.SigAck
+)
+
+// Scheduler kinds, accepted by WithScheduler. All schedulers produce
+// bit-identical per-cycle signal assignments and statistics; they differ
+// only in host-time cost.
+const (
+	// SchedulerAuto lets Build choose (currently SchedulerLevelized).
+	SchedulerAuto = core.SchedulerAuto
+	// SchedulerSequential is the demand-driven sequential fixed point.
+	SchedulerSequential = core.SchedulerSequential
+	// SchedulerParallel partitions reactive rounds across a worker pool.
+	SchedulerParallel = core.SchedulerParallel
+	// SchedulerLevelized is the static scheduling engine: SCC-condensed,
+	// levelized sweeps with a worklist for genuinely cyclic residues.
+	SchedulerLevelized = core.SchedulerLevelized
 )
 
 // NewBuilder returns a netlist builder over DefaultRegistry, configured
@@ -193,7 +230,14 @@ func PortOf(inst Instance, name string) (*Port, error) { return core.PortOf(inst
 var (
 	// WithSeed sets the deterministic random seed.
 	WithSeed = core.WithSeed
-	// WithWorkers selects the scheduler worker count (>1 = parallel).
+	// WithScheduler selects the scheduling engine (see SchedulerAuto,
+	// SchedulerSequential, SchedulerParallel, SchedulerLevelized).
+	WithScheduler = core.WithScheduler
+	// WithWorkers selects the scheduler worker count and, as a deprecated
+	// side effect, the engine (n>1 = parallel, else sequential).
+	//
+	// Deprecated: use WithScheduler to pick the engine; WithWorkers
+	// remains only as a worker-count knob and legacy scheduler selector.
 	WithWorkers = core.WithWorkers
 	// WithTracer attaches a tracer; repeated options compose.
 	WithTracer = core.WithTracer
@@ -263,3 +307,8 @@ func WriteStatsCSV(w io.Writer, s *Sim) error { return obs.WriteCSV(w, s) }
 // WriteHotReport writes the per-instance "hot module" react-time report
 // (requires a simulator built with WithMetrics or an Observer).
 func WriteHotReport(w io.Writer, s *Sim, topN int) error { return obs.WriteHotReport(w, s, topN) }
+
+// WriteScheduleReport writes a readable dump of the static schedule the
+// levelized scheduler computed at Build time — SCC structure, sweep
+// levels, cyclic residues and cycle-break sites.
+func WriteScheduleReport(w io.Writer, s *Sim) error { return obs.WriteScheduleReport(w, s) }

@@ -120,6 +120,16 @@ func TestDeprecatedShims(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// WithWorkers/SetWorkers still act as the legacy scheduler selector:
+	// a worker count above one selects the parallel fixed-point engine.
+	for _, s := range []*lse.Sim{old, niu} {
+		if got := s.Scheduler(); got != lse.SchedulerParallel {
+			t.Fatalf("WithWorkers(2) resolved scheduler %v, want parallel", got)
+		}
+		if got := s.Workers(); got != 2 {
+			t.Fatalf("WithWorkers(2) resolved %d workers, want 2", got)
+		}
+	}
 	for _, s := range []*lse.Sim{old, niu} {
 		if err := s.Run(30); err != nil {
 			t.Fatal(err)
@@ -129,5 +139,82 @@ func TestDeprecatedShims(t *testing.T) {
 	z := niu.Stats().CounterValue("snk.received")
 	if a != 5 || z != 5 {
 		t.Fatalf("deprecated=%d options=%d, want 5 and 5", a, z)
+	}
+}
+
+// TestScheduleSnapshot drives the schedule introspection surface: a
+// levelized simulator exposes its static schedule through Sim.Schedule,
+// the Snapshot's Schedule section, both stats exporters and the readable
+// schedule report.
+func TestScheduleSnapshot(t *testing.T) {
+	spec := `
+		instance src : pcl.source(count = 8);
+		instance q   : pcl.queue(capacity = 2);
+		instance snk : pcl.sink();
+		src.out -> q.in;
+		q.out -> snk.in;
+	`
+	sim, err := lse.LoadLSS(spec, lse.WithSeed(1), lse.WithScheduler(lse.SchedulerLevelized), lse.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	info := sim.Schedule()
+	if info == nil {
+		t.Fatal("Schedule() = nil under WithScheduler(SchedulerLevelized)")
+	}
+	if info.CyclicSCCs != 0 || info.ResidueConns != 0 {
+		t.Fatalf("linear pipeline reported cycles: %+v", info)
+	}
+	// Acyclic netlist: the static sweep replaces every fixed-point pass.
+	if got := sim.Metrics().FixedPointIters(); got != 0 {
+		t.Fatalf("fixed-point iters = %d, want 0 on an acyclic netlist", got)
+	}
+
+	snap := lse.TakeSnapshot(sim)
+	if snap.Schedule == nil {
+		t.Fatal("snapshot has no schedule section")
+	}
+	if snap.Schedule.Scheduler != "levelized" || snap.Schedule.SweepConns != 2 {
+		t.Fatalf("schedule section = %+v", snap.Schedule)
+	}
+	var js bytes.Buffer
+	if err := lse.WriteStatsJSON(&js, sim); err != nil {
+		t.Fatal(err)
+	}
+	var decoded lse.Snapshot
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Schedule == nil || decoded.Schedule.ForwardLevels != snap.Schedule.ForwardLevels {
+		t.Fatalf("schedule section does not round-trip through JSON: %+v", decoded.Schedule)
+	}
+	var csvOut bytes.Buffer
+	if err := lse.WriteStatsCSV(&csvOut, sim); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvOut.String(), "schedule,,scheduler,levelized") {
+		t.Fatalf("CSV snapshot missing schedule rows:\n%s", csvOut.String())
+	}
+	var rep bytes.Buffer
+	if err := lse.WriteScheduleReport(&rep, sim); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "static schedule") || !strings.Contains(rep.String(), "cycle breaks:   none") {
+		t.Fatalf("schedule report malformed:\n%s", rep.String())
+	}
+
+	// Legacy engines have no static schedule; the report says so.
+	seq, err := lse.LoadLSS(spec, lse.WithScheduler(lse.SchedulerSequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Schedule() != nil {
+		t.Fatal("sequential scheduler reports a static schedule")
+	}
+	if err := lse.WriteScheduleReport(&rep, seq); err == nil {
+		t.Fatal("WriteScheduleReport succeeded without a static schedule")
 	}
 }

@@ -1,0 +1,320 @@
+package liberty_test
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	core "liberty/internal/core"
+	"liberty/internal/pcl"
+	"liberty/lse"
+)
+
+// cycleHasher fingerprints every simulated cycle: at OnCycleEnd it hashes
+// the id-ordered data/enable/ack statuses (and data values) of every
+// connection. Two runs are bit-identical iff their hash sequences match.
+type cycleHasher struct {
+	sim    *core.Sim
+	hashes []uint64
+}
+
+func (h *cycleHasher) OnCycleBegin(uint64)                             {}
+func (h *cycleHasher) OnResolve(*core.Conn, core.SigKind, core.Status) {}
+func (h *cycleHasher) Attach(s *core.Sim)                              { h.sim = s }
+
+func (h *cycleHasher) OnCycleEnd(n uint64) {
+	fh := fnv.New64a()
+	for _, c := range h.sim.Conns() {
+		v, _ := c.Data()
+		fmt.Fprintf(fh, "%d:%d%d%d=%v;", c.ID(),
+			c.Status(core.SigData), c.Status(core.SigEnable), c.Status(core.SigAck), v)
+	}
+	h.hashes = append(h.hashes, fh.Sum64())
+}
+
+// schedulerMatrix is every engine the differential tests pit against the
+// sequential reference.
+var schedulerMatrix = []struct {
+	name string
+	opts []lse.BuildOption
+}{
+	{"sequential", []lse.BuildOption{lse.WithScheduler(lse.SchedulerSequential)}},
+	{"levelized", []lse.BuildOption{lse.WithScheduler(lse.SchedulerLevelized)}},
+	{"parallel", []lse.BuildOption{lse.WithScheduler(lse.SchedulerParallel), lse.WithWorkers(4)}},
+}
+
+type schedRun struct {
+	hashes   []uint64
+	stats    string
+	defaults [3]uint64
+	breaks   [3]uint64
+}
+
+func runSpecUnder(t *testing.T, src string, cycles uint64, opts ...lse.BuildOption) schedRun {
+	t.Helper()
+	h := &cycleHasher{}
+	opts = append(opts, lse.WithSeed(1), lse.WithMetrics(), lse.WithTracer(h))
+	sim, err := lse.LoadLSS(src, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	var st bytes.Buffer
+	sim.Stats().Dump(&st)
+	r := schedRun{hashes: h.hashes, stats: st.String()}
+	m := sim.Metrics()
+	for i, k := range []core.SigKind{core.SigData, core.SigEnable, core.SigAck} {
+		r.defaults[i] = m.DefaultFallbacks(k)
+		r.breaks[i] = m.CycleBreaks(k)
+	}
+	return r
+}
+
+func diffRuns(t *testing.T, what, name string, ref, got schedRun) {
+	t.Helper()
+	if len(ref.hashes) != len(got.hashes) {
+		t.Fatalf("%s/%s: cycle count %d, want %d", what, name, len(got.hashes), len(ref.hashes))
+	}
+	for i := range ref.hashes {
+		if ref.hashes[i] != got.hashes[i] {
+			t.Fatalf("%s/%s: cycle %d signal statuses diverge from sequential", what, name, i)
+		}
+	}
+	if ref.stats != got.stats {
+		t.Fatalf("%s/%s: stats diverge from sequential:\n--- sequential\n%s--- %s\n%s",
+			what, name, ref.stats, name, got.stats)
+	}
+	if ref.defaults != got.defaults || ref.breaks != got.breaks {
+		t.Fatalf("%s/%s: default/break counts diverge: defaults %v vs %v, breaks %v vs %v",
+			what, name, ref.defaults, got.defaults, ref.breaks, got.breaks)
+	}
+}
+
+// TestSchedulersAgreeOnSpecs runs every shipped specification under the
+// sequential, levelized and parallel engines and demands bit-identical
+// per-cycle signal statuses, statistics dumps and scheduler counts — the
+// redesign's central invariant on real models (including the mesh, whose
+// router loop exercises the cyclic residue and its break sites).
+func TestSchedulersAgreeOnSpecs(t *testing.T) {
+	matches, err := filepath.Glob("specs/*.lss")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no specs found: %v", err)
+	}
+	for _, path := range matches {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles := uint64(200)
+		if filepath.Base(path) == "mesh.lss" {
+			cycles = 60 // the 4x4 mesh is the slow one; its loop still breaks every cycle
+		}
+		ref := runSpecUnder(t, string(src), cycles, schedulerMatrix[0].opts...)
+		for _, tc := range schedulerMatrix[1:] {
+			got := runSpecUnder(t, string(src), cycles, tc.opts...)
+			diffRuns(t, filepath.Base(path), tc.name, ref, got)
+		}
+	}
+}
+
+// TestSchedulersAgreeOnRandomNetlists does the same over pseudo-random
+// pcl netlists: chains of queues with random depth and capacity, fanned
+// between random sources and sinks.
+func TestSchedulersAgreeOnRandomNetlists(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		ref := runRandomUnder(t, seed, schedulerMatrix[0].opts...)
+		for _, tc := range schedulerMatrix[1:] {
+			got := runRandomUnder(t, seed, tc.opts...)
+			diffRuns(t, fmt.Sprintf("rand-%d", seed), tc.name, ref, got)
+		}
+	}
+}
+
+func runRandomUnder(t *testing.T, seed int64, opts ...lse.BuildOption) schedRun {
+	t.Helper()
+	h := &cycleHasher{}
+	opts = append(opts, lse.WithSeed(seed), lse.WithMetrics(), lse.WithTracer(h))
+	b := core.NewBuilder(opts...)
+	rng := rand.New(rand.NewSource(seed))
+	nChains := 2 + rng.Intn(3)
+	for c := 0; c < nChains; c++ {
+		src, err := pcl.NewSource(fmt.Sprintf("src%d", c), core.Params{"count": int64(20 + rng.Intn(30))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Add(src)
+		var prev core.Instance = src
+		depth := 1 + rng.Intn(4)
+		for d := 0; d < depth; d++ {
+			q, err := pcl.NewQueue(fmt.Sprintf("q%d_%d", c, d), core.Params{"capacity": int64(1 + rng.Intn(4))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Add(q)
+			b.Connect(prev, "out", q, "in")
+			prev = q
+		}
+		snk, err := pcl.NewSink(fmt.Sprintf("snk%d", c), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Add(snk)
+		b.Connect(prev, "out", snk, "in")
+	}
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	var st bytes.Buffer
+	sim.Stats().Dump(&st)
+	r := schedRun{hashes: h.hashes, stats: st.String()}
+	m := sim.Metrics()
+	for i, k := range []core.SigKind{core.SigData, core.SigEnable, core.SigAck} {
+		r.defaults[i] = m.DefaultFallbacks(k)
+		r.breaks[i] = m.CycleBreaks(k)
+	}
+	return r
+}
+
+// passThrough declares ports but no handlers: every one of its signals
+// falls to default control — the netlist shape that isolates the engine's
+// default-resolution path (and the paper's claim that modules may omit
+// control code entirely).
+type passThrough struct{ core.Base }
+
+func newPassThrough(name string) *passThrough {
+	p := &passThrough{}
+	p.Init(name, p)
+	p.AddInPort("in")
+	p.AddOutPort("out")
+	return p
+}
+
+// buildDefaultChain wires depth handler-less modules into an acyclic
+// pipeline; buildDefaultMesh wires w×h of them into a torus (one large
+// cyclic SCC). Shared by the scheduler benchmarks and differential tests.
+func buildDefaultChain(t testing.TB, depth int, opts ...core.BuildOption) *core.Sim {
+	t.Helper()
+	b := core.NewBuilder(opts...)
+	first := newPassThrough("pt0")
+	b.Add(first)
+	var prev core.Instance = first
+	for d := 1; d < depth; d++ {
+		pt := newPassThrough(fmt.Sprintf("pt%d", d))
+		b.Add(pt)
+		b.Connect(prev, "out", pt, "in")
+		prev = pt
+	}
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func buildDefaultMesh(t testing.TB, w, h int, opts ...core.BuildOption) *core.Sim {
+	t.Helper()
+	b := core.NewBuilder(opts...)
+	grid := make([][]*passThrough, h)
+	for y := range grid {
+		grid[y] = make([]*passThrough, w)
+		for x := range grid[y] {
+			grid[y][x] = newPassThrough(fmt.Sprintf("n%d_%d", y, x))
+			b.Add(grid[y][x])
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.Connect(grid[y][x], "out", grid[y][(x+1)%w], "in")
+			b.Connect(grid[y][x], "out", grid[(y+1)%h][x], "in")
+		}
+	}
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestSchedulersAgreeOnDefaultNetlists covers the default-control-bound
+// shapes the BenchmarkLevelized* benchmarks run: a deep acyclic chain
+// (pure static sweep) and a cyclic torus (pure residue worklist with
+// cycle breaks every cycle). Bit-identity must hold there too.
+func TestSchedulersAgreeOnDefaultNetlists(t *testing.T) {
+	shapes := []struct {
+		name  string
+		build func(t testing.TB, opts ...lse.BuildOption) *core.Sim
+	}{
+		{"chain-64", func(t testing.TB, opts ...lse.BuildOption) *core.Sim {
+			return buildDefaultChain(t, 64, opts...)
+		}},
+		{"torus-8x8", func(t testing.TB, opts ...lse.BuildOption) *core.Sim {
+			return buildDefaultMesh(t, 8, 8, opts...)
+		}},
+	}
+	for _, shape := range shapes {
+		run := func(opts []lse.BuildOption) schedRun {
+			h := &cycleHasher{}
+			all := append([]lse.BuildOption{lse.WithMetrics(), lse.WithTracer(h)}, opts...)
+			sim := shape.build(t, all...)
+			if err := sim.Run(50); err != nil {
+				t.Fatal(err)
+			}
+			var st bytes.Buffer
+			sim.Stats().Dump(&st)
+			r := schedRun{hashes: h.hashes, stats: st.String()}
+			m := sim.Metrics()
+			for i, k := range []core.SigKind{core.SigData, core.SigEnable, core.SigAck} {
+				r.defaults[i] = m.DefaultFallbacks(k)
+				r.breaks[i] = m.CycleBreaks(k)
+			}
+			return r
+		}
+		ref := run(schedulerMatrix[0].opts)
+		for _, tc := range schedulerMatrix[1:] {
+			diffRuns(t, shape.name, tc.name, ref, run(tc.opts))
+		}
+	}
+}
+
+// TestMeshScheduleGolden pins the static schedule of the shipped 4x4 mesh
+// spec: the routers form exactly one cyclic SCC and the residue carries
+// the mesh loop while the terminals levelize.
+func TestMeshScheduleGolden(t *testing.T) {
+	src, err := os.ReadFile("specs/mesh.lss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := lse.LoadLSS(string(src), lse.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sim.Schedule()
+	if info == nil {
+		t.Fatal("default build did not produce a static schedule")
+	}
+	if info.CyclicSCCs != 1 {
+		t.Fatalf("mesh cyclic SCCs = %d, want 1", info.CyclicSCCs)
+	}
+	if len(info.BreakSites) != 1 {
+		t.Fatalf("mesh break sites = %v, want exactly one", info.BreakSites)
+	}
+	if info.SweepConns == 0 || info.ResidueConns == 0 {
+		t.Fatalf("mesh should split between sweep (%d) and residue (%d)", info.SweepConns, info.ResidueConns)
+	}
+	if got := info.SweepConns + info.ResidueConns; got != len(sim.Conns()) {
+		t.Fatalf("fwd partition covers %d conns, want %d", got, len(sim.Conns()))
+	}
+	if got := info.AckSweepConns + info.AckResidueConns; got != len(sim.Conns()) {
+		t.Fatalf("ack partition covers %d conns, want %d", got, len(sim.Conns()))
+	}
+}
