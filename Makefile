@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke
+.PHONY: check vet build test race bench bench-smoke lint
 
 ## check: full gate — vet, build, and the test suite under the race detector.
 check: vet build race
 
 vet:
 	$(GO) vet ./...
+
+## lint: static analysis — lslint over the spec corpus (fails on
+## error-severity diagnostics; warnings tolerated) and the vetlse phase
+## checker over every Go package via go vet.
+lint:
+	$(GO) build -o bin/lslint ./cmd/lslint
+	$(GO) build -o bin/vetlse ./cmd/vetlse
+	./bin/lslint specs examples || [ $$? -eq 1 ]
+	$(GO) vet -vettool=$$(pwd)/bin/vetlse ./...
 
 build:
 	$(GO) build ./...

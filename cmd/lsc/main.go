@@ -22,6 +22,10 @@
 //	-stats-csv F   write the statistics snapshot as CSV to file F
 //	-events N      keep the last N signal events; dump them on exit
 //	-templates     list registered module templates and exit
+//	-lint          run static analysis only: print the diagnostic report
+//	               and exit with its maximum severity (cmd/lslint's codes)
+//	-strict S      fail construction when static analysis finds
+//	               diagnostics at or above severity S (info|warning|error)
 //
 // With -stats-json, progress chatter moves to stderr so stdout stays
 // machine-readable.
@@ -80,6 +84,8 @@ func main() {
 	defs := defines{}
 	flag.Var(defs, "D", "override a top-level let binding: -D name=value (repeatable)")
 	listTemplates := flag.Bool("templates", false, "list registered module templates and exit")
+	lint := flag.Bool("lint", false, "run static analysis only and exit with the report's maximum severity")
+	strict := flag.String("strict", "", "fail construction on diagnostics at or above this severity (info, warning or error)")
 	flag.Parse()
 
 	if *listTemplates {
@@ -98,12 +104,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *lint {
+		report := lse.LintWith(flag.Arg(0), string(src), defs)
+		if err := report.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if max, ok := report.Max(); ok {
+			os.Exit(int(max))
+		}
+		return
+	}
 
 	info := os.Stdout
 	if *statsJSON {
 		info = os.Stderr // keep stdout pure JSON
 	}
 	opts := []lse.BuildOption{lse.WithSeed(*seed)}
+	if *strict != "" {
+		min, err := lse.ParseSeverity(*strict)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, lse.WithStrictAnalysis(min))
+	}
 	if *workers != 1 {
 		// Only forward an explicit worker count: WithWorkers doubles as the
 		// legacy scheduler selector and would otherwise pin -scheduler auto
@@ -135,7 +158,7 @@ func main() {
 	if *profile || ev != nil {
 		opts = append(opts, lse.WithObserver(&lse.Observer{Metrics: *profile, Events: ev}))
 	}
-	sim, err := lse.LoadLSSWith(string(src), defs, opts...)
+	sim, err := lse.LoadLSSFile(flag.Arg(0), string(src), defs, opts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,146 @@
+// Command lslint statically analyzes Liberty Simulator Specifications:
+// it parses, elaborates and builds each spec against the registered
+// component libraries, runs every analysis pass (unconnected ports,
+// combinational cycles, handshake-contract misuse, dead structure,
+// parameter hygiene, hierarchy checks — see internal/analysis), and
+// reports diagnostics with stable LSE codes and spec positions.
+//
+// Usage:
+//
+//	lslint [flags] file.lss dir/ ...
+//
+// Directories are walked recursively for .lss files. Flags:
+//
+//	-json          emit the report as JSON instead of text
+//	-D name=value  predefine a top-level binding (repeatable), as lsc -D
+//	-passes        list the registered analysis passes and exit
+//
+// Diagnostics anchored to a line carrying (or directly below) an
+// `# lse:ignore [CODE,...]` comment are suppressed.
+//
+// The exit code is the maximum severity found: 0 info/clean, 1 warning,
+// 2 error; 3 reports an operational failure (unreadable input).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"liberty/internal/analysis"
+
+	// Register the component libraries' templates so specs elaborate.
+	_ "liberty/lse"
+)
+
+type defines map[string]any
+
+func (d defines) String() string { return "" }
+
+func (d defines) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	if n, err := strconv.ParseInt(val, 0, 64); err == nil {
+		d[name] = n
+		return nil
+	}
+	if f, err := strconv.ParseFloat(val, 64); err == nil {
+		d[name] = f
+		return nil
+	}
+	if b, err := strconv.ParseBool(val); err == nil {
+		d[name] = b
+		return nil
+	}
+	d[name] = val
+	return nil
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	listPasses := flag.Bool("passes", false, "list the registered analysis passes and exit")
+	defs := defines{}
+	flag.Var(defs, "D", "predefine a top-level binding: -D name=value (repeatable)")
+	flag.Parse()
+
+	if *listPasses {
+		for _, p := range analysis.SpecPasses() {
+			fmt.Printf("%s  %-12s (spec)     %s\n", p.Code, p.Name, p.Doc)
+		}
+		for _, p := range analysis.NetlistPasses() {
+			fmt.Printf("%s  %-12s (netlist)  %s\n", p.Code, p.Name, p.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lslint [flags] file.lss dir/ ...")
+		flag.Usage()
+		os.Exit(3)
+	}
+
+	specs, err := collect(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lslint:", err)
+		os.Exit(3)
+	}
+	combined := &analysis.Report{}
+	for _, path := range specs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lslint:", err)
+			os.Exit(3)
+		}
+		r := analysis.LintSourceWith(path, string(src), defs)
+		combined.Diags = append(combined.Diags, r.Diags...)
+	}
+	combined.Sort()
+
+	if *jsonOut {
+		err = combined.WriteJSON(os.Stdout)
+	} else {
+		err = combined.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lslint:", err)
+		os.Exit(3)
+	}
+	if max, ok := combined.Max(); ok {
+		os.Exit(int(max))
+	}
+}
+
+// collect expands the argument list into .lss files, walking directories
+// recursively. Order is the argument order, with directory contents
+// sorted by WalkDir — deterministic either way.
+func collect(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".lss") {
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,582 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"liberty/internal/analysis"
+	_ "liberty/internal/ccl" // register templates
+	core "liberty/internal/core"
+	"liberty/internal/lss"
+	_ "liberty/internal/pcl"
+)
+
+// relay is a minimal test module: one in, one out, with handlers, so the
+// handshake pass has nothing to say about it.
+type relay struct{ core.Base }
+
+func buildRelay(noDefault bool) core.BuildFn {
+	return func(b *core.Builder, name string, p core.Params) (core.Instance, error) {
+		m := &relay{}
+		m.Init(name, m)
+		m.AddInPort("in", core.PortOpts{DefaultAck: core.No, NoDefault: noDefault})
+		m.AddOutPort("out", core.PortOpts{NoDefault: noDefault})
+		m.OnReact(func() {})
+		m.OnCycleEnd(func() {})
+		return m, nil
+	}
+}
+
+// leaky declares handshake hazards on purpose: an output that commits
+// enable unconditionally and an input acknowledged with no handler to
+// observe the data.
+type leaky struct{ core.Base }
+
+func buildLeaky(b *core.Builder, name string, p core.Params) (core.Instance, error) {
+	m := &leaky{}
+	m.Init(name, m)
+	m.AddInPort("in") // engine default acks firm data; no handlers below
+	m.AddOutPort("out", core.PortOpts{DefaultEnable: core.Yes})
+	return m, nil
+}
+
+func init() {
+	core.Register(&core.Template{Name: "ana.relay", Doc: "test relay", Build: buildRelay(false)})
+	core.Register(&core.Template{Name: "ana.nodefault", Doc: "test relay demanding explicit control", Build: buildRelay(true)})
+	core.Register(&core.Template{Name: "ana.leaky", Doc: "test module with handshake hazards", Build: buildLeaky})
+}
+
+func lint(t *testing.T, src string) *analysis.Report {
+	t.Helper()
+	return analysis.LintSource("test.lss", src)
+}
+
+// codes extracts the diagnostic codes of a report in order.
+func codes(r *analysis.Report) []string {
+	out := make([]string, 0, r.Len())
+	for _, d := range r.Diags {
+		out = append(out, d.Code)
+	}
+	return out
+}
+
+func findCode(r *analysis.Report, code string) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range r.Diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestCleanPipelineLintsClean(t *testing.T) {
+	src := `
+instance src : pcl.source(rate = 1.0, count = 20);
+instance q   : pcl.queue(capacity = 4);
+instance snk : pcl.sink(keep = true);
+src.out -> q.in;
+q.out -> snk.in;
+`
+	r := lint(t, src)
+	if r.Len() != 0 {
+		var sb strings.Builder
+		r.WriteText(&sb)
+		t.Fatalf("clean pipeline produced diagnostics:\n%s", sb.String())
+	}
+}
+
+func TestUnconnectedOptionalPortsReported(t *testing.T) {
+	src := `
+instance src : pcl.source(count = 5);
+instance q   : pcl.queue(capacity = 2);
+instance snk : pcl.sink();
+src.out -> snk.in;
+`
+	r := lint(t, src)
+	diags := findCode(r, "LSE001")
+	if len(diags) != 2 {
+		t.Fatalf("want 2 LSE001 for q.in and q.out, got %d: %v", len(diags), codes(r))
+	}
+	wantWhere := map[string]string{
+		"q.in":  "ack firm data", // queue overrides DefaultAck=No
+		"q.out": "enable follows data",
+	}
+	for _, d := range diags {
+		if d.Severity != analysis.Info {
+			t.Errorf("%s: severity %s, want info", d.Where, d.Severity)
+		}
+		if _, ok := wantWhere[d.Where]; !ok {
+			t.Errorf("unexpected LSE001 anchor %q", d.Where)
+		}
+		if d.File != "test.lss" || d.Line != 3 {
+			t.Errorf("%s: position %s:%d, want test.lss:3", d.Where, d.File, d.Line)
+		}
+	}
+	// q.in declares DefaultAck=No, so the message names the override,
+	// not the engine default.
+	for _, d := range diags {
+		if d.Where == "q.in" && !strings.Contains(d.Message, "DefaultAck=no") {
+			t.Errorf("q.in message should name the DefaultAck override, got %q", d.Message)
+		}
+		if d.Where == "q.out" && !strings.Contains(d.Message, "enable follows data") {
+			t.Errorf("q.out message should name the engine default, got %q", d.Message)
+		}
+	}
+	// The isolated queue is also dead structure (no connections).
+	if len(findCode(r, "LSE004")) != 1 {
+		t.Errorf("want 1 LSE004 for the disconnected queue, got %v", codes(r))
+	}
+}
+
+func TestBreakableCycleIsWarning(t *testing.T) {
+	src := `
+instance a : pcl.queue(capacity = 2);
+instance b : pcl.queue(capacity = 2);
+a.out -> b.in;
+b.out -> a.in;
+`
+	r := lint(t, src)
+	diags := findCode(r, "LSE002")
+	if len(diags) != 1 {
+		t.Fatalf("want 1 LSE002, got %v", codes(r))
+	}
+	d := diags[0]
+	if d.Severity != analysis.Warning {
+		t.Errorf("severity %s, want warning (cycle is breakable)", d.Severity)
+	}
+	for _, member := range []string{"a", "b"} {
+		if !strings.Contains(d.Message, member) {
+			t.Errorf("message does not name member %q: %s", member, d.Message)
+		}
+	}
+	if !strings.Contains(d.Message, "breaks it at") {
+		t.Errorf("message should name the break site: %s", d.Message)
+	}
+	// The loop also never reaches a sink: dead structure for both members.
+	if len(findCode(r, "LSE004")) != 2 {
+		t.Errorf("want 2 LSE004 (loop reaches no sink), got %v", codes(r))
+	}
+}
+
+func TestUnbreakableCycleIsError(t *testing.T) {
+	src := `
+instance a : ana.nodefault();
+instance b : ana.nodefault();
+a.out -> b.in;
+b.out -> a.in;
+`
+	r := lint(t, src)
+	diags := findCode(r, "LSE002")
+	if len(diags) != 1 {
+		t.Fatalf("want 1 LSE002, got %v", codes(r))
+	}
+	d := diags[0]
+	if d.Severity != analysis.Error {
+		t.Fatalf("severity %s, want error (no valid break)", d.Severity)
+	}
+	if !strings.Contains(d.Message, "no valid break") ||
+		!strings.Contains(d.Message, "a, b") {
+		t.Errorf("message should report no valid break and name members: %s", d.Message)
+	}
+}
+
+func TestHandshakeHazards(t *testing.T) {
+	src := `
+instance src : pcl.source(count = 5);
+instance bad : ana.leaky();
+instance snk : pcl.sink();
+src.out -> bad.in;
+bad.out -> snk.in;
+`
+	r := lint(t, src)
+	diags := findCode(r, "LSE003")
+	if len(diags) != 2 {
+		t.Fatalf("want 2 LSE003 (unconditional enable + silently dropped input), got %v", codes(r))
+	}
+	var sawEnable, sawDropped bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "firm empty handshake") {
+			sawEnable = true
+		}
+		if strings.Contains(d.Message, "silently dropped") {
+			sawDropped = true
+		}
+	}
+	if !sawEnable || !sawDropped {
+		t.Errorf("missing hazard: enable=%v dropped=%v", sawEnable, sawDropped)
+	}
+}
+
+func TestDuplicateDriverReportedOnce(t *testing.T) {
+	src := `
+instance src : pcl.source(count = 5);
+instance snk : pcl.sink();
+src.out -> snk.in;
+src.out -> snk.in;
+`
+	r := lint(t, src)
+	diags := findCode(r, "LSE003")
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 LSE003 for the duplicate pair, got %v", codes(r))
+	}
+	if !strings.Contains(diags[0].Message, "wired in parallel 2 times") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+	if diags[0].Line != 4 {
+		t.Errorf("anchored at line %d, want 4 (the first connection)", diags[0].Line)
+	}
+}
+
+func TestHierarchyExportDiagnostics(t *testing.T) {
+	src := `
+module box() {
+    instance q : pcl.queue(capacity = 2);
+    export in  = q.in;
+    export out = q.out;
+}
+instance src : pcl.source(count = 5);
+instance b   : box();
+instance snk : pcl.sink();
+src.out -> b.in;
+b.out -> snk.in;
+`
+	if r := lint(t, src); len(findCode(r, "LSE006")) != 0 {
+		t.Fatalf("fully wired composite tripped LSE006: %v", codes(r))
+	}
+	// Drop the consumer of b.out: the export is bound to nothing.
+	srcDangling := strings.Replace(src, "b.out -> snk.in;", "", 1)
+	r := lint(t, srcDangling)
+	diags := findCode(r, "LSE006")
+	if len(diags) != 1 {
+		t.Fatalf("want 1 LSE006 for the dangling export, got %v", codes(r))
+	}
+	if !strings.Contains(diags[0].Message, `export "out"`) {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+func TestParamHygiene(t *testing.T) {
+	src := `
+module m(depth = 2, unusedParam = 0) {
+    instance q : pcl.queue(capacity = depth);
+    export in  = q.in;
+    export out = q.out;
+}
+let unusedLet = 7;
+let n = 1;
+instance src : pcl.source(count = 5);
+instance p   : m(depth = n);
+instance snk : pcl.sink();
+src.out -> p.in;
+p.out -> snk.in;
+`
+	r := lint(t, src)
+	diags := findCode(r, "LSE005")
+	if len(diags) != 2 {
+		t.Fatalf("want 2 LSE005 (unused parameter + unused let), got %v:\n%s", codes(r), text(r))
+	}
+	var sawParam, sawLet bool
+	for _, d := range diags {
+		switch d.Where {
+		case "unusedParam":
+			sawParam = true
+			if d.Severity != analysis.Warning {
+				t.Errorf("unused parameter severity %s, want warning", d.Severity)
+			}
+		case "unusedLet":
+			sawLet = true
+			if d.Severity != analysis.Info {
+				t.Errorf("unused let severity %s, want info", d.Severity)
+			}
+		}
+	}
+	if !sawParam || !sawLet {
+		t.Errorf("missing diagnostics: param=%v let=%v", sawParam, sawLet)
+	}
+}
+
+func TestShadowingDiagnostics(t *testing.T) {
+	// Scoping is erased by elaboration, so run the spec pass directly on
+	// the AST.
+	f, err := lss.ParseFile("shadow.lss", `
+let n = 2;
+let m = n;
+for n in 0 .. m {
+    let unused = 1;
+}
+let idx = 3;
+`)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	r := analysis.AnalyzeSpec(f)
+	diags := findCode(r, "LSE005")
+	var sawShadow, sawIdx bool
+	for _, d := range diags {
+		if d.Where == "n" && strings.Contains(d.Message, "shadows the let") {
+			sawShadow = true
+			if d.Line != 4 {
+				t.Errorf("shadow diagnostic at line %d, want 4", d.Line)
+			}
+		}
+		if d.Where == "idx" && strings.Contains(d.Message, "reserved") {
+			sawIdx = true
+		}
+	}
+	if !sawShadow || !sawIdx {
+		t.Fatalf("missing diagnostics (shadow=%v idx=%v):\n%s", sawShadow, sawIdx, text(r))
+	}
+}
+
+func TestDeadStructureDetection(t *testing.T) {
+	// src feeds a relay ring that never reaches the sink; a separate
+	// chain does. The ring instances are dead structure.
+	src := `
+instance src  : pcl.source(count = 5);
+instance r1   : ana.relay();
+instance r2   : ana.relay();
+instance src2 : pcl.source(count = 5);
+instance snk  : pcl.sink();
+src.out -> r1.in;
+r1.out -> r2.in;
+r2.out -> r1.in;
+src2.out -> snk.in;
+`
+	r := lint(t, src)
+	dead := map[string]bool{}
+	for _, d := range findCode(r, "LSE004") {
+		if d.Severity == analysis.Warning {
+			dead[d.Where] = true
+		}
+	}
+	for _, want := range []string{"src", "r1", "r2"} {
+		if !dead[want] {
+			t.Errorf("%s should be dead structure (never reaches a sink); report:\n%s", want, text(r))
+		}
+	}
+	if dead["src2"] || dead["snk"] {
+		t.Errorf("live chain flagged dead; report:\n%s", text(r))
+	}
+}
+
+func TestParseErrorBecomesDiagnostic(t *testing.T) {
+	r := analysis.LintSource("bad.lss", "instance src : pcl.source(count = 5);\ninstance ;")
+	diags := findCode(r, "LSE000")
+	if len(diags) != 1 {
+		t.Fatalf("want 1 LSE000, got %v", codes(r))
+	}
+	d := diags[0]
+	if d.Severity != analysis.Error || d.File != "bad.lss" || d.Line != 2 {
+		t.Errorf("got %+v, want error at bad.lss:2", d)
+	}
+}
+
+func TestUnknownTemplateBecomesDiagnostic(t *testing.T) {
+	r := analysis.LintSource("bad.lss", "instance x : no.such.template();")
+	diags := findCode(r, "LSE000")
+	if len(diags) != 1 {
+		t.Fatalf("want 1 LSE000, got %v", codes(r))
+	}
+	if diags[0].Line != 1 || !strings.Contains(diags[0].Message, "no.such.template") {
+		t.Errorf("diagnostic should point at line 1 and name the template: %+v", diags[0])
+	}
+}
+
+func TestBadParameterTypeBecomesDiagnostic(t *testing.T) {
+	r := analysis.LintSource("bad.lss", `instance src : pcl.source(count = "many");`)
+	if n := r.CountAtLeast(analysis.Error); n == 0 {
+		t.Fatalf("ill-typed parameter produced no error diagnostics:\n%s", text(r))
+	}
+}
+
+func TestPragmaSuppression(t *testing.T) {
+	src := `
+instance q : pcl.queue(capacity = 2); # lse:ignore LSE001, LSE004
+`
+	r := analysis.LintSource("test.lss", src)
+	if r.Len() != 0 {
+		t.Fatalf("pragma on the declaring line should suppress all diagnostics, got:\n%s", text(r))
+	}
+	// Standalone pragma covers the next line.
+	src = `
+# lse:ignore
+instance q : pcl.queue(capacity = 2);
+`
+	if r := analysis.LintSource("test.lss", src); r.Len() != 0 {
+		t.Fatalf("standalone bare pragma should suppress the next line, got:\n%s", text(r))
+	}
+	// A pragma listing other codes suppresses only those.
+	src = `
+instance q : pcl.queue(capacity = 2); # lse:ignore LSE004
+`
+	r = analysis.LintSource("test.lss", src)
+	if len(findCode(r, "LSE001")) != 2 || len(findCode(r, "LSE004")) != 0 {
+		t.Fatalf("selective pragma mishandled: %v", codes(r))
+	}
+}
+
+func TestStrictBuildFailsOnUnbreakableCycle(t *testing.T) {
+	src := `
+instance a : ana.nodefault();
+instance b : ana.nodefault();
+a.out -> b.in;
+b.out -> a.in;
+`
+	_, err := lss.LoadFile("cycle.lss", src, nil, analysis.StrictOption(analysis.Error))
+	if err == nil {
+		t.Fatal("Build succeeded; want strict-analysis failure")
+	}
+	var se *analysis.StrictError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T, want *analysis.StrictError: %v", err, err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"LSE002", "a, b", "no valid break"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("strict error should contain %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestStrictSeverityThreshold(t *testing.T) {
+	// A breakable two-queue loop is warning severity: it passes strict
+	// mode at Error but fails at Warning.
+	src := `
+instance a : pcl.queue(capacity = 2);
+instance b : pcl.queue(capacity = 2);
+a.out -> b.in;
+b.out -> a.in;
+`
+	if _, err := lss.Load(src, nil, analysis.StrictOption(analysis.Error)); err != nil {
+		t.Fatalf("breakable cycle should pass strict(error): %v", err)
+	}
+	if _, err := lss.Load(src, nil, analysis.StrictOption(analysis.Warning)); err == nil {
+		t.Fatal("breakable cycle should fail strict(warning)")
+	}
+}
+
+func TestAnalyzeSimOnGoNetlist(t *testing.T) {
+	// Netlists assembled straight through the Go API analyze fine; the
+	// diagnostics just carry no positions.
+	b := core.NewBuilder()
+	a, err := b.Instantiate("ana.relay", "a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Instantiate("ana.relay", "c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(a, "out", c, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(c, "out", a, "in"); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	r := analysis.AnalyzeSim(sim)
+	diags := findCode(r, "LSE002")
+	if len(diags) != 1 {
+		t.Fatalf("want 1 LSE002, got %v", codes(r))
+	}
+	if diags[0].File != "" || diags[0].Line != 0 {
+		t.Errorf("Go netlist diagnostic should be positionless, got %s:%d", diags[0].File, diags[0].Line)
+	}
+}
+
+func TestReportOrderingAndRenderers(t *testing.T) {
+	r := &analysis.Report{}
+	r.Add(analysis.Diagnostic{Code: "LSE004", Severity: analysis.Warning, File: "b.lss", Line: 2, Where: "x", Message: "m1"})
+	r.Add(analysis.Diagnostic{Code: "LSE001", Severity: analysis.Info, File: "a.lss", Line: 9, Where: "y", Message: "m2"})
+	r.Add(analysis.Diagnostic{Code: "LSE002", Severity: analysis.Error, File: "a.lss", Line: 9, Where: "z", Message: "m3"})
+	r.Sort()
+	if got := codes(r); got[0] != "LSE001" || got[1] != "LSE002" || got[2] != "LSE004" {
+		t.Fatalf("sort order wrong: %v", got)
+	}
+	if max, ok := r.Max(); !ok || max != analysis.Error {
+		t.Errorf("Max = %v,%v", max, ok)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	txt := sb.String()
+	if !strings.Contains(txt, "a.lss:9: LSE001[info] y: m2") ||
+		!strings.Contains(txt, "3 diagnostics: 1 error(s), 1 warning(s), 1 info") {
+		t.Errorf("text rendering:\n%s", txt)
+	}
+	sb.Reset()
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Diagnostics []map[string]any `json:"diagnostics"`
+		Errors      int              `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("JSON output does not parse: %v\n%s", err, sb.String())
+	}
+	if len(decoded.Diagnostics) != 3 || decoded.Errors != 1 {
+		t.Errorf("JSON payload wrong: %s", sb.String())
+	}
+	if sev := decoded.Diagnostics[0]["severity"]; sev != "info" {
+		t.Errorf("severity should marshal as its name, got %v", sev)
+	}
+}
+
+func TestSeverityParsing(t *testing.T) {
+	for name, want := range map[string]analysis.Severity{
+		"info": analysis.Info, "warning": analysis.Warning,
+		"warn": analysis.Warning, "ERROR": analysis.Error,
+	} {
+		got, err := analysis.ParseSeverity(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSeverity(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := analysis.ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity accepted unknown name")
+	}
+}
+
+func TestScheduleInfoUnconnectedPortsAndDot(t *testing.T) {
+	src := `
+instance src : pcl.source(count = 5);
+instance q   : pcl.queue(capacity = 2);
+instance snk : pcl.sink();
+src.out -> q.in;
+q.out -> snk.in;
+instance lone : pcl.queue(capacity = 1);
+`
+	sim, err := lss.Load(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	got := sim.Schedule().UnconnectedPorts
+	want := []string{"lone.in", "lone.out"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("UnconnectedPorts = %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	if err := core.WriteDot(&sb, sim); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	if !strings.Contains(dot, "__dangling") || !strings.Contains(dot, "style=dashed") {
+		t.Errorf("DOT output missing dangling-port styling:\n%s", dot)
+	}
+}
+
+func text(r *analysis.Report) string {
+	var sb strings.Builder
+	r.WriteText(&sb)
+	return sb.String()
+}

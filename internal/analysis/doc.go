@@ -1,0 +1,43 @@
+// Package analysis is the netlist static-analysis engine: a diagnostics
+// framework plus a registry of checks ("passes") that inspect a
+// constructed netlist and its LSS source for contract misuse, unbreakable
+// combinational cycles, dead structure and hierarchy mistakes — the
+// properties the paper's composability story assumes hold, surfaced at
+// composition time instead of as silent wrong behavior or runtime panics.
+//
+// Diagnostics carry stable codes so suppressions and tooling survive
+// message rewording:
+//
+//	LSE000  parse/elaboration/build failure (wraps front-end errors)
+//	LSE001  optional port left unconnected (reports the default-control
+//	        rule that governs the port's connections)
+//	LSE002  combinational cycle: members, chosen break site; error when
+//	        no valid break exists (every potential site is NoDefault)
+//	LSE003  handshake-contract misuse: unconditional default enable/ack,
+//	        inputs acked by a module that never reads them, duplicate
+//	        parallel drivers
+//	LSE004  dead structure: instances with no path to any sink
+//	LSE005  parameter hygiene: unused or shadowed parameters and lets
+//	LSE006  hierarchy: composite exports bound to nothing, composites
+//	        exporting nothing
+//
+// Passes come in two kinds. Netlist passes (AnalyzeSim) run over a built
+// *core.Sim — the combinational-cycle pass reuses the engine's own Tarjan
+// SCC condensation (core.Sim.SCCs), so the analyzer and the levelized
+// scheduler agree on what a cycle is. Spec passes (AnalyzeSpec) run over
+// the parsed LSS AST, where parameter scoping is still visible.
+//
+// Entry points:
+//
+//   - LintSource: one spec end to end — parse, spec passes, elaborate and
+//     build (front-end failures become LSE000 diagnostics), netlist
+//     passes, `lse:ignore` suppression. What cmd/lslint and lsc -lint run.
+//   - AnalyzeSim: netlist passes only, over an already-built simulator.
+//   - StrictOption (lse.WithStrictAnalysis): a build option that makes
+//     Build fail when any diagnostic reaches a severity threshold.
+//
+// Suppression: a spec comment `# lse:ignore LSE001` (or `// lse:ignore`,
+// optionally listing several comma-separated codes, or no codes to ignore
+// everything) silences matching diagnostics on the same line, or on the
+// next line when the comment stands alone.
+package analysis

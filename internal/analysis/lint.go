@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	core "liberty/internal/core"
+	"liberty/internal/lss"
+)
+
+// LintSource runs the full analysis pipeline over one LSS specification:
+// parse, spec passes, elaborate + build, netlist passes, then pragma
+// suppression. Failures at any stage become LSE000 diagnostics carrying
+// the source position when one is known, so a broken spec still yields a
+// report instead of an error — lslint's contract.
+//
+// opts configure the throwaway build (e.g. template registries via
+// library init is implicit; pass -D-style defines through LintSourceWith).
+// Do not pass StrictOption: LintSource already runs every pass itself.
+func LintSource(name, src string, opts ...core.BuildOption) *Report {
+	return LintSourceWith(name, src, nil, opts...)
+}
+
+// LintSourceWith is LintSource with predefined top-level bindings, the
+// analysis-side equivalent of lsc -D overrides.
+func LintSourceWith(name, src string, vars map[string]any, opts ...core.BuildOption) *Report {
+	r := &Report{}
+	f, err := lss.ParseFile(name, src)
+	if err != nil {
+		addErr(r, err)
+		return finish(r, name, src)
+	}
+	for _, p := range specPasses {
+		p.Run(f, r)
+	}
+	sim, err := buildFor(f, vars, opts...)
+	if err != nil {
+		addErr(r, err)
+		return finish(r, name, src)
+	}
+	defer sim.Close()
+	for _, p := range netlistPasses {
+		p.Run(sim, r)
+	}
+	return finish(r, name, src)
+}
+
+func finish(r *Report, name, src string) *Report {
+	ParsePragmas(name, src).Apply(r)
+	r.Sort()
+	return r
+}
+
+// buildFor elaborates and builds the spec, converting the panics the
+// template layer uses for contract violations (*core.ParamError for bad
+// algorithmic parameters, *core.ContractError for misused Base APIs)
+// into ordinary errors.
+func buildFor(f *lss.File, vars map[string]any, opts ...core.BuildOption) (sim *core.Sim, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				err = e
+				return
+			}
+			err = fmt.Errorf("panic during build: %v", p)
+		}
+	}()
+	b := core.NewBuilder(opts...)
+	if e := lss.NewElaborator(b).ElaborateWith(f, vars); e != nil {
+		return nil, e
+	}
+	return b.Build()
+}
+
+// addErr records err as LSE000 diagnostics, flattening joined errors
+// (Builder.Err aggregates every structural failure) and recovering the
+// source position each underlying error type carries.
+func addErr(r *Report, err error) {
+	if err == nil {
+		return
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range joined.Unwrap() {
+			addErr(r, e)
+		}
+		return
+	}
+	pos, where := errPos(err)
+	r.Add(Diagnostic{Code: "LSE000", Severity: Error,
+		File: pos.File, Line: pos.Line, Where: where, Message: err.Error()})
+}
+
+// errPos recovers the source position and subject from the error types
+// the parse/elaborate/build pipeline produces.
+func errPos(err error) (core.Pos, string) {
+	switch e := err.(type) {
+	case *lss.SyntaxError:
+		return core.Pos{File: e.File, Line: e.Line}, ""
+	case *lss.ElabError:
+		return core.Pos{File: e.File, Line: e.Line}, ""
+	case *core.BuildError:
+		return e.Pos, e.Where
+	case *core.ParamError:
+		return core.Pos{}, e.Param
+	}
+	return core.Pos{}, ""
+}
+
+// StrictError is the error Build returns under StrictOption when the
+// netlist trips diagnostics at or above the configured severity.
+type StrictError struct {
+	Min    Severity
+	Report *Report // the full report, including diagnostics below Min
+}
+
+func (e *StrictError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "liberty: strict analysis: %d diagnostic(s) at or above %s severity",
+		e.Report.CountAtLeast(e.Min), e.Min)
+	for _, d := range e.Report.Diags {
+		if d.Severity >= e.Min {
+			b.WriteString("\n\t")
+			b.WriteString(d.String())
+		}
+	}
+	return b.String()
+}
+
+// StrictOption returns a build option that runs every netlist pass after
+// construction and fails the build with a *StrictError when any
+// diagnostic reaches min severity. Exposed publicly as
+// lse.WithStrictAnalysis. Spec passes and pragma suppression do not
+// apply here — the netlist may not have come from a spec; use LintSource
+// for the full pipeline.
+func StrictOption(min Severity) core.BuildOption {
+	return core.WithPostBuildCheck(func(s *core.Sim) error {
+		rep := AnalyzeSim(s)
+		if rep.CountAtLeast(min) > 0 {
+			return &StrictError{Min: min, Report: rep}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	core "liberty/internal/core"
+)
+
+// instanceView is the slice of Base methods the passes need; every
+// instance satisfies it through its embedded core.Base.
+type instanceView interface {
+	Ports() []*core.Port
+	SourcePos() core.Pos
+	HasHandlers() (react, start, end bool)
+}
+
+func view(inst core.Instance) instanceView { return inst.(instanceView) }
+
+func posOf(inst core.Instance) core.Pos { return view(inst).SourcePos() }
+
+// compositeView matches hierarchical instances — core.Composite itself
+// and every library template that embeds it (ccl routers, nilib NICs) —
+// via the methods only Composite provides. A plain type assertion on
+// *core.Composite would miss the embedders.
+type compositeView interface {
+	Children() []core.Instance
+	ExportNames() []string
+	PortByName(name string) *core.Port
+}
+
+func asComposite(inst core.Instance) (compositeView, bool) {
+	c, ok := inst.(compositeView)
+	return c, ok
+}
+
+// ownPorts returns the ports an instance itself declared, excluding
+// composite export aliases (whose diagnostics belong to the owning child).
+func ownPorts(inst core.Instance) []*core.Port {
+	var out []*core.Port
+	for _, p := range view(inst).Ports() {
+		if p.Owner() == inst {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// defaultRule describes the default-control rule governing a port's
+// connections — the engine default unless the port overrides it.
+func defaultRule(p *core.Port) string {
+	o := p.Opts()
+	switch {
+	case o.Control != nil:
+		return "a user control function"
+	case p.Dir() == core.In && o.DefaultAck != core.Unknown:
+		return fmt.Sprintf("DefaultAck=%s", o.DefaultAck)
+	case p.Dir() == core.Out && o.DefaultEnable != core.Unknown:
+		return fmt.Sprintf("DefaultEnable=%s", o.DefaultEnable)
+	case p.Dir() == core.In:
+		return "the engine default (ack firm data)"
+	default:
+		return "the engine default (enable follows data)"
+	}
+}
+
+// passUnconnected (LSE001) reports optional ports left without
+// connections, naming the default-control rule that will govern any
+// connection made to the port — the information a reader needs to decide
+// whether "unconnected" was intentional partial specification.
+func passUnconnected(s *core.Sim, r *Report) {
+	for _, inst := range s.Instances() {
+		if _, isComposite := asComposite(inst); isComposite {
+			continue
+		}
+		for _, p := range ownPorts(inst) {
+			if p.Width() > 0 || p.Opts().MinWidth > 0 {
+				continue
+			}
+			if p.Opts().NoDefault {
+				r.Addf("LSE001", Warning, posOf(inst), p.FullName(),
+					"optional %s port is unconnected but declares NoDefault: it demands explicit control yet nothing can ever drive it", p.Dir())
+				continue
+			}
+			r.Addf("LSE001", Info, posOf(inst), p.FullName(),
+				"optional %s port unconnected (module adapts to width 0); connections here resolve via %s", p.Dir(), defaultRule(p))
+		}
+	}
+}
+
+// passCycles (LSE002) reports each cyclic SCC of the module graph — the
+// same Tarjan condensation the levelized scheduler compiles (Sim.SCCs),
+// so analysis and execution agree on what a cycle is. A cycle the engine
+// can break by defaulting is a warning naming members and the break site;
+// a cycle where every potential break site forbids defaulting (NoDefault)
+// has no valid break and is an error.
+func passCycles(s *core.Sim, r *Report) {
+	for _, scc := range s.SCCs() {
+		if !scc.Cyclic {
+			continue
+		}
+		names := make([]string, len(scc.Members))
+		for i, m := range scc.Members {
+			names[i] = m.Name()
+		}
+		members := strings.Join(names, ", ")
+		// Forward signals (data/enable) default at a connection's source
+		// port, acks at its destination; a direction is breakable when
+		// some internal connection permits defaulting on that side.
+		fwdOK, ackOK := false, false
+		for _, c := range scc.Internal {
+			sp, _ := c.Src()
+			dp, _ := c.Dst()
+			fwdOK = fwdOK || !sp.Opts().NoDefault
+			ackOK = ackOK || !dp.Opts().NoDefault
+		}
+		pos := scc.BreakSite.SourcePos()
+		if pos.IsZero() && len(scc.Members) > 0 {
+			pos = posOf(scc.Members[0])
+		}
+		if fwdOK && ackOK {
+			r.Addf("LSE002", Warning, pos, scc.BreakSite.String(),
+				"combinational cycle through %d module(s): %s; default resolution breaks it at %s (%d internal connection(s))",
+				len(scc.Members), members, scc.BreakSite, len(scc.Internal))
+			continue
+		}
+		dir := "forward (data/enable)"
+		if fwdOK {
+			dir = "backward (ack)"
+		}
+		r.Addf("LSE002", Error, pos, scc.BreakSite.String(),
+			"combinational cycle through %d module(s) has no valid break in the %s direction: members %s; every internal connection forbids default resolution (NoDefault) — add explicit control or open the loop",
+			len(scc.Members), dir, members)
+	}
+}
+
+// passHandshake (LSE003) reports handshake-contract misuse that the
+// runtime cannot distinguish from intent: enables committed without a
+// data source, inputs acknowledged by modules that never read them, and
+// duplicate parallel drivers between one port pair.
+func passHandshake(s *core.Sim, r *Report) {
+	for _, inst := range s.Instances() {
+		if _, isComposite := asComposite(inst); isComposite {
+			continue
+		}
+		react, _, end := view(inst).HasHandlers()
+		for _, p := range ownPorts(inst) {
+			o := p.Opts()
+			if p.Dir() == core.Out && o.DefaultEnable == core.Yes && p.Width() > 0 {
+				r.Addf("LSE003", Warning, posOf(inst), p.FullName(),
+					"DefaultEnable=yes commits the enable signal even on connections whose data defaulted to Nothing — receivers see a firm empty handshake")
+			}
+			// An In port whose connections will be acknowledged by
+			// default control while the owning module registered no
+			// handler that could read them: transfers complete and the
+			// data vanishes.
+			if p.Dir() == core.In && p.Width() > 0 && !react && !end &&
+				o.DefaultAck != core.No && o.Control == nil {
+				r.Addf("LSE003", Warning, posOf(inst), p.FullName(),
+					"input is acknowledged by default control but %q registers no react or cycle-end handler: transferred data is silently dropped", inst.Name())
+			}
+		}
+	}
+	// Duplicate drivers: the same (source port, destination port) pair
+	// wired more than once. Each connection is an independent handshake,
+	// so parallel lanes are legal — but an exact duplicate is far more
+	// often a spec typo than a bandwidth decision.
+	type pair struct{ src, dst *core.Port }
+	seen := map[pair][]*core.Conn{}
+	for _, c := range s.Conns() {
+		sp, _ := c.Src()
+		dp, _ := c.Dst()
+		seen[pair{sp, dp}] = append(seen[pair{sp, dp}], c)
+	}
+	for _, c := range s.Conns() {
+		sp, _ := c.Src()
+		dp, _ := c.Dst()
+		group := seen[pair{sp, dp}]
+		if len(group) > 1 && group[0] == c { // report once, at the first conn
+			r.Addf("LSE003", Warning, c.SourcePos(), c.String(),
+				"ports %s and %s are wired in parallel %d times; duplicate drivers are usually a spec mistake (delete the extras or route through distinct ports)",
+				sp.FullName(), dp.FullName(), len(group))
+		}
+	}
+}
+
+// passDeadStructure (LSE004) reports instances whose output can never
+// reach a sink: everything they produce circulates or stalls forever.
+// A sink is an instance with no outgoing connections; reachability runs
+// backward from the sinks over the connection graph.
+func passDeadStructure(s *core.Sim, r *Report) {
+	insts := s.Instances()
+	outDeg := make(map[core.Instance]int, len(insts))
+	hasConn := make(map[core.Instance]bool, len(insts))
+	preds := make(map[core.Instance][]core.Instance, len(insts))
+	for _, c := range s.Conns() {
+		sp, _ := c.Src()
+		dp, _ := c.Dst()
+		src, dst := sp.Owner(), dp.Owner()
+		outDeg[src]++
+		hasConn[src], hasConn[dst] = true, true
+		preds[dst] = append(preds[dst], src)
+	}
+	reach := make(map[core.Instance]bool, len(insts))
+	var stack []core.Instance
+	for _, inst := range insts {
+		if _, isComposite := asComposite(inst); isComposite {
+			continue
+		}
+		if hasConn[inst] && outDeg[inst] == 0 {
+			reach[inst] = true
+			stack = append(stack, inst)
+		}
+	}
+	for len(stack) > 0 {
+		inst := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[inst] {
+			if !reach[p] {
+				reach[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	for _, inst := range insts {
+		if _, isComposite := asComposite(inst); isComposite {
+			continue
+		}
+		switch {
+		case !hasConn[inst]:
+			r.Addf("LSE004", Info, posOf(inst), inst.Name(),
+				"instance has no connections: it participates in no handshake")
+		case !reach[inst]:
+			r.Addf("LSE004", Warning, posOf(inst), inst.Name(),
+				"dead structure: no path from %q to any sink — everything it produces circulates or stalls forever", inst.Name())
+		}
+	}
+}
+
+// passHierarchy (LSE006) checks composite instances: exports that the
+// enclosing netlist never connected, and composites that export nothing
+// (their children are unreachable from outside the capsule).
+func passHierarchy(s *core.Sim, r *Report) {
+	for _, inst := range s.Instances() {
+		comp, ok := asComposite(inst)
+		if !ok {
+			continue
+		}
+		names := comp.ExportNames()
+		for _, name := range names {
+			p := comp.PortByName(name)
+			if p != nil && p.Width() == 0 {
+				r.Addf("LSE006", Info, posOf(inst), inst.Name(),
+					"composite export %q (alias of %s) is bound to nothing", name, p.FullName())
+			}
+		}
+		if len(names) == 0 {
+			r.Addf("LSE006", Warning, posOf(inst), inst.Name(),
+				"composite exports nothing: its %d child instance(s) cannot be reached from outside", len(comp.Children()))
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	core "liberty/internal/core"
+	"liberty/internal/lss"
+)
+
+// passParams (LSE005) is the parameter-hygiene spec pass: module
+// parameters that the body never reads, bindings that shadow an enclosing
+// binding (or the reserved array-index variable `idx`), and top-level
+// lets nothing references. It runs on the AST because elaboration erases
+// scoping — an unused parameter leaves no trace in the netlist.
+//
+// Algorithmic-parameter signature mismatches are not checkable here: the
+// template contract lives in Go (core.Fn's type assertion). They surface
+// at elaboration time and are reported by LintSource as LSE000.
+func passParams(f *lss.File, r *Report) {
+	w := &paramWalker{file: f.Name, r: r}
+	top := newSpecScope(nil)
+	w.walkStmts(f.Stmts, top)
+	top.reportUnused(w, "let", Info)
+}
+
+// specScope tracks one lexical scope's bindings for use/shadow analysis.
+type specScope struct {
+	parent *specScope
+	names  map[string]*binding
+	order  []string
+}
+
+type binding struct {
+	kind string // "let", "parameter", "loop variable"
+	line int
+	used bool
+}
+
+func newSpecScope(parent *specScope) *specScope {
+	return &specScope{parent: parent, names: map[string]*binding{}}
+}
+
+func (s *specScope) declare(w *paramWalker, name, kind string, line int) {
+	if name == "idx" {
+		w.r.Addf("LSE005", Warning, core.Pos{File: w.file, Line: line}, name,
+			"%s %q shadows the reserved array-index variable: instance-array arguments will see the element index, not this binding", kind, name)
+	} else if shadowed := s.lookup(name); shadowed != nil {
+		w.r.Addf("LSE005", Warning, core.Pos{File: w.file, Line: line}, name,
+			"%s %q shadows the %s of the same name declared at line %d", kind, name, shadowed.kind, shadowed.line)
+	}
+	if _, dup := s.names[name]; !dup {
+		s.order = append(s.order, name)
+	}
+	s.names[name] = &binding{kind: kind, line: line}
+}
+
+func (s *specScope) lookup(name string) *binding {
+	for sc := s; sc != nil; sc = sc.parent {
+		if b, ok := sc.names[name]; ok {
+			return b
+		}
+	}
+	return nil
+}
+
+func (s *specScope) use(name string) {
+	if b := s.lookup(name); b != nil {
+		b.used = true
+	}
+}
+
+func (s *specScope) reportUnused(w *paramWalker, kind string, sev Severity) {
+	for _, name := range s.order {
+		b := s.names[name]
+		if !b.used && b.kind == kind {
+			w.r.Addf("LSE005", sev, core.Pos{File: w.file, Line: b.line}, name,
+				"%s %q is never used", b.kind, name)
+		}
+	}
+}
+
+type paramWalker struct {
+	file string
+	r    *Report
+}
+
+func (w *paramWalker) walkStmts(stmts []lss.Stmt, sc *specScope) {
+	for _, s := range stmts {
+		w.walkStmt(s, sc)
+	}
+}
+
+func (w *paramWalker) walkStmt(s lss.Stmt, sc *specScope) {
+	switch st := s.(type) {
+	case *lss.ModuleDef:
+		// Module bodies are rooted scopes: they see their parameters but
+		// not the enclosing file's lets (the elaborator isolates them),
+		// so parameters never "shadow" outer bindings.
+		body := newSpecScope(nil)
+		for _, p := range st.Params {
+			body.declare(w, p.Name, "parameter", st.Line)
+			if p.Default != nil {
+				w.walkExpr(p.Default, body)
+			}
+		}
+		w.walkStmts(st.Body, body)
+		body.reportUnused(w, "parameter", Warning)
+		body.reportUnused(w, "let", Info)
+	case *lss.LetStmt:
+		w.walkExpr(st.Expr, sc)
+		sc.declare(w, st.Name, "let", st.Line)
+	case *lss.ForStmt:
+		w.walkExpr(st.From, sc)
+		w.walkExpr(st.To, sc)
+		body := newSpecScope(sc)
+		body.declare(w, st.Var, "loop variable", st.Line)
+		w.walkStmts(st.Body, body)
+	case *lss.IfStmt:
+		w.walkExpr(st.Cond, sc)
+		w.walkStmts(st.Then, newSpecScope(sc))
+		w.walkStmts(st.Else, newSpecScope(sc))
+	case *lss.InstanceDecl:
+		if st.Count != nil {
+			w.walkExpr(st.Count, sc)
+		}
+		for _, a := range st.Args {
+			w.walkExpr(a.Value, sc)
+		}
+	case *lss.ConnectStmt:
+		w.walkPortRef(st.Src, sc)
+		w.walkPortRef(st.Dst, sc)
+	case *lss.ExportStmt:
+		w.walkPortRef(st.Ref, sc)
+	}
+}
+
+func (w *paramWalker) walkPortRef(ref lss.PortRef, sc *specScope) {
+	if ref.InstIdx != nil {
+		w.walkExpr(ref.InstIdx, sc)
+	}
+	if ref.PortIdx != nil {
+		w.walkExpr(ref.PortIdx, sc)
+	}
+}
+
+func (w *paramWalker) walkExpr(x lss.Expr, sc *specScope) {
+	switch ex := x.(type) {
+	case *lss.VarRef:
+		sc.use(ex.Name)
+	case *lss.BinOp:
+		w.walkExpr(ex.L, sc)
+		w.walkExpr(ex.R, sc)
+	case *lss.Neg:
+		w.walkExpr(ex.E, sc)
+	}
+}

@@ -1,0 +1,125 @@
+// Package vetlse statically checks Go module templates for violations of
+// the engine's phase contract: signal-status writes (Send, SendNothing,
+// Enable, Disable, Ack, Nack) are legal only during the cycle-start and
+// reactive phases, so a write lexically inside an OnCycleEnd commit
+// handler is a guaranteed *core.ContractError at runtime. Catching it at
+// vet time turns a simulation-crash-later into a build-break-now.
+//
+// The check is syntactic (go/ast, no type information): it flags calls to
+// the signal-write method names inside function literals registered via
+// OnCycleEnd. Module code conventionally reaches ports as p.Send(i, v) or
+// m.Out.Ack(i), so matching on the selector name is precise in practice;
+// an unrelated method that shares a name can be excused with a
+// `//vetlse:ignore` comment on the offending line.
+//
+// cmd/vetlse wraps the check both as a `go vet -vettool` backend and as a
+// standalone walker, keeping the repo dependency-free (the official
+// go/analysis framework lives outside the standard library).
+package vetlse
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+)
+
+// writeMethods are the Port methods that drive signal status. They mirror
+// core.(*Base).mustWritePhase call sites.
+var writeMethods = map[string]bool{
+	"Send": true, "SendNothing": true,
+	"Enable": true, "Disable": true,
+	"Ack": true, "Nack": true,
+}
+
+// Finding is one phase-contract violation.
+type Finding struct {
+	Pos     token.Position
+	Method  string // the signal-write method called
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s", f.Pos, f.Message)
+}
+
+// CheckFile inspects one parsed file. The file must have been parsed with
+// parser.ParseComments for `//vetlse:ignore` suppression to work.
+func CheckFile(fset *token.FileSet, file *ast.File) []Finding {
+	ignored := ignoreLines(fset, file)
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "OnCycleEnd" || len(call.Args) == 0 {
+			return true
+		}
+		fn, ok := call.Args[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fn.Body, func(inner ast.Node) bool {
+			c, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			s, ok := c.Fun.(*ast.SelectorExpr)
+			if !ok || !writeMethods[s.Sel.Name] {
+				return true
+			}
+			pos := fset.Position(c.Pos())
+			if ignored[pos.Line] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:    pos,
+				Method: s.Sel.Name,
+				Message: fmt.Sprintf(
+					"%s inside an OnCycleEnd handler: signals may be driven only during cycle-start or reactive phases; move the write to OnReact or OnCycleStart",
+					s.Sel.Name),
+			})
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// CheckFiles parses and checks the named Go source files with a shared
+// FileSet, returning findings in file order. A file that fails to parse
+// contributes an error finding rather than aborting the run — vet keeps
+// going past broken files.
+func CheckFiles(paths []string) []Finding {
+	fset := token.NewFileSet()
+	var out []Finding
+	for _, path := range paths {
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			out = append(out, Finding{
+				Pos:     token.Position{Filename: path},
+				Message: fmt.Sprintf("parse error: %v", err),
+			})
+			continue
+		}
+		out = append(out, CheckFile(fset, file)...)
+	}
+	return out
+}
+
+// ignoreLines collects the lines carrying a `//vetlse:ignore` comment;
+// findings anchored there are suppressed.
+func ignoreLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "vetlse:ignore") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

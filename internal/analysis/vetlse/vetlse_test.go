@@ -1,0 +1,106 @@
+package vetlse
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "mod.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return CheckFile(fset, file)
+}
+
+func TestFlagsWritesInCycleEndHandler(t *testing.T) {
+	src := `package m
+
+func build(q *queue) {
+	q.OnCycleEnd(func() {
+		if q.Out.AckStatus(0) == Yes {
+			q.pop()
+		}
+		q.Out.Send(0, q.head()) // illegal: commit phase
+		q.In.Ack(0)             // illegal: commit phase
+	})
+}
+`
+	fs := check(t, src)
+	if len(fs) != 2 {
+		t.Fatalf("want 2 findings, got %d: %v", len(fs), fs)
+	}
+	if fs[0].Method != "Send" || fs[0].Pos.Line != 8 {
+		t.Errorf("finding 0 = %+v, want Send at line 8", fs[0])
+	}
+	if fs[1].Method != "Ack" || fs[1].Pos.Line != 9 {
+		t.Errorf("finding 1 = %+v, want Ack at line 9", fs[1])
+	}
+	if !strings.Contains(fs[0].Message, "OnCycleEnd") {
+		t.Errorf("message should name the offending phase: %s", fs[0].Message)
+	}
+}
+
+func TestLegalPhasesNotFlagged(t *testing.T) {
+	src := `package m
+
+func build(q *queue) {
+	q.OnReact(func() {
+		q.Out.Send(0, 1)
+		q.In.Ack(0)
+	})
+	q.OnCycleStart(func() {
+		q.Out.SendNothing(0)
+	})
+	q.OnCycleEnd(func() {
+		n := q.Out.Transferred(0) // reads are fine
+		q.count += boolToInt(n)
+	})
+}
+`
+	if fs := check(t, src); len(fs) != 0 {
+		t.Fatalf("legal phases flagged: %v", fs)
+	}
+}
+
+func TestNestedLiteralInsideCycleEndStillFlagged(t *testing.T) {
+	src := `package m
+
+func build(q *queue) {
+	q.OnCycleEnd(func() {
+		each(q.conns, func(i int) {
+			q.In.Nack(i)
+		})
+	})
+}
+`
+	fs := check(t, src)
+	if len(fs) != 1 || fs[0].Method != "Nack" {
+		t.Fatalf("want 1 Nack finding, got %v", fs)
+	}
+}
+
+func TestIgnoreComment(t *testing.T) {
+	src := `package m
+
+func build(q *queue) {
+	q.OnCycleEnd(func() {
+		q.log.Send(0, "msg") //vetlse:ignore — not a Port
+	})
+}
+`
+	if fs := check(t, src); len(fs) != 0 {
+		t.Fatalf("ignored line still flagged: %v", fs)
+	}
+}
+
+func TestCheckFilesReportsParseErrors(t *testing.T) {
+	fs := CheckFiles([]string{"testdata/does-not-exist.go"})
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "parse error") {
+		t.Fatalf("want 1 parse-error finding, got %v", fs)
+	}
+}

@@ -23,6 +23,8 @@ type Builder struct {
 	conns     []*Conn
 	errs      []error
 	built     bool
+	at        Pos // current spec position; stamped onto instances, conns, errors
+	postBuild []func(*Sim) error
 }
 
 // NewBuilder returns a Builder using DefaultRegistry, seed 0 and
@@ -95,7 +97,17 @@ func (b *Builder) addTracer(t Tracer) {
 // Err returns the errors recorded so far, joined.
 func (b *Builder) Err() error { return errors.Join(b.errs...) }
 
+// At sets the specification position stamped onto subsequently created
+// instances, connections and build errors, until the next call. Front
+// ends (the LSS elaborator) call it before translating each statement so
+// build failures and static-analysis diagnostics can point back into the
+// spec; pure Go wiring code never needs it. A zero Pos clears the cursor.
+func (b *Builder) At(pos Pos) *Builder { b.at = pos; return b }
+
 func (b *Builder) fail(err error) error {
+	if be, ok := err.(*BuildError); ok && be.Pos.IsZero() {
+		be.Pos = b.at
+	}
 	b.errs = append(b.errs, err)
 	return err
 }
@@ -117,6 +129,9 @@ func (b *Builder) Add(inst Instance) Instance {
 	}
 	b.byName[name] = inst
 	b.instances = append(b.instances, inst)
+	if inst.base().pos.IsZero() {
+		inst.base().pos = b.at
+	}
 	return inst
 }
 
@@ -172,7 +187,7 @@ func (b *Builder) ConnectPorts(sp, dp *Port) error {
 		return b.fail(&BuildError{Op: "connect", Where: where,
 			Detail: fmt.Sprintf("destination port width limited to %d", max)})
 	}
-	c := &Conn{id: len(b.conns), src: sp, dst: dp, srcIdx: len(sp.conns), dstIdx: len(dp.conns)}
+	c := &Conn{id: len(b.conns), src: sp, dst: dp, srcIdx: len(sp.conns), dstIdx: len(dp.conns), pos: b.at}
 	sp.conns = append(sp.conns, c)
 	dp.conns = append(dp.conns, c)
 	b.conns = append(b.conns, c)
@@ -195,7 +210,7 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 				continue // composite export; validated on its owner
 			}
 			if len(p.conns) < p.opts.MinWidth {
-				b.fail(&BuildError{Op: "build", Where: p.fullName(),
+				b.fail(&BuildError{Op: "build", Where: p.fullName(), Pos: inst.base().pos,
 					Detail: fmt.Sprintf("port requires at least %d connection(s), has %d",
 						p.opts.MinWidth, len(p.conns))})
 			}
@@ -238,6 +253,15 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	// variable definitions) hook in here.
 	if at, ok := s.tracer.(interface{ Attach(*Sim) }); ok {
 		at.Attach(s)
+	}
+	// Post-build checks (WithPostBuildCheck) see the finished simulator;
+	// any failure aborts construction. Static strict-analysis mode
+	// (internal/analysis.StrictOption) is implemented on this hook.
+	for _, chk := range b.postBuild {
+		if err := chk(s); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }

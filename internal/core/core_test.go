@@ -169,7 +169,7 @@ func TestMonotonicityViolationReported(t *testing.T) {
 func TestSignalWriteDuringCycleEndRejected(t *testing.T) {
 	src := newSource("src")
 	bad := newSink("bad", nil)
-	bad.OnCycleEnd(func() { bad.in.Nack(0) })
+	bad.OnCycleEnd(func() { bad.in.Nack(0) }) //vetlse:ignore — deliberately violates the phase contract
 	sim := build(t, func(b *core.Builder) {
 		b.Add(src)
 		b.Add(bad)

@@ -73,6 +73,21 @@ func WriteDot(w io.Writer, s *Sim) error {
 		fmt.Fprintf(ew, "  %q -> %q [label=\"%s[%d]→%s[%d]\"];\n",
 			src, dst, c.src.name, c.srcIdx, c.dst.name, c.dstIdx)
 	}
+	// Unconnected optional ports render as dangling stub edges to small
+	// point nodes, dashed and grayed so they cannot be mistaken for real
+	// connections. The set matches ScheduleInfo.UnconnectedPorts and the
+	// LSE001 diagnostics, so reports and the drawing agree.
+	for i, p := range unconnectedPorts(s.instances) {
+		stub := fmt.Sprintf("__dangling%d", i)
+		fmt.Fprintf(ew, "  %q [shape=point, width=0.05, color=gray60];\n", stub)
+		if p.dir == Out {
+			fmt.Fprintf(ew, "  %q -> %q [label=%q, style=dashed, color=gray60, fontcolor=gray60];\n",
+				p.owner.name, stub, p.name)
+		} else {
+			fmt.Fprintf(ew, "  %q -> %q [label=%q, style=dashed, color=gray60, fontcolor=gray60];\n",
+				stub, p.owner.name, p.name)
+		}
+	}
 	fmt.Fprintln(ew, "}")
 	return ew.err
 }

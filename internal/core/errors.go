@@ -2,6 +2,28 @@ package core
 
 import "fmt"
 
+// Pos is a source position in a specification file. The zero value means
+// "no position known" — netlists assembled directly through the Go API
+// have no spec to point into.
+type Pos struct {
+	File string
+	Line int
+}
+
+// IsZero reports whether the position is unknown.
+func (p Pos) IsZero() bool { return p.Line == 0 && p.File == "" }
+
+func (p Pos) String() string {
+	if p.IsZero() {
+		return ""
+	}
+	file := p.File
+	if file == "" {
+		file = "lss"
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}
+
 // ContractError reports a violation of the engine's communication or
 // scheduling contract: raising a resolved signal to a different value,
 // driving a signal from the wrong endpoint, writing signals outside the
@@ -27,18 +49,25 @@ func contractPanic(op, where, detail string) {
 
 // BuildError reports a structural problem detected while assembling a
 // netlist: duplicate instance names, unknown templates or ports, direction
-// mismatches, or unconnected required ports.
+// mismatches, or unconnected required ports. Pos, when known, is the
+// specification location the offending construct came from (see
+// Builder.At); errors raised by pure Go assembly carry no position.
 type BuildError struct {
 	Op     string
 	Where  string
 	Detail string
+	Pos    Pos
 }
 
 func (e *BuildError) Error() string {
-	if e.Detail == "" {
-		return fmt.Sprintf("liberty: build error: %s at %s", e.Op, e.Where)
+	prefix := "liberty"
+	if !e.Pos.IsZero() {
+		prefix = e.Pos.String()
 	}
-	return fmt.Sprintf("liberty: build error: %s at %s: %s", e.Op, e.Where, e.Detail)
+	if e.Detail == "" {
+		return fmt.Sprintf("%s: build error: %s at %s", prefix, e.Op, e.Where)
+	}
+	return fmt.Sprintf("%s: build error: %s at %s: %s", prefix, e.Op, e.Where, e.Detail)
 }
 
 // ParamError reports a missing or ill-typed module parameter.

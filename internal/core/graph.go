@@ -118,6 +118,53 @@ func buildModuleGraph(instances []Instance, conns []*Conn) *moduleGraph {
 	return g
 }
 
+// SCC is one strongly connected component of the module-level connection
+// graph, as exposed to analysis tooling (Sim.SCCs). The levelized
+// scheduler and the combinational-cycle diagnostics (internal/analysis
+// pass LSE002) share this condensation — there is exactly one notion of
+// "cycle" in the system.
+type SCC struct {
+	// Members are the component's instances, in netlist id order.
+	Members []Instance
+	// Cyclic reports whether the component contains a genuine dependency
+	// cycle: a connection with both endpoints inside it (including
+	// self-loops). Singleton components without self-loops are acyclic.
+	Cyclic bool
+	// Internal are the connections with both endpoints inside the
+	// component, in connection id order. Empty unless Cyclic.
+	Internal []*Conn
+	// BreakSite is the connection where default resolution breaks the
+	// cycle first — the lowest-id internal connection, the same site every
+	// scheduler picks. Nil unless Cyclic.
+	BreakSite *Conn
+}
+
+// SCCs condenses the simulator's module graph into strongly connected
+// components, returned in topological order (sources before sinks).
+func (s *Sim) SCCs() []SCC {
+	g := buildModuleGraph(s.instances, s.conns)
+	out := make([]SCC, g.nSCC)
+	// Tarjan numbers SCCs in reverse topological order; flip it.
+	at := func(scc int) *SCC { return &out[g.nSCC-1-scc] }
+	for id, inst := range s.instances {
+		c := at(g.sccOf[id])
+		c.Members = append(c.Members, inst)
+		c.Cyclic = g.cyclic[g.sccOf[id]]
+	}
+	for _, conn := range s.conns {
+		scc := g.sccOf[conn.src.owner.id]
+		if scc != g.sccOf[conn.dst.owner.id] {
+			continue
+		}
+		c := at(scc)
+		c.Internal = append(c.Internal, conn)
+		if c.BreakSite == nil || conn.id < c.BreakSite.id {
+			c.BreakSite = conn
+		}
+	}
+	return out
+}
+
 // levelize computes, per SCC, its forward level (longest predecessor
 // chain), ack level (longest successor chain), and taint flags: an SCC is
 // forward-tainted when it is cyclic or any ancestor is, ack-tainted when

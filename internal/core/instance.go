@@ -32,6 +32,7 @@ type Base struct {
 	end       func()
 	scheduled atomic.Bool
 	rng       *rand.Rand
+	pos       Pos // spec position the instance was declared at, if known
 }
 
 // Init names the instance and records its concrete value. It must be
@@ -108,6 +109,18 @@ func (b *Base) OnCycleStart(fn func()) { b.start = fn }
 // OnCycleEnd registers the once-per-cycle post-resolution commit handler.
 func (b *Base) OnCycleEnd(fn func()) { b.end = fn }
 
+// SourcePos returns the specification position the instance was declared
+// at, when the netlist came from a spec front end (see Builder.At); the
+// zero Pos otherwise.
+func (b *Base) SourcePos() Pos { return b.pos }
+
+// HasHandlers reports which lifecycle handlers the instance registered.
+// Analysis passes use it to find modules that receive data but can never
+// observe it.
+func (b *Base) HasHandlers() (react, start, end bool) {
+	return b.react != nil, b.start != nil, b.end != nil
+}
+
 // Sim returns the simulator the instance belongs to (nil before Build).
 func (b *Base) Sim() *Sim { return b.sim }
 
@@ -179,6 +192,17 @@ func (c *Composite) Export(name string, p *Port) {
 	}
 	c.ports[name] = p
 	c.portList = append(c.portList, p)
+}
+
+// ExportNames returns the names the composite published child ports
+// under, sorted. Pair with PortByName to recover the aliased ports.
+func (c *Composite) ExportNames() []string {
+	names := make([]string, 0, len(c.ports))
+	for n := range c.ports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // PortOf returns the named port of an instance, following composite

@@ -85,6 +85,20 @@ func WithRegistry(r *Registry) BuildOption {
 	return func(b *Builder) { b.reg = r }
 }
 
+// WithPostBuildCheck registers a validation hook that runs at the very
+// end of Build, after the simulator is fully constructed but before it is
+// returned. A non-nil error aborts construction and is returned from
+// Build. Repeated options compose; hooks run in registration order. The
+// static-analysis strict mode (internal/analysis.StrictOption, exposed as
+// lse.WithStrictAnalysis) is built on this hook.
+func WithPostBuildCheck(fn func(*Sim) error) BuildOption {
+	return func(b *Builder) {
+		if fn != nil {
+			b.postBuild = append(b.postBuild, fn)
+		}
+	}
+}
+
 // WithMetrics enables scheduler metrics collection (see Metrics). The
 // instrumented counters are cheap enough to leave on for production
 // sweeps; when the option is absent, Sim.Metrics returns nil and the

@@ -43,6 +43,15 @@ type PortOpts struct {
 	// control functions: any handshake policy can be expressed without
 	// touching the module that owns the port.
 	Control ControlFn
+	// NoDefault declares that default-control resolution firing on this
+	// port's connections indicates a modeling error: every signal the
+	// port drives must be explicitly resolved by module code each cycle.
+	// The engine still applies defaults at runtime (keeping partial
+	// models runnable), but the static analyzer reports connections that
+	// can only resolve by defaulting here — in particular, a dependency
+	// cycle whose every potential break site is NoDefault has no valid
+	// break and is an error (diagnostic LSE002).
+	NoDefault bool
 }
 
 // ControlFn decides the default resolution of a connection's control
@@ -76,6 +85,10 @@ func (p *Port) Conn(i int) *Conn { return p.conns[p.check(i)] }
 
 // Owner returns the instance the port belongs to.
 func (p *Port) Owner() Instance { return p.owner.self }
+
+// Opts returns the port's declared options — arity constraints and
+// default-control overrides — for inspection by analysis tooling.
+func (p *Port) Opts() PortOpts { return p.opts }
 
 // FullName returns the port's "instance.port" name.
 func (p *Port) FullName() string { return p.fullName() }

@@ -45,6 +45,11 @@ type ScheduleInfo struct {
 	// to the SCC) — the place to add explicit control when a model's
 	// cycle-break behavior matters.
 	BreakSites []string
+	// UnconnectedPorts lists optional ports left without connections, as
+	// "instance.port" names in instance then declaration order — the same
+	// set WriteDot renders as dangling stub edges and the LSE001
+	// diagnostic reports, so all three views agree.
+	UnconnectedPorts []string
 }
 
 // schedule carries the precomputed static schedule and the runtime
@@ -173,7 +178,29 @@ func buildSchedule(s *Sim) *schedule {
 			info.BreakSites = append(info.BreakSites, c.String())
 		}
 	}
+	for _, p := range unconnectedPorts(s.instances) {
+		info.UnconnectedPorts = append(info.UnconnectedPorts, p.fullName())
+	}
 	return sc
+}
+
+// unconnectedPorts returns the optional ports left without connections,
+// in instance then port-declaration order. Composite instances are
+// skipped: their ports alias child ports, which are reported (once) on
+// the owning child.
+func unconnectedPorts(instances []Instance) []*Port {
+	var out []*Port
+	for _, inst := range instances {
+		if _, isComposite := inst.(*Composite); isComposite {
+			continue
+		}
+		for _, p := range inst.base().portList {
+			if p.owner == inst.base() && len(p.conns) == 0 {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
 }
 
 func compactLevels(levels [][]*Conn) [][]*Conn {

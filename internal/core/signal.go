@@ -21,6 +21,7 @@ type Conn struct {
 	ackS  atomic.Uint32
 
 	sim *Sim
+	pos Pos // spec position of the connect statement, if known
 }
 
 // ID returns the connection's stable identifier within its netlist.
@@ -31,6 +32,11 @@ func (c *Conn) Src() (*Port, int) { return c.src, c.srcIdx }
 
 // Dst returns the input-side port and the connection's index on it.
 func (c *Conn) Dst() (*Port, int) { return c.dst, c.dstIdx }
+
+// SourcePos returns the specification position of the connect statement
+// that created the connection, when known (see Builder.At); the zero Pos
+// otherwise.
+func (c *Conn) SourcePos() Pos { return c.pos }
 
 // Status returns the current resolution state of signal k — the read
 // tracers use to inspect a connection mid-cycle.

@@ -1,7 +1,10 @@
 package lss
 
 // File is a parsed specification: a sequence of top-level statements.
+// Name is the source file name when known (ParseFile), "" otherwise; it
+// flows into error messages and analysis diagnostic positions.
 type File struct {
+	Name  string
 	Stmts []Stmt
 }
 

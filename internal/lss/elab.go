@@ -1,24 +1,27 @@
 package lss
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
 	core "liberty/internal/core"
 )
 
-// ElabError reports a semantic failure during elaboration.
+// ElabError reports a semantic failure during elaboration. File is the
+// spec file name when the input came through ParseFile/LoadFile.
 type ElabError struct {
+	File   string
 	Line   int
 	Detail string
 }
 
 func (e *ElabError) Error() string {
-	return fmt.Sprintf("lss:%d: %s", e.Line, e.Detail)
-}
-
-func elabErrf(line int, format string, args ...any) error {
-	return &ElabError{Line: line, Detail: fmt.Sprintf(format, args...)}
+	file := e.File
+	if file == "" {
+		file = "lss"
+	}
+	return fmt.Sprintf("%s:%d: %s", file, e.Line, e.Detail)
 }
 
 // scope is one lexical elaboration scope.
@@ -66,6 +69,30 @@ type Elaborator struct {
 	b         *core.Builder
 	mods      map[string]*ModuleDef
 	overrides map[string]any
+	file      string // spec file name for errors and position stamping
+}
+
+// errf reports a semantic failure at the given spec line.
+func (e *Elaborator) errf(line int, format string, args ...any) error {
+	return &ElabError{File: e.file, Line: line, Detail: fmt.Sprintf(format, args...)}
+}
+
+// at moves the builder's position cursor to the given spec line, so
+// instances, connections and build errors created while translating the
+// current statement point back into the spec.
+func (e *Elaborator) at(line int) {
+	e.b.At(core.Pos{File: e.file, Line: line})
+}
+
+// wrapErr attaches a spec position to a builder error. A *BuildError the
+// position cursor already stamped passes through untouched — wrapping it
+// again would print the file:line prefix twice.
+func (e *Elaborator) wrapErr(line int, err error) error {
+	var be *core.BuildError
+	if errors.As(err, &be) && !be.Pos.IsZero() {
+		return err
+	}
+	return e.errf(line, "%v", err)
 }
 
 // NewElaborator wraps a builder.
@@ -85,6 +112,8 @@ func (e *Elaborator) ElaborateWith(f *File, vars map[string]any) error {
 		top.vars[k] = v
 	}
 	e.overrides = vars
+	e.file = f.Name
+	defer e.b.At(core.Pos{}) // don't leak the cursor past elaboration
 	return e.exec(f.Stmts, top)
 }
 
@@ -93,7 +122,21 @@ func (e *Elaborator) ElaborateWith(f *File, vars map[string]any) error {
 // call. vars predefines top-level bindings that shadow same-named `let`
 // statements (the mechanism behind lsc -D overrides); pass nil for none.
 func Load(src string, vars map[string]any, opts ...core.BuildOption) (*core.Sim, error) {
-	return BuildWith(src, core.NewBuilder(opts...), vars)
+	return LoadFile("", src, vars, opts...)
+}
+
+// LoadFile is Load with a source file name: errors, build diagnostics and
+// static-analysis findings then point at name:line instead of lss:line.
+func LoadFile(name, src string, vars map[string]any, opts ...core.BuildOption) (*core.Sim, error) {
+	f, err := ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	b := core.NewBuilder(opts...)
+	if err := NewElaborator(b).ElaborateWith(f, vars); err != nil {
+		return nil, err
+	}
+	return b.Build()
 }
 
 // Build parses src and elaborates it onto b (a fresh builder when nil),
@@ -136,7 +179,7 @@ func (e *Elaborator) execStmt(s Stmt, sc *scope) error {
 	switch st := s.(type) {
 	case *ModuleDef:
 		if _, dup := e.mods[st.Name]; dup {
-			return elabErrf(st.Line, "module %q defined twice", st.Name)
+			return e.errf(st.Line, "module %q defined twice", st.Name)
 		}
 		e.mods[st.Name] = st
 		return nil
@@ -174,7 +217,7 @@ func (e *Elaborator) execStmt(s Stmt, sc *scope) error {
 		}
 		cb, ok := cond.(bool)
 		if !ok {
-			return elabErrf(st.Line, "if condition is %T, want bool", cond)
+			return e.errf(st.Line, "if condition is %T, want bool", cond)
 		}
 		if cb {
 			return e.exec(st.Then, sc.child())
@@ -191,8 +234,9 @@ func (e *Elaborator) execStmt(s Stmt, sc *scope) error {
 }
 
 func (e *Elaborator) execInstance(st *InstanceDecl, sc *scope) error {
+	e.at(st.Line)
 	if _, dup := sc.insts[st.Name]; dup {
-		return elabErrf(st.Line, "instance %q declared twice in this scope", st.Name)
+		return e.errf(st.Line, "instance %q declared twice in this scope", st.Name)
 	}
 	evalArgs := func(argScope *scope) (core.Params, error) {
 		params := core.Params{}
@@ -222,7 +266,7 @@ func (e *Elaborator) execInstance(st *InstanceDecl, sc *scope) error {
 		return err
 	}
 	if n < 0 {
-		return elabErrf(st.Line, "negative instance count %d", n)
+		return e.errf(st.Line, "negative instance count %d", n)
 	}
 	arr := make([]core.Instance, n)
 	for i := int64(0); i < n; i++ {
@@ -245,13 +289,26 @@ func (e *Elaborator) execInstance(st *InstanceDecl, sc *scope) error {
 	return nil
 }
 
-func (e *Elaborator) instantiate(st *InstanceDecl, fullName string, params core.Params, line int) (core.Instance, error) {
+func (e *Elaborator) instantiate(st *InstanceDecl, fullName string, params core.Params, line int) (inst core.Instance, err error) {
 	if def, ok := e.mods[st.Template]; ok {
 		return e.instantiateModule(def, fullName, params, line)
 	}
-	inst, err := e.b.Instantiate(st.Template, fullName, params)
+	// Template constructors validate parameters by panicking with a
+	// *ParamError (see core.Params); recover it into a positioned
+	// elaboration error so a typo'd spec reports file:line instead of
+	// crashing the constructor.
+	defer func() {
+		if p := recover(); p != nil {
+			pe, ok := p.(*core.ParamError)
+			if !ok {
+				panic(p)
+			}
+			inst, err = nil, e.errf(line, "template %s: parameter %q: %s", st.Template, pe.Param, pe.Detail)
+		}
+	}()
+	inst, err = e.b.Instantiate(st.Template, fullName, params)
 	if err != nil {
-		return nil, elabErrf(line, "%v", err)
+		return nil, e.wrapErr(line, err)
 	}
 	return inst, nil
 }
@@ -274,7 +331,7 @@ func (e *Elaborator) instantiateModule(def *ModuleDef, fullName string, args cor
 			continue
 		}
 		if p.Default == nil {
-			return nil, elabErrf(line, "module %s: required parameter %q missing", def.Name, p.Name)
+			return nil, e.errf(line, "module %s: required parameter %q missing", def.Name, p.Name)
 		}
 		v, err := e.eval(p.Default, body)
 		if err != nil {
@@ -284,7 +341,7 @@ func (e *Elaborator) instantiateModule(def *ModuleDef, fullName string, args cor
 	}
 	for name := range args {
 		if !declared[name] {
-			return nil, elabErrf(line, "module %s has no parameter %q", def.Name, name)
+			return nil, e.errf(line, "module %s has no parameter %q", def.Name, name)
 		}
 	}
 	if err := e.exec(def.Body, body); err != nil {
@@ -300,6 +357,7 @@ func (e *Elaborator) instantiateModule(def *ModuleDef, fullName string, args cor
 			}
 		}
 	}
+	e.at(line) // body statements moved the cursor; the composite belongs to the decl
 	e.b.Add(comp)
 	return comp, nil
 }
@@ -307,25 +365,25 @@ func (e *Elaborator) instantiateModule(def *ModuleDef, fullName string, args cor
 func (e *Elaborator) resolveRef(r PortRef, sc *scope) (core.Instance, string, error) {
 	entry, ok := sc.lookupInst(r.Inst)
 	if !ok {
-		return nil, "", elabErrf(r.Line, "unknown instance %q", r.Inst)
+		return nil, "", e.errf(r.Line, "unknown instance %q", r.Inst)
 	}
 	var inst core.Instance
 	switch v := entry.(type) {
 	case core.Instance:
 		if r.InstIdx != nil {
-			return nil, "", elabErrf(r.Line, "instance %q is not an array", r.Inst)
+			return nil, "", e.errf(r.Line, "instance %q is not an array", r.Inst)
 		}
 		inst = v
 	case []core.Instance:
 		if r.InstIdx == nil {
-			return nil, "", elabErrf(r.Line, "instance array %q needs an index", r.Inst)
+			return nil, "", e.errf(r.Line, "instance array %q needs an index", r.Inst)
 		}
 		i, err := e.evalInt(r.InstIdx, sc, r.Line)
 		if err != nil {
 			return nil, "", err
 		}
 		if i < 0 || int(i) >= len(v) {
-			return nil, "", elabErrf(r.Line, "index %d out of range for %q[%d]", i, r.Inst, len(v))
+			return nil, "", e.errf(r.Line, "index %d out of range for %q[%d]", i, r.Inst, len(v))
 		}
 		inst = v[i]
 	}
@@ -341,6 +399,7 @@ func (e *Elaborator) resolveRef(r PortRef, sc *scope) (core.Instance, string, er
 }
 
 func (e *Elaborator) execConnect(st *ConnectStmt, sc *scope) error {
+	e.at(st.Line)
 	srcInst, srcPort, err := e.resolveRef(st.Src, sc)
 	if err != nil {
 		return err
@@ -350,14 +409,15 @@ func (e *Elaborator) execConnect(st *ConnectStmt, sc *scope) error {
 		return err
 	}
 	if err := e.b.Connect(srcInst, srcPort, dstInst, dstPort); err != nil {
-		return elabErrf(st.Line, "%v", err)
+		return e.wrapErr(st.Line, err)
 	}
 	return nil
 }
 
 func (e *Elaborator) execExport(st *ExportStmt, sc *scope) error {
+	e.at(st.Line)
 	if sc.exports == nil {
-		return elabErrf(st.Line, "export outside a module definition")
+		return e.errf(st.Line, "export outside a module definition")
 	}
 	inst, portName, err := e.resolveRef(st.Ref, sc)
 	if err != nil {
@@ -365,7 +425,7 @@ func (e *Elaborator) execExport(st *ExportStmt, sc *scope) error {
 	}
 	p, err := core.PortOf(inst, portName)
 	if err != nil {
-		return elabErrf(st.Line, "%v", err)
+		return e.wrapErr(st.Line, err)
 	}
 	sc.exports.Export(st.Name, p)
 	return nil
@@ -378,7 +438,7 @@ func (e *Elaborator) evalInt(x Expr, sc *scope, line int) (int64, error) {
 	}
 	n, ok := v.(int64)
 	if !ok {
-		return 0, elabErrf(line, "expected integer, got %T (%v)", v, v)
+		return 0, e.errf(line, "expected integer, got %T (%v)", v, v)
 	}
 	return n, nil
 }
@@ -397,7 +457,7 @@ func (e *Elaborator) eval(x Expr, sc *scope) (any, error) {
 		if v, ok := sc.lookupVar(ex.Name); ok {
 			return v, nil
 		}
-		return nil, elabErrf(ex.Line, "undefined name %q", ex.Name)
+		return nil, e.errf(ex.Line, "undefined name %q", ex.Name)
 	case *Neg:
 		v, err := e.eval(ex.E, sc)
 		if err != nil {
@@ -429,7 +489,7 @@ func (e *Elaborator) evalBin(op *BinOp, sc *scope) (any, error) {
 	if ls, ok := l.(string); ok {
 		rs, ok := r.(string)
 		if !ok {
-			return nil, elabErrf(op.Line, "mixed string/%T operands", r)
+			return nil, e.errf(op.Line, "mixed string/%T operands", r)
 		}
 		switch op.Op {
 		case "+":
@@ -439,12 +499,12 @@ func (e *Elaborator) evalBin(op *BinOp, sc *scope) (any, error) {
 		case "!=":
 			return ls != rs, nil
 		}
-		return nil, elabErrf(op.Line, "operator %q undefined on strings", op.Op)
+		return nil, e.errf(op.Line, "operator %q undefined on strings", op.Op)
 	}
 	if lb, ok := l.(bool); ok {
 		rb, ok := r.(bool)
 		if !ok {
-			return nil, elabErrf(op.Line, "mixed bool/%T operands", r)
+			return nil, e.errf(op.Line, "mixed bool/%T operands", r)
 		}
 		switch op.Op {
 		case "==":
@@ -452,7 +512,7 @@ func (e *Elaborator) evalBin(op *BinOp, sc *scope) (any, error) {
 		case "!=":
 			return lb != rb, nil
 		}
-		return nil, elabErrf(op.Line, "operator %q undefined on booleans", op.Op)
+		return nil, e.errf(op.Line, "operator %q undefined on booleans", op.Op)
 	}
 	li, lIsInt := l.(int64)
 	ri, rIsInt := r.(int64)
@@ -466,12 +526,12 @@ func (e *Elaborator) evalBin(op *BinOp, sc *scope) (any, error) {
 			return li * ri, nil
 		case "/":
 			if ri == 0 {
-				return nil, elabErrf(op.Line, "division by zero")
+				return nil, e.errf(op.Line, "division by zero")
 			}
 			return li / ri, nil
 		case "%":
 			if ri == 0 {
-				return nil, elabErrf(op.Line, "division by zero")
+				return nil, e.errf(op.Line, "division by zero")
 			}
 			return li % ri, nil
 		case "==":
@@ -491,7 +551,7 @@ func (e *Elaborator) evalBin(op *BinOp, sc *scope) (any, error) {
 	lf, lok := toFloat(l)
 	rf, rok := toFloat(r)
 	if !lok || !rok {
-		return nil, elabErrf(op.Line, "operator %q undefined on %T and %T", op.Op, l, r)
+		return nil, e.errf(op.Line, "operator %q undefined on %T and %T", op.Op, l, r)
 	}
 	switch op.Op {
 	case "+":
@@ -502,7 +562,7 @@ func (e *Elaborator) evalBin(op *BinOp, sc *scope) (any, error) {
 		return lf * rf, nil
 	case "/":
 		if rf == 0 {
-			return nil, elabErrf(op.Line, "division by zero")
+			return nil, e.errf(op.Line, "division by zero")
 		}
 		return lf / rf, nil
 	case "==":
@@ -518,7 +578,7 @@ func (e *Elaborator) evalBin(op *BinOp, sc *scope) (any, error) {
 	case ">=":
 		return lf >= rf, nil
 	}
-	return nil, elabErrf(op.Line, "operator %q undefined on floats", op.Op)
+	return nil, e.errf(op.Line, "operator %q undefined on floats", op.Op)
 }
 
 func toFloat(v any) (float64, bool) {

@@ -1,0 +1,157 @@
+package lss_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	core "liberty/internal/core"
+	"liberty/internal/lss"
+)
+
+// load runs the full ParseFile/elaborate/build pipeline on one named spec
+// and returns the error.
+func load(name, src string) error {
+	_, err := lss.LoadFile(name, src, nil)
+	return err
+}
+
+func wantErrAt(t *testing.T, err error, prefix string, fragments ...string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("pipeline accepted a broken spec")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, prefix) {
+		t.Errorf("error %q should carry position %q", msg, prefix)
+	}
+	for _, f := range fragments {
+		if !strings.Contains(msg, f) {
+			t.Errorf("error %q should mention %q", msg, f)
+		}
+	}
+}
+
+func TestMalformedConnectionErrors(t *testing.T) {
+	t.Run("missing destination", func(t *testing.T) {
+		err := load("conn.lss", "instance src : pcl.source(count = 1);\nsrc.out -> ;")
+		wantErrAt(t, err, "conn.lss:2:", "expected identifier")
+		var se *lss.SyntaxError
+		if !errors.As(err, &se) {
+			t.Fatalf("error is %T, want *SyntaxError", err)
+		}
+		if se.File != "conn.lss" || se.Line != 2 {
+			t.Errorf("position = %s:%d, want conn.lss:2", se.File, se.Line)
+		}
+	})
+	t.Run("unknown source port", func(t *testing.T) {
+		err := load("conn.lss", `
+instance src : pcl.source(count = 1);
+instance snk : pcl.sink();
+src.zzz -> snk.in;
+`)
+		wantErrAt(t, err, "conn.lss:4:", "no such port", "src.zzz")
+		var be *core.BuildError
+		if !errors.As(err, &be) {
+			t.Fatalf("error is %T, want *BuildError", err)
+		}
+		if be.Pos.File != "conn.lss" || be.Pos.Line != 4 {
+			t.Errorf("position = %v, want conn.lss:4", be.Pos)
+		}
+	})
+	t.Run("unknown instance", func(t *testing.T) {
+		err := load("conn.lss", "instance src : pcl.source(count = 1);\nsrc.out -> ghost.in;")
+		wantErrAt(t, err, "conn.lss:2:", `unknown instance "ghost"`)
+	})
+	t.Run("direction mismatch", func(t *testing.T) {
+		err := load("conn.lss", `
+instance src : pcl.source(count = 1);
+instance snk : pcl.sink();
+snk.in -> src.out;
+`)
+		wantErrAt(t, err, "conn.lss:4:", "source must be an Out port")
+	})
+	t.Run("position printed once, not twice", func(t *testing.T) {
+		err := load("conn.lss", "instance src : pcl.source(count = 1);\nsrc.out -> ghost.in;")
+		if n := strings.Count(err.Error(), "conn.lss:2:"); n != 1 {
+			t.Errorf("position prefix appears %d times in %q, want 1", n, err)
+		}
+	})
+}
+
+func TestDuplicateInstanceNameErrors(t *testing.T) {
+	err := load("dup.lss", `
+instance a : pcl.sink();
+instance b : pcl.sink();
+instance a : pcl.queue(capacity = 1);
+`)
+	wantErrAt(t, err, "dup.lss:4:", `instance "a" declared twice`)
+
+	// The same name in unrelated module scopes is fine — module bodies
+	// are isolated namespaces.
+	err = load("dup.lss", `
+module m1() { instance q : pcl.queue(capacity = 1); export in = q.in; export out = q.out; }
+module m2() { instance q : pcl.queue(capacity = 1); export in = q.in; export out = q.out; }
+instance x : m1();
+instance y : m2();
+instance src : pcl.source(count = 1);
+instance snk : pcl.sink();
+src.out -> x.in;
+x.out -> y.in;
+y.out -> snk.in;
+`)
+	if err != nil {
+		t.Fatalf("same child name in separate modules rejected: %v", err)
+	}
+}
+
+func TestBadParameterTypeErrors(t *testing.T) {
+	// Template constructors panic with *ParamError on type mismatches;
+	// the elaborator must turn that into a positioned error, not a crash.
+	err := load("param.lss", `
+instance snk : pcl.sink();
+instance src : pcl.source(count = "many");
+src.out -> snk.in;
+`)
+	wantErrAt(t, err, "param.lss:3:", "pcl.source", `parameter "count"`, "expected int")
+
+	err = load("param.lss", "instance q : pcl.queue(capacity = true);")
+	wantErrAt(t, err, "param.lss:1:", `parameter "capacity"`)
+}
+
+func TestUnknownTemplateError(t *testing.T) {
+	err := load("tmpl.lss", "\n\ninstance x : no.such.thing();")
+	wantErrAt(t, err, "tmpl.lss:3:", "no.such.thing")
+}
+
+func TestModuleParameterErrors(t *testing.T) {
+	err := load("mod.lss", `
+module m(depth) { instance q : pcl.queue(capacity = depth); export in = q.in; export out = q.out; }
+instance x : m();
+`)
+	wantErrAt(t, err, "mod.lss:3:", `required parameter "depth" missing`)
+
+	err = load("mod.lss", `
+module m(depth = 1) { instance q : pcl.queue(capacity = depth); export in = q.in; export out = q.out; }
+instance x : m(bogus = 2);
+`)
+	wantErrAt(t, err, "mod.lss:3:", `no parameter "bogus"`)
+}
+
+func TestBuildErrorsCarrySpecPositions(t *testing.T) {
+	// MinWidth violations surface at Build time, after elaboration; the
+	// instance's declaration site must still be attached.
+	err := load("width.lss", `
+instance src : pcl.source(count = 1);
+`)
+	var be *core.BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("unconnected required port: error is %T (%v), want *BuildError", err, err)
+	}
+	if be.Pos.File != "width.lss" || be.Pos.Line != 2 {
+		t.Errorf("position = %v, want width.lss:2", be.Pos)
+	}
+	if !strings.Contains(err.Error(), "width.lss:2:") {
+		t.Errorf("message %q should be prefixed with the spec position", err)
+	}
+}

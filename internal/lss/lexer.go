@@ -62,14 +62,20 @@ func (t token) String() string {
 	}
 }
 
-// SyntaxError reports a lexical or parse failure with its position.
+// SyntaxError reports a lexical or parse failure with its position. File
+// is the source file name when the input came through ParseFile.
 type SyntaxError struct {
+	File      string
 	Line, Col int
 	Detail    string
 }
 
 func (e *SyntaxError) Error() string {
-	return fmt.Sprintf("lss:%d:%d: %s", e.Line, e.Col, e.Detail)
+	file := e.File
+	if file == "" {
+		file = "lss"
+	}
+	return fmt.Sprintf("%s:%d:%d: %s", file, e.Line, e.Col, e.Detail)
 }
 
 type lexer struct {

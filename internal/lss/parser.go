@@ -12,21 +12,33 @@ type parser struct {
 }
 
 // Parse turns LSS source into a File.
-func Parse(src string) (*File, error) {
+func Parse(src string) (*File, error) { return ParseFile("", src) }
+
+// ParseFile is Parse with a source file name, recorded on the File and on
+// any syntax error so downstream errors and diagnostics carry positions.
+func ParseFile(name, src string) (*File, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, namedSyntaxErr(name, err)
 	}
 	p := &parser{toks: toks}
-	var f File
+	f := File{Name: name}
 	for !p.at(tokEOF, "") {
 		s, err := p.stmt()
 		if err != nil {
-			return nil, err
+			return nil, namedSyntaxErr(name, err)
 		}
 		f.Stmts = append(f.Stmts, s)
 	}
 	return &f, nil
+}
+
+// namedSyntaxErr stamps the source file name onto a syntax error.
+func namedSyntaxErr(name string, err error) error {
+	if se, ok := err.(*SyntaxError); ok && se.File == "" {
+		se.File = name
+	}
+	return err
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }

@@ -83,6 +83,7 @@ package lse
 import (
 	"io"
 
+	"liberty/internal/analysis"
 	core "liberty/internal/core"
 	"liberty/internal/lss"
 	"liberty/internal/obs"
@@ -167,6 +168,58 @@ type (
 	// MetricsServer serves live JSON snapshots over HTTP.
 	MetricsServer = obs.MetricsServer
 )
+
+// Static-analysis types, re-exported from the analysis engine (see the
+// "Static analysis & linting" section of the README and cmd/lslint).
+type (
+	// Severity ranks a diagnostic's impact; values double as lslint exit
+	// codes.
+	Severity = analysis.Severity
+	// Diagnostic is one static-analysis finding.
+	Diagnostic = analysis.Diagnostic
+	// AnalysisReport is an ordered collection of diagnostics with text
+	// and JSON renderers.
+	AnalysisReport = analysis.Report
+	// StrictAnalysisError is the error Build returns under
+	// WithStrictAnalysis when diagnostics reach the configured severity.
+	StrictAnalysisError = analysis.StrictError
+)
+
+// Diagnostic severities.
+const (
+	SeverityInfo    = analysis.Info
+	SeverityWarning = analysis.Warning
+	SeverityError   = analysis.Error
+)
+
+// ParseSeverity converts a severity name ("info", "warning", "error")
+// into a Severity.
+func ParseSeverity(name string) (Severity, error) { return analysis.ParseSeverity(name) }
+
+// WithStrictAnalysis makes Build run every netlist analysis pass after
+// construction and fail with a *StrictAnalysisError when any diagnostic
+// reaches min severity — e.g. WithStrictAnalysis(SeverityError) rejects
+// netlists with unbreakable combinational cycles while tolerating
+// warnings:
+//
+//	sim, err := lse.LoadLSS(src, lse.WithStrictAnalysis(lse.SeverityError))
+func WithStrictAnalysis(min Severity) BuildOption { return analysis.StrictOption(min) }
+
+// Lint runs the full static-analysis pipeline over one LSS specification
+// — parse, spec passes, build, netlist passes, `lse:ignore` suppression —
+// and returns the report; broken specs yield LSE000 diagnostics rather
+// than errors. name labels positions in the report (use the file name).
+func Lint(name, src string) *AnalysisReport { return analysis.LintSource(name, src) }
+
+// LintWith is Lint with predefined top-level bindings (lsc -D overrides).
+func LintWith(name, src string, defines map[string]any) *AnalysisReport {
+	return analysis.LintSourceWith(name, src, defines)
+}
+
+// Analyze runs the netlist analysis passes over a built simulator,
+// whether it came from a spec or straight from the Go API (diagnostics
+// are positionless in the latter case).
+func Analyze(s *Sim) *AnalysisReport { return analysis.AnalyzeSim(s) }
 
 // Signal status values.
 const (
@@ -268,6 +321,12 @@ func LoadLSS(src string, opts ...BuildOption) (*Sim, error) {
 // same-named `let` statements (the mechanism behind lsc -D overrides).
 func LoadLSSWith(src string, defines map[string]any, opts ...BuildOption) (*Sim, error) {
 	return lss.Load(src, defines, opts...)
+}
+
+// LoadLSSFile is LoadLSSWith with a source file name: parse errors, build
+// errors and static-analysis diagnostics then carry name:line positions.
+func LoadLSSFile(name, src string, defines map[string]any, opts ...BuildOption) (*Sim, error) {
+	return lss.LoadFile(name, src, defines, opts...)
 }
 
 // BuildLSS parses and elaborates an LSS specification onto b (a fresh
