@@ -29,6 +29,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-## bench-smoke: fast CI sanity pass over the scheduler benchmarks.
+## bench-smoke: fast CI sanity pass over the scheduler benchmarks, gated
+## against the checked-in BENCH_4.json baseline (fail on >25% slowdown).
+## Three samples per benchmark; benchguard compares the min of them, so
+## one noisy sample on a shared host doesn't fail the gate.
 bench-smoke:
-	$(GO) test -bench='BenchmarkLevelized|BenchmarkA1' -benchtime=10x -run=^$$ .
+	$(GO) test -bench='BenchmarkLevelized|BenchmarkA1|BenchmarkSparse' -benchtime=200x -count=3 -run=^$$ . | tee bench-smoke.out
+	$(GO) run ./tools/benchguard -baseline BENCH_4.json bench-smoke.out
+	@rm -f bench-smoke.out

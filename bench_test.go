@@ -459,6 +459,40 @@ func BenchmarkLevelizedMesh(b *testing.B) {
 	})
 }
 
+// BenchmarkSparseIdleMesh compares the levelized engine against the
+// activity-gated sparse engine on a 16x16 torus of handler-less modules —
+// a fully idle fabric. The levelized engine re-resolves all 512
+// connections every cycle; the sparse engine resolves them once on the
+// cycle-0 full sweep and replays, so a steady-state cycle touches no
+// signal state at all.
+func BenchmarkSparseIdleMesh(b *testing.B) {
+	b.Run("levelized", func(b *testing.B) {
+		benchScheduler(b, buildDefaultMesh(b, 16, 16,
+			core.WithScheduler(core.SchedulerLevelized), core.WithMetrics()))
+	})
+	b.Run("sparse", func(b *testing.B) {
+		benchScheduler(b, buildDefaultMesh(b, 16, 16,
+			core.WithScheduler(core.SchedulerSparse), core.WithMetrics()))
+	})
+}
+
+// BenchmarkSparseSensornet compares the engines on the mostly-idle shape
+// activity gating targets: three low-rate sensor chains beside a 16x16
+// passive fabric. Only the chains (a few percent of the netlist) pay
+// per-cycle cost under the sparse engine.
+func BenchmarkSparseSensornet(b *testing.B) {
+	build := func(opts ...core.BuildOption) *core.Sim {
+		return buildMostlyIdle(b, 3, 2, 16, 16, 0.05, 1<<40,
+			append(opts, core.WithSeed(1), core.WithMetrics())...)
+	}
+	b.Run("levelized", func(b *testing.B) {
+		benchScheduler(b, build(core.WithScheduler(core.SchedulerLevelized)))
+	})
+	b.Run("sparse", func(b *testing.B) {
+		benchScheduler(b, build(core.WithScheduler(core.SchedulerSparse)))
+	})
+}
+
 // BenchmarkA2ContractCost isolates the 3-signal handshake's host cost: a
 // three-stage queue chain under the engine versus the same FIFO dataflow
 // as direct Go calls.

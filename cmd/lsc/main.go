@@ -12,7 +12,8 @@
 //
 //	-cycles N      cycles to simulate (default 1000)
 //	-seed N        deterministic random seed (default 0)
-//	-scheduler S   auto | sequential | parallel | levelized (default auto)
+//	-scheduler S   auto | sequential | parallel | levelized | sparse
+//	               (default auto = sparse)
 //	-schedule      dump the static schedule (SCCs, levels, break sites)
 //	-workers N     scheduler workers; >1 selects the parallel scheduler
 //	               (deprecated as a selector — use -scheduler)
@@ -35,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -70,7 +72,7 @@ func (d defines) Set(s string) error {
 func main() {
 	cycles := flag.Uint64("cycles", 1000, "cycles to simulate")
 	seed := flag.Int64("seed", 0, "deterministic random seed")
-	scheduler := flag.String("scheduler", "auto", "scheduling engine: auto, sequential, parallel or levelized")
+	scheduler := flag.String("scheduler", "auto", "scheduling engine: auto, sequential, parallel, levelized or sparse")
 	schedule := flag.Bool("schedule", false, "dump the static schedule (levelized scheduler) to stderr")
 	workers := flag.Int("workers", 1, "scheduler workers (>1 = parallel scheduler; deprecated as a selector, use -scheduler)")
 	trace := flag.Bool("trace", false, "dump the signal trace to stderr")
@@ -182,6 +184,8 @@ func main() {
 		}
 		fmt.Fprintf(info, "wrote netlist graph to %s\n", *dot)
 	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	runErr := sim.Run(*cycles)
 	if runErr != nil && ev != nil {
 		// A contract violation is exactly when the captured event tail
@@ -192,7 +196,19 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
-	fmt.Fprintf(info, "simulated %d cycles\n\n", sim.Now())
+	fmt.Fprintf(info, "simulated %d cycles\n", sim.Now())
+	if n := sim.Now(); n > 0 {
+		// GC-pressure note: the signal plane's data lane is released at
+		// commit, so steady-state allocation tracks live traffic, not
+		// netlist size. Mallocs is cumulative and monotonic, making the
+		// delta meaningful even though other goroutines share the heap.
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		fmt.Fprintf(info, "heap: %.1f allocs/cycle, %.0f B/cycle\n",
+			float64(after.Mallocs-before.Mallocs)/float64(n),
+			float64(after.TotalAlloc-before.TotalAlloc)/float64(n))
+	}
+	fmt.Fprintln(info)
 
 	switch {
 	case *statsJSON:
@@ -236,8 +252,10 @@ func schedulerKind(name string) (lse.SchedulerKind, error) {
 		return lse.SchedulerParallel, nil
 	case "levelized":
 		return lse.SchedulerLevelized, nil
+	case "sparse":
+		return lse.SchedulerSparse, nil
 	}
-	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel or levelized)", name)
+	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel, levelized or sparse)", name)
 }
 
 func fatal(err error) {

@@ -491,6 +491,60 @@ func TestAnalyzeSimOnGoNetlist(t *testing.T) {
 	}
 }
 
+func TestActivityDiagnostics(t *testing.T) {
+	// A reactive module with no connected input can never be gated by the
+	// sparse scheduler: LSE007.
+	src := `
+instance r   : ana.relay();
+instance snk : pcl.sink(keep = true);
+r.out -> snk.in;
+`
+	r := lint(t, src)
+	diags := findCode(r, "LSE007")
+	if len(diags) != 1 || diags[0].Where != "r" {
+		t.Fatalf("want 1 LSE007 on r, got %v:\n%s", codes(r), text(r))
+	}
+	if diags[0].Severity != analysis.Info {
+		t.Errorf("LSE007 severity = %v, want info", diags[0].Severity)
+	}
+
+	// Feeding the input removes the diagnostic.
+	connected := `
+instance src : pcl.source(rate = 1.0, count = 5);
+instance r   : ana.relay();
+instance snk : pcl.sink(keep = true);
+src.out -> r.in;
+r.out -> snk.in;
+`
+	if r := lint(t, connected); len(findCode(r, "LSE007")) != 0 {
+		t.Fatalf("connected relay tripped LSE007: %v", codes(r))
+	}
+
+	// MarkAutonomous declares the always-active intent and silences it.
+	b := core.NewBuilder()
+	a, err := b.Instantiate("ana.relay", "a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Instantiate("ana.relay", "c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(a, "out", c, "in"); err != nil {
+		t.Fatal(err)
+	}
+	type autonomouser interface{ MarkAutonomous() }
+	a.(autonomouser).MarkAutonomous()
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if r := analysis.AnalyzeSim(sim); len(findCode(r, "LSE007")) != 0 {
+		t.Fatalf("autonomous instance tripped LSE007: %v", codes(r))
+	}
+}
+
 func TestReportOrderingAndRenderers(t *testing.T) {
 	r := &analysis.Report{}
 	r.Add(analysis.Diagnostic{Code: "LSE004", Severity: analysis.Warning, File: "b.lss", Line: 2, Where: "x", Message: "m1"})

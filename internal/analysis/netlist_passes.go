@@ -13,6 +13,7 @@ type instanceView interface {
 	Ports() []*core.Port
 	SourcePos() core.Pos
 	HasHandlers() (react, start, end bool)
+	Autonomous() bool
 }
 
 func view(inst core.Instance) instanceView { return inst.(instanceView) }
@@ -233,6 +234,36 @@ func passDeadStructure(s *core.Sim, r *Report) {
 		case !reach[inst]:
 			r.Addf("LSE004", Warning, posOf(inst), inst.Name(),
 				"dead structure: no path from %q to any sink — everything it produces circulates or stalls forever", inst.Name())
+		}
+	}
+}
+
+// passActivity (LSE007) reports instances the sparse scheduler can never
+// activity-gate for a structural reason the author may not have intended:
+// a reactive handler with no connected input means the handler can never
+// observe an offered signal, so the scheduler must conservatively seed
+// the instance always-active (its reactions could only depend on
+// non-signal state). Instances that declared the intent — a cycle-start
+// handler or MarkAutonomous — are not reported.
+func passActivity(s *core.Sim, r *Report) {
+	for _, inst := range s.Instances() {
+		if _, isComposite := asComposite(inst); isComposite {
+			continue
+		}
+		v := view(inst)
+		react, start, _ := v.HasHandlers()
+		if !react || start || v.Autonomous() {
+			continue
+		}
+		connectedIn := 0
+		for _, p := range ownPorts(inst) {
+			if p.Dir() == core.In {
+				connectedIn += p.Width()
+			}
+		}
+		if connectedIn == 0 {
+			r.Addf("LSE007", Info, posOf(inst), inst.Name(),
+				"reactive handler with no connected input: %q can never be activity-gated and runs every cycle under the sparse scheduler (connect its inputs, or mark intent with MarkAutonomous)", inst.Name())
 		}
 	}
 }

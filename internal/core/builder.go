@@ -16,6 +16,7 @@ type Builder struct {
 	seed      int64
 	sched     SchedulerKind
 	workers   int
+	parMin    int // parallel round threshold; 0 = default
 	tracer    Tracer
 	metrics   bool
 	instances []Instance
@@ -225,11 +226,16 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 		seed:      b.seed,
 		sched:     sched,
 		workers:   workers,
+		parMin:    b.parMin,
 		tracer:    b.tracer,
 		instances: b.instances,
 		byName:    b.byName,
 		conns:     b.conns,
+		plane:     newSigPlane(len(b.conns)),
 		stats:     newStatSet(),
+	}
+	if s.parMin == 0 {
+		s.parMin = defaultParallelThreshold * workers
 	}
 	if b.metrics {
 		s.metrics = newMetrics(s)
@@ -240,8 +246,13 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	for _, c := range s.conns {
 		c.sim = s
 	}
-	if sched == SchedulerLevelized {
+	if sched == SchedulerLevelized || sched == SchedulerSparse {
 		s.schedule = buildSchedule(s)
+		s.schedule.info.Scheduler = sched
+	}
+	if sched == SchedulerSparse {
+		s.sparse = buildSparse(s)
+		s.schedule.info.fillActivity(s.sparse)
 	}
 	if workers > 1 {
 		s.pool = newWorkerPool(workers)
@@ -274,7 +285,7 @@ func resolveScheduler(sched SchedulerKind, workers int) (SchedulerKind, int) {
 	}
 	switch sched {
 	case SchedulerAuto:
-		sched = SchedulerLevelized
+		sched = SchedulerSparse
 	case SchedulerSequential:
 		workers = 1
 	case SchedulerParallel:

@@ -27,12 +27,13 @@ type Base struct {
 	id        int
 	ports     map[string]*Port
 	portList  []*Port // declaration order
-	react     func()
-	start     func()
-	end       func()
-	scheduled atomic.Bool
-	rng       *rand.Rand
-	pos       Pos // spec position the instance was declared at, if known
+	react      func()
+	start      func()
+	end        func()
+	autonomous bool // react depends on Now()/Rand(); never activity-gated
+	scheduled  atomic.Bool
+	rng        *rand.Rand
+	pos        Pos // spec position the instance was declared at, if known
 }
 
 // Init names the instance and records its concrete value. It must be
@@ -108,6 +109,19 @@ func (b *Base) OnCycleStart(fn func()) { b.start = fn }
 
 // OnCycleEnd registers the once-per-cycle post-resolution commit handler.
 func (b *Base) OnCycleEnd(fn func()) { b.end = fn }
+
+// MarkAutonomous declares that the instance's reactive handler can
+// behave differently from one cycle to the next without any observed
+// signal changing — typically because it reads Now() or Rand() (clock
+// dividers, jitter models). The sparse scheduler treats autonomous
+// instances as always-active seeds: they are woken every cycle and
+// anchor their reactive neighborhood in the active region. Instances
+// with an OnCycleStart handler are always-active already and need no
+// marking.
+func (b *Base) MarkAutonomous() { b.autonomous = true }
+
+// Autonomous reports whether MarkAutonomous was called.
+func (b *Base) Autonomous() bool { return b.autonomous }
 
 // SourcePos returns the specification position the instance was declared
 // at, when the netlist came from a spec front end (see Builder.At); the

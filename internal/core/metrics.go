@@ -28,6 +28,9 @@ type Metrics struct {
 	defaults [3]atomic.Uint64 // indexed by SigKind
 	breaks   [3]atomic.Uint64 // dependency-cycle breaks, by SigKind
 
+	activeInsts  atomic.Uint64 // sparse: instances in the active region, summed per cycle
+	skippedWakes atomic.Uint64 // sparse: gated reactive instances not woken, summed per cycle
+
 	roundSize Histogram // parallel round batch sizes
 
 	insts []InstanceMetrics // indexed by instance id
@@ -77,6 +80,17 @@ func (m *Metrics) DefaultFallbacks(k SigKind) uint64 { return m.defaults[k].Load
 // CycleBreaks returns the number of genuine default-dependency cycles
 // broken for signal kind k. Every break is also counted as a fallback.
 func (m *Metrics) CycleBreaks(k SigKind) uint64 { return m.breaks[k].Load() }
+
+// ActiveInstances returns, summed over all cycles, the number of
+// instances the sparse scheduler placed in the active region (every
+// instance, on full-sweep cycles). Zero under other schedulers; divide
+// by Cycles for the mean active-set size.
+func (m *Metrics) ActiveInstances() uint64 { return m.activeInsts.Load() }
+
+// SkippedWakes returns, summed over all cycles, the number of reactive
+// instances the sparse scheduler left gated instead of waking. Zero
+// under other schedulers and on full-sweep cycles.
+func (m *Metrics) SkippedWakes() uint64 { return m.skippedWakes.Load() }
 
 // InstanceMetrics accumulates one instance's react activity.
 type InstanceMetrics struct {

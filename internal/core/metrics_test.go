@@ -171,7 +171,10 @@ func TestSchedulerMetricsGolden(t *testing.T) {
 // per signal kind per cycle, after which the second connection defaults
 // normally.
 func TestSchedulerMetricsCycleBreaks(t *testing.T) {
-	b := core.NewBuilder(core.WithMetrics())
+	// Pinned to the levelized scheduler: under the sparse default this
+	// handler-less loop is entirely gated after the cycle-0 full sweep
+	// and the per-cycle counts collapse (see TestSparseActivityGating).
+	b := core.NewBuilder(core.WithMetrics(), core.WithScheduler(core.SchedulerLevelized))
 	x := newDeadEnd("x")
 	y := newDeadEnd("y")
 	b.Add(x)

@@ -9,9 +9,10 @@ type BuildOption func(*Builder)
 type SchedulerKind uint8
 
 const (
-	// SchedulerAuto lets Build choose: currently the levelized static
-	// scheduler, which is bit-identical to the sequential fixed point and
-	// strictly faster.
+	// SchedulerAuto lets Build choose: currently the activity-gated
+	// sparse scheduler, which is bit-identical to the sequential fixed
+	// point and strictly faster — dramatically so on mostly-idle
+	// netlists.
 	SchedulerAuto SchedulerKind = iota
 	// SchedulerSequential is the demand-driven sequential engine: a single
 	// work queue runs reactive handlers to a fixed point, and default
@@ -30,6 +31,17 @@ const (
 	// bit-identical to SchedulerSequential. With WithWorkers(n>1) given
 	// after it, reactive rounds additionally run on the worker pool.
 	SchedulerLevelized
+	// SchedulerSparse is the activity-gated sparse scheduler: the
+	// levelized engine restricted, per cycle, to the build-time-computed
+	// active region of the netlist. Instances with no OnCycleStart
+	// handler and no input a seed instance can ever reach are never
+	// woken; their connections keep ("replay") the resolution they
+	// settled to on the last full sweep instead of being reset and
+	// re-resolved. Results are bit-identical to SchedulerSequential for
+	// netlists observing the reactive-purity invariant (see DESIGN.md
+	// Appendix C); scheduler metrics differ, since skipped work is the
+	// point. Sim.InvalidateActivity forces a full re-resolution.
+	SchedulerSparse
 )
 
 func (k SchedulerKind) String() string {
@@ -42,6 +54,8 @@ func (k SchedulerKind) String() string {
 		return "parallel"
 	case SchedulerLevelized:
 		return "levelized"
+	case SchedulerSparse:
+		return "sparse"
 	}
 	return "invalid"
 }
@@ -64,6 +78,30 @@ func WithScheduler(k SchedulerKind) BuildOption {
 // only as a worker-count knob and legacy scheduler selector.
 func WithWorkers(n int) BuildOption {
 	return func(b *Builder) { b.setWorkers(n) }
+}
+
+// defaultParallelThreshold is the per-worker round size below which the
+// parallel scheduler drains inline (default threshold = 128 × workers).
+// Dispatching a round costs one goroutine wakeup per worker — tens of
+// microseconds of scheduling latency the caller must absorb even when a
+// woken worker claims no work — so splitting only pays once each worker's
+// share of the batch outweighs its own wakeup (BENCH_2's workers=2
+// regression: barrier latency exceeded the work on rounds of 2-4 cheap
+// handlers).
+const defaultParallelThreshold = 128
+
+// WithParallelThreshold sets the minimum reactive-round size the
+// parallel scheduler dispatches to the worker pool; smaller rounds drain
+// inline on the calling goroutine, where dispatch latency would
+// otherwise dominate. n <= 1 sends every round to the pool. The default
+// is 128 × the worker count.
+func WithParallelThreshold(n int) BuildOption {
+	return func(b *Builder) {
+		if n <= 1 {
+			n = 1
+		}
+		b.parMin = n
+	}
 }
 
 // WithSeed sets the simulator's deterministic random seed.

@@ -68,8 +68,11 @@ func (p *workerPool) runOne(r *poolRound) {
 }
 
 // run executes one round and blocks until every batch entry has reacted.
-// A panic captured in a worker is re-raised here, on the caller's
-// goroutine.
+// The calling goroutine participates as an executor, so a round needs
+// only k-1 worker wakeups — and none at all when the caller claims the
+// whole batch before a worker arrives, which keeps small rounds at small
+// worker counts off the futex path entirely. A panic captured in any
+// executor is re-raised here, on the caller's goroutine.
 func (p *workerPool) run(s *Sim, batch []*Base) {
 	r := &poolRound{sim: s, batch: batch}
 	k := p.n
@@ -77,9 +80,10 @@ func (p *workerPool) run(s *Sim, batch []*Base) {
 		k = len(batch)
 	}
 	r.wg.Add(k)
-	for i := 0; i < k; i++ {
+	for i := 0; i < k-1; i++ {
 		p.tasks <- r
 	}
+	p.runOne(r)
 	r.wg.Wait()
 	if r.panicV != nil {
 		panic(r.panicV)

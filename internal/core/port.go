@@ -121,7 +121,7 @@ func (p *Port) DataStatus(i int) Status { return p.conns[p.check(i)].status(SigD
 
 // Data returns the value offered on connection i. It is valid only when
 // DataStatus(i) == Yes.
-func (p *Port) Data(i int) any { return p.conns[p.check(i)].data }
+func (p *Port) Data(i int) any { return p.conns[p.check(i)].dataValue() }
 
 // EnableStatus returns the resolution state of connection i's enable signal.
 func (p *Port) EnableStatus(i int) Status { return p.conns[p.check(i)].status(SigEnable) }
@@ -186,5 +186,5 @@ func (p *Port) TransferredData(i int) (any, bool) {
 	if !c.transferred() {
 		return nil, false
 	}
-	return c.data, true
+	return c.dataValue(), true
 }

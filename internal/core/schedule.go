@@ -13,10 +13,11 @@ package core
 // connection the sequential scanner would pick.
 
 // ScheduleInfo describes the static schedule computed at Build time for
-// the levelized scheduler. Sim.Schedule returns nil for other schedulers.
+// the levelized and sparse schedulers. Sim.Schedule returns nil for
+// other schedulers.
 type ScheduleInfo struct {
-	// Scheduler is the resolved scheduler kind (always SchedulerLevelized
-	// when the info exists).
+	// Scheduler is the resolved scheduler kind (SchedulerLevelized or
+	// SchedulerSparse when the info exists).
 	Scheduler SchedulerKind
 	// Workers is the resolved worker count (1 = reactive rounds run on
 	// the calling goroutine).
@@ -50,6 +51,27 @@ type ScheduleInfo struct {
 	// set WriteDot renders as dangling stub edges and the LSE001
 	// diagnostic reports, so all three views agree.
 	UnconnectedPorts []string
+	// ActiveInsts/GatedInsts split the instances by the sparse
+	// scheduler's build-time activity partition (both zero under other
+	// schedulers); AlwaysActive of the active ones are closure seeds.
+	// ActiveConns/GatedConns split the connections the same way: gated
+	// connections replay their settled resolution instead of being reset
+	// and re-resolved each cycle.
+	ActiveInsts  int
+	GatedInsts   int
+	AlwaysActive int
+	ActiveConns  int
+	GatedConns   int
+}
+
+// fillActivity copies the sparse activity partition's shape into the
+// schedule introspection info.
+func (si *ScheduleInfo) fillActivity(sp *sparseSchedule) {
+	si.ActiveInsts = sp.activeInsts
+	si.GatedInsts = len(sp.active) - sp.activeInsts
+	si.AlwaysActive = sp.alwaysActive
+	si.ActiveConns = len(sp.dirty)
+	si.GatedConns = len(sp.connActive) - len(sp.dirty)
 }
 
 // schedule carries the precomputed static schedule and the runtime
@@ -78,7 +100,8 @@ type schedule struct {
 }
 
 // Schedule returns the static schedule computed at Build time, or nil
-// when the simulator does not use the levelized scheduler.
+// when the simulator uses neither the levelized nor the sparse
+// scheduler.
 func (s *Sim) Schedule() *ScheduleInfo {
 	if s.schedule == nil {
 		return nil

@@ -5,20 +5,62 @@ import (
 	"sync/atomic"
 )
 
+// sigPlane is the dense signal state of a netlist: one status lane per
+// signal kind plus a data-value lane, each indexed by connection id. The
+// plane is allocated once at Build time; per-`Conn` signal storage does
+// not exist. The layout buys three things over per-connection fields:
+//
+//   - Resetting a cycle is a bulk memclr per lane (Unknown is the zero
+//     status by construction), not a pointer chase over every Conn.
+//   - The sparse scheduler resets only the active region's lanes and the
+//     gated remainder keeps — "replays" — its settled resolution.
+//   - The data lane can be released eagerly at commit so transferred
+//     values are not pinned for an extra cycle.
+//
+// Status cells are atomic because the parallel scheduler's workers race
+// on raise; the data lane is written only by the single instance that
+// drives the connection's data signal, ordered by the status store.
+type sigPlane struct {
+	lanes [3][]atomic.Uint32 // indexed by SigKind, then conn id
+	data  []any              // valid where the data lane holds Yes
+}
+
+func newSigPlane(nConns int) sigPlane {
+	var p sigPlane
+	for k := range p.lanes {
+		p.lanes[k] = make([]atomic.Uint32, nConns)
+	}
+	p.data = make([]any, nConns)
+	return p
+}
+
+// clearStatus resets every status lane to Unknown (the zero value), one
+// memclr per lane.
+func (p *sigPlane) clearStatus() {
+	for k := range p.lanes {
+		clear(p.lanes[k])
+	}
+}
+
+// clearConn resets one connection's three status cells and data value —
+// the sparse scheduler's per-connection reset for the active region.
+func (p *sigPlane) clearConn(id int) {
+	p.lanes[SigData][id].Store(uint32(Unknown))
+	p.lanes[SigEnable][id].Store(uint32(Unknown))
+	p.lanes[SigAck][id].Store(uint32(Unknown))
+	p.data[id] = nil
+}
+
 // Conn is one connection between an output port and an input port. It
-// carries the three contract signals. Conn values are created by the
-// Builder; module code observes and drives them through Port methods.
+// carries the three contract signals, whose state lives in the owning
+// simulator's signal plane. Conn values are created by the Builder;
+// module code observes and drives them through Port methods.
 type Conn struct {
 	id     int
 	src    *Port // output side
 	dst    *Port // input side
 	srcIdx int   // index of this connection on src
 	dstIdx int   // index of this connection on dst
-
-	data  any // valid once dataS == Yes
-	dataS atomic.Uint32
-	enS   atomic.Uint32
-	ackS  atomic.Uint32
 
 	sim *Sim
 	pos Pos // spec position of the connect statement, if known
@@ -43,27 +85,24 @@ func (c *Conn) SourcePos() Pos { return c.pos }
 func (c *Conn) Status(k SigKind) Status { return c.status(k) }
 
 // Data returns the value carried by the data signal and whether it is
-// valid (i.e. the data signal has resolved Yes this cycle).
+// valid (i.e. the data signal has resolved Yes this cycle). The data
+// lane is released at commit, so between cycles Data reports invalid.
 func (c *Conn) Data() (any, bool) {
-	if Status(c.dataS.Load()) != Yes {
+	if c.status(SigData) != Yes {
 		return nil, false
 	}
-	return c.data, true
+	return c.sim.plane.data[c.id], true
 }
+
+// dataValue returns the raw data-lane value without a validity check.
+func (c *Conn) dataValue() any { return c.sim.plane.data[c.id] }
 
 func (c *Conn) String() string {
 	return fmt.Sprintf("%s[%d]->%s[%d]", c.src.fullName(), c.srcIdx, c.dst.fullName(), c.dstIdx)
 }
 
 func (c *Conn) status(k SigKind) Status {
-	switch k {
-	case SigData:
-		return Status(c.dataS.Load())
-	case SigEnable:
-		return Status(c.enS.Load())
-	default:
-		return Status(c.ackS.Load())
-	}
+	return Status(c.sim.plane.lanes[k][c.id].Load())
 }
 
 // raise resolves signal k to status s (with value v when k is SigData).
@@ -74,20 +113,13 @@ func (c *Conn) raise(k SigKind, s Status, v any) bool {
 	if s == Unknown {
 		contractPanic("raise "+k.String(), c.String(), "cannot raise a signal to Unknown")
 	}
-	var cell *atomic.Uint32
-	switch k {
-	case SigData:
-		cell = &c.dataS
-	case SigEnable:
-		cell = &c.enS
-	default:
-		cell = &c.ackS
-	}
+	pl := &c.sim.plane
 	if k == SigData && s == Yes {
 		// The data value must be visible before the status store; the
 		// acquire load in status() orders the read.
-		c.data = v
+		pl.data[c.id] = v
 	}
+	cell := &pl.lanes[k][c.id]
 	if cell.CompareAndSwap(uint32(Unknown), uint32(s)) {
 		c.sim.onResolve(c, k, s)
 		c.sim.noteResolve(c, k)
@@ -109,17 +141,7 @@ func (c *Conn) raise(k SigKind, s Status, v any) bool {
 // transferred reports whether the handshake completed this cycle. It is
 // meaningful only after resolution (during OnCycleEnd).
 func (c *Conn) transferred() bool {
-	return Status(c.dataS.Load()) == Yes &&
-		Status(c.enS.Load()) == Yes &&
-		Status(c.ackS.Load()) == Yes
-}
-
-// reset returns all three signals to Unknown at the start of a cycle.
-// Called only by the scheduler between cycles; never concurrently with
-// handler execution.
-func (c *Conn) reset() {
-	c.data = nil
-	c.dataS.Store(uint32(Unknown))
-	c.enS.Store(uint32(Unknown))
-	c.ackS.Store(uint32(Unknown))
+	return c.status(SigData) == Yes &&
+		c.status(SigEnable) == Yes &&
+		c.status(SigAck) == Yes
 }

@@ -23,15 +23,18 @@ const (
 // remaining signals, and state commits.
 type Sim struct {
 	seed      int64
-	sched     SchedulerKind // resolved: Sequential, Parallel or Levelized
+	sched     SchedulerKind // resolved: Sequential, Parallel, Levelized or Sparse
 	workers   int
+	parMin    int // parallel rounds below this size drain inline
 	tracer    Tracer
 	instances []Instance
 	byName    map[string]Instance
 	conns     []*Conn
+	plane     sigPlane // dense signal state, indexed by conn id
 	stats     *StatSet
-	metrics   *Metrics  // nil unless built with WithMetrics
-	schedule  *schedule // nil unless the levelized scheduler is selected
+	metrics   *Metrics        // nil unless built with WithMetrics
+	schedule  *schedule       // nil unless the levelized/sparse scheduler is selected
+	sparse    *sparseSchedule // nil unless the sparse scheduler is selected
 	pool      *workerPool
 
 	phase phase
@@ -110,12 +113,31 @@ func (s *Sim) wake(b *Base) {
 }
 
 func (s *Sim) drain() {
-	if s.workers > 1 {
+	if s.workers > 1 && len(s.queue)-s.qhead >= s.parMin {
 		s.drainParallel()
 		return
 	}
+	// Sequential worklist — also the parallel engine's small-round path:
+	// rounds below the parallel threshold cost more in barrier latency
+	// and wake-mutex traffic than the work is worth (BENCH_2: workers=2
+	// ran 2.1x slower than workers=1 on handshake-bound rounds of 2-4
+	// instances), so they run inline on the calling goroutine and only
+	// escalate to pooled rounds if the worklist grows past the threshold.
 	ran := s.qhead < len(s.queue)
+	size := len(s.queue) - s.qhead
 	for s.qhead < len(s.queue) {
+		if s.workers > 1 && len(s.queue)-s.qhead >= s.parMin {
+			if m := s.metrics; m != nil {
+				// Account the inline prefix as one round.
+				m.rounds.Add(1)
+				m.roundSize.Observe(float64(size))
+				if s.schedule == nil {
+					m.iters.Add(1)
+				}
+			}
+			s.drainParallel()
+			return
+		}
 		b := s.queue[s.qhead]
 		s.qhead++
 		b.scheduled.Store(false)
@@ -123,10 +145,17 @@ func (s *Sim) drain() {
 	}
 	s.queue = s.queue[:0]
 	s.qhead = 0
-	// Under the levelized scheduler, fixed-point iterations are counted
-	// by the residue worklist instead (zero on acyclic netlists).
-	if m := s.metrics; m != nil && ran && s.schedule == nil {
-		m.iters.Add(1)
+	if m := s.metrics; m != nil && ran {
+		if s.workers > 1 {
+			m.rounds.Add(1)
+			m.roundSize.Observe(float64(size))
+		}
+		// Under the levelized scheduler, fixed-point iterations are
+		// counted by the residue worklist instead (zero on acyclic
+		// netlists).
+		if s.schedule == nil {
+			m.iters.Add(1)
+		}
 	}
 }
 
@@ -177,6 +206,31 @@ func (s *Sim) drainParallel() {
 			}
 			m.roundSize.Observe(float64(len(batch)))
 		}
+		if len(batch) < s.parMin {
+			// Small rounds cost more in barrier latency and wake-mutex
+			// traffic than the work is worth (BENCH_2: workers=2 ran 2.1x
+			// slower than workers=1 on handshake-bound rounds of 2-4
+			// instances). Drain the round as a sequential worklist on the
+			// calling goroutine: with s.par off, wakes append straight to
+			// the queue, mutex-free, and run in the same pass. Monotonic
+			// confluence keeps the result identical; if the worklist grows
+			// back past the threshold the remainder returns to pooled
+			// rounds.
+			s.par = false
+			s.queue = append(s.queue[:0], batch...)
+			s.qhead = 0
+			for s.qhead < len(s.queue) && len(s.queue)-s.qhead < s.parMin {
+				b := s.queue[s.qhead]
+				s.qhead++
+				b.scheduled.Store(false)
+				s.runReact(b)
+			}
+			batch = append(batch[:0], s.queue[s.qhead:]...)
+			s.queue = s.queue[:0]
+			s.qhead = 0
+			s.par = true
+			continue
+		}
 		s.pool.run(s, batch)
 		batch = append(batch[:0], s.wakes...)
 		s.wakes = s.wakes[:0]
@@ -223,7 +277,11 @@ func sortWakes(batch []*Base) []*Base {
 // sink) resolve from the leaves inward instead of being pessimistically
 // killed at the head. A genuine dependency cycle is broken at the
 // lowest-id unresolved connection.
-func (s *Sim) applyDefaults() {
+func (s *Sim) applyDefaults(full bool) {
+	if s.sparse != nil && !full {
+		s.applyDefaultsSparse()
+		return
+	}
 	if s.schedule != nil {
 		s.applyDefaultsLevelized()
 		return
@@ -310,7 +368,7 @@ func (s *Sim) applyDefault(c *Conn, k SigKind) {
 	case SigEnable:
 		st := Unknown
 		if fn := c.src.opts.Control; fn != nil {
-			st = fn(c.status(SigData), Unknown, c.data)
+			st = fn(c.status(SigData), Unknown, c.dataValue())
 		}
 		if st == Unknown {
 			st = c.src.opts.DefaultEnable
@@ -325,7 +383,7 @@ func (s *Sim) applyDefault(c *Conn, k SigKind) {
 	case SigAck:
 		st := Unknown
 		if fn := c.dst.opts.Control; fn != nil {
-			st = fn(c.status(SigData), c.status(SigEnable), c.data)
+			st = fn(c.status(SigData), c.status(SigEnable), c.dataValue())
 		}
 		if st == Unknown {
 			st = c.dst.opts.DefaultAck
@@ -341,8 +399,8 @@ func (s *Sim) applyDefault(c *Conn, k SigKind) {
 	}
 }
 
-func (s *Sim) verifyResolved() {
-	for _, c := range s.conns {
+func (s *Sim) verifyResolved(conns []*Conn) {
+	for _, c := range conns {
 		for _, k := range [...]SigKind{SigData, SigEnable, SigAck} {
 			if c.status(k) == Unknown {
 				contractPanic("resolve", c.String(),
@@ -362,14 +420,38 @@ func (s *Sim) Step() (err error) {
 				panic(r)
 			}
 			s.phase = phaseIdle
+			if s.sparse != nil {
+				// The cycle aborted mid-resolution; the plane holds a
+				// partial state no replay may build on.
+				s.sparse.fullNext = true
+			}
 			err = ce
 		}
 	}()
+	// The sparse scheduler gates the cycle to the active region except on
+	// full sweeps (cycle 0, after InvalidateActivity or an error), which
+	// re-establish the gated region's settled resolution.
+	sp := s.sparse
+	full := sp == nil || sp.fullNext
+	if sp != nil {
+		sp.fullNext = false
+	}
 	if s.tracer != nil {
 		s.tracer.OnCycleBegin(s.cycle)
 	}
-	for _, c := range s.conns {
-		c.reset()
+	if full {
+		// Bulk reset: each status lane is one memclr (Unknown is the zero
+		// status). The data lane was already released at the previous
+		// commit — except when a sparse full sweep invalidates replayed
+		// values, which must go with their statuses.
+		s.plane.clearStatus()
+		if sp != nil {
+			clear(s.plane.data)
+		}
+	} else {
+		for _, c := range sp.dirty {
+			s.plane.clearConn(c.id)
+		}
 	}
 	s.phase = phaseStart
 	for _, inst := range s.instances {
@@ -378,12 +460,30 @@ func (s *Sim) Step() (err error) {
 		}
 	}
 	s.phase = phaseReact
-	for _, inst := range s.instances {
-		s.wake(inst.base())
+	if full {
+		for _, inst := range s.instances {
+			s.wake(inst.base())
+		}
+	} else {
+		for _, b := range sp.reactWake {
+			s.wake(b)
+		}
+	}
+	if m := s.metrics; m != nil && sp != nil {
+		if full {
+			m.activeInsts.Add(uint64(len(s.instances)))
+		} else {
+			m.activeInsts.Add(uint64(sp.activeInsts))
+			m.skippedWakes.Add(uint64(sp.gatedReacts))
+		}
 	}
 	s.drain()
-	s.applyDefaults()
-	s.verifyResolved()
+	s.applyDefaults(full)
+	if full {
+		s.verifyResolved(s.conns)
+	} else {
+		s.verifyResolved(sp.dirty)
+	}
 	s.phase = phaseEnd
 	if s.tracer != nil {
 		s.tracer.OnCycleEnd(s.cycle)
@@ -394,6 +494,16 @@ func (s *Sim) Step() (err error) {
 		}
 	}
 	s.phase = phaseIdle
+	// Commit: release transferred data values now instead of pinning them
+	// until the next cycle's reset. The sparse gated region keeps its
+	// values — they are the replayed resolution.
+	if sp == nil {
+		clear(s.plane.data)
+	} else if !full {
+		for _, c := range sp.dirty {
+			s.plane.data[c.id] = nil
+		}
+	}
 	s.cycle++
 	if m := s.metrics; m != nil {
 		m.cycles.Add(1)

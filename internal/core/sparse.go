@@ -1,0 +1,204 @@
+package core
+
+// sparse.go is the activity-gated sparse scheduler. It layers an activity
+// partition on top of the levelized static schedule (schedule.go): at
+// Build time the netlist is split into an *active region* — instances
+// that can observe or produce new signal values in some cycle — and a
+// *gated region* whose inputs provably never change, computed as the
+// conservative closure below. Per cycle, only the active region's
+// connections are reset and re-resolved; the gated region keeps the
+// resolution it settled to on the last full sweep, which the plane
+// "replays" by simply not clearing those lanes. Gated reactive instances
+// are not woken at all: with bit-identical inputs a conforming reactive
+// handler re-derives bit-identical drives, so skipping the invocation
+// cannot change any signal (its re-raises would be same-status no-ops).
+//
+// Activity closure. Seed instances are the ones whose behavior can vary
+// cycle to cycle without any input change:
+//
+//   - instances with an OnCycleStart handler (per-cycle autonomy:
+//     sources, queues offering buffered entries, timers);
+//   - instances marked autonomous (Base.MarkAutonomous) — reactive
+//     handlers that read Now() or Rand();
+//   - reactive instances with no connected input (diagnostic LSE007):
+//     no input can ever change, so gating would silence them forever;
+//     the only safe treatment is always-active.
+//
+// The closure then cascades: every connection touching an active
+// instance is active (its signals are reset and re-resolved each cycle),
+// and every reactive instance adjacent to an active connection is
+// activated in turn, transitively. The fixed point leaves gated only
+// instances unreachable from any seed through reactive adjacency — their
+// inputs are driven exclusively by other gated instances (whose drives
+// replay) or resolve by default control (a pure function of the conn's
+// own earlier-round signals), so they are bit-identical every cycle.
+//
+// Soundness invariant (DESIGN.md Appendix C): a reactive handler's
+// drives must be a function of its observed signals and construction
+// config alone — in particular, in the absence of offered data its
+// behavior must not depend on Now(), Rand() or state mutated elsewhere.
+// Handlers that violate this must run under OnCycleStart or declare
+// MarkAutonomous. Gated regions never carry offered data (data
+// originates from seed instances, and the cascade keeps every reactive
+// instance within reach of a seed active), so only the idle behavior of
+// a handler is ever replayed.
+//
+// The partition is computed once; Sim.InvalidateActivity forces a full
+// sweep for harnesses that mutate module state between cycles, and the
+// scheduler falls back to a full sweep automatically on cycle 0 (to
+// establish the gated region's settled values) and after any Step error.
+
+// sparseSchedule is the Build-time activity partition plus per-cycle
+// scratch for the sparse scheduler. The embedded levelized schedule in
+// Sim.schedule still describes the full netlist; the filtered level
+// buckets here restrict its sweep to the active region.
+type sparseSchedule struct {
+	active     []bool  // instance id -> in the active region
+	connActive []bool  // conn id -> reset and re-resolved each cycle
+	dirty      []*Conn // active conns, ascending id
+	reactWake  []*Base // active reactive instances, ascending id
+
+	// Active-region restrictions of the static schedule's sweep.
+	fwdLevels  [][]*Conn
+	ackLevels  [][]*Conn
+	fwdResidue []*Conn
+	ackResidue []*Conn
+
+	activeInsts  int // instances in the active region
+	gatedReacts  int // reactive instances never woken (skipped wakes/cycle)
+	alwaysActive int // seed instances
+
+	fullNext bool // next Step runs a full sweep (cycle 0, invalidation, error)
+}
+
+// buildSparse computes the activity partition over a netlist whose full
+// levelized schedule has already been built.
+func buildSparse(s *Sim) *sparseSchedule {
+	sp := &sparseSchedule{
+		active:     make([]bool, len(s.instances)),
+		connActive: make([]bool, len(s.conns)),
+		fullNext:   true, // cycle 0 establishes the gated region's values
+	}
+	// Seed the closure.
+	var queue []*Base
+	for _, inst := range s.instances {
+		b := inst.base()
+		if _, isComposite := inst.(*Composite); isComposite {
+			continue // exports alias child ports; children seed themselves
+		}
+		seed := b.start != nil || b.autonomous ||
+			(b.react != nil && connectedInputs(b) == 0)
+		if seed {
+			sp.alwaysActive++
+			sp.active[b.id] = true
+			queue = append(queue, b)
+		}
+	}
+	// Cascade: active instance -> its conns are active -> reactive
+	// neighbors are active.
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, p := range b.portList {
+			if p.owner != b {
+				continue
+			}
+			for _, c := range p.conns {
+				if sp.connActive[c.id] {
+					continue
+				}
+				sp.connActive[c.id] = true
+				for _, nb := range []*Base{c.src.owner, c.dst.owner} {
+					if nb.react != nil && !sp.active[nb.id] {
+						sp.active[nb.id] = true
+						queue = append(queue, nb)
+					}
+				}
+			}
+		}
+	}
+	for _, c := range s.conns {
+		if sp.connActive[c.id] {
+			sp.dirty = append(sp.dirty, c)
+		}
+	}
+	for _, inst := range s.instances {
+		b := inst.base()
+		if sp.active[b.id] {
+			sp.activeInsts++
+			if b.react != nil {
+				sp.reactWake = append(sp.reactWake, b)
+			}
+		} else if b.react != nil {
+			sp.gatedReacts++
+		}
+	}
+	// Restrict the static sweep to the active region. Levels keep their
+	// internal id order, so sweep determinism is preserved.
+	sc := s.schedule
+	sp.fwdLevels = filterLevels(sc.fwdLevels, sp.connActive)
+	sp.ackLevels = filterLevels(sc.ackLevels, sp.connActive)
+	sp.fwdResidue = filterConns(sc.fwdResidue, sp.connActive)
+	sp.ackResidue = filterConns(sc.ackResidue, sp.connActive)
+	return sp
+}
+
+// connectedInputs counts the connections attached to an instance's In
+// ports — the LSE007 gateability condition.
+func connectedInputs(b *Base) int {
+	n := 0
+	for _, p := range b.portList {
+		if p.owner == b && p.dir == In {
+			n += len(p.conns)
+		}
+	}
+	return n
+}
+
+func filterLevels(levels [][]*Conn, keep []bool) [][]*Conn {
+	out := make([][]*Conn, 0, len(levels))
+	for _, lvl := range levels {
+		f := filterConns(lvl, keep)
+		if len(f) > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func filterConns(conns []*Conn, keep []bool) []*Conn {
+	var out []*Conn
+	for _, c := range conns {
+		if keep[c.id] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// InvalidateActivity forces the next Step to run a full sweep: every
+// connection is reset and every instance woken, re-establishing the
+// gated region's settled values. Harnesses that mutate module state
+// between cycles outside the handler phases (e.g. poking registers
+// before resuming) must call it so the sparse scheduler cannot replay a
+// resolution the mutation invalidated. A no-op under other schedulers.
+func (s *Sim) InvalidateActivity() {
+	if s.sparse != nil {
+		s.sparse.fullNext = true
+	}
+}
+
+// applyDefaultsSparse is the sparse scheduler's default-control phase:
+// the levelized sweep and residue worklist restricted to the active
+// region. Gated connections already hold their replayed resolution, so
+// they are never Unknown and contribute only as (resolved) dependencies.
+func (s *Sim) applyDefaultsSparse() {
+	sp := s.sparse
+	sc := s.schedule
+	s.sweep(SigData, sp.fwdLevels)
+	s.runResidue(SigData, sp.fwdResidue, sc.fwdDeps, sc.fwdDependents)
+	s.sweep(SigEnable, sp.fwdLevels)
+	s.runResidue(SigEnable, sp.fwdResidue, sc.fwdDeps, sc.fwdDependents)
+	s.sweep(SigAck, sp.ackLevels)
+	s.runResidue(SigAck, sp.ackResidue, sc.ackDeps, sc.ackDependents)
+}

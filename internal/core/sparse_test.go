@@ -1,0 +1,226 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	core "liberty/internal/core"
+)
+
+// buildMixed assembles a netlist with a live region (driver fanning out
+// to two ackers) and a dead region (two handler-less modules in a loop)
+// that the sparse scheduler should gate entirely.
+func buildMixed(t *testing.T, opts ...core.BuildOption) *core.Sim {
+	t.Helper()
+	b := core.NewBuilder(opts...)
+	drv := newDriver("drv")
+	b1 := newAcker("b1")
+	b2 := newAcker("b2")
+	x := newDeadEnd("x")
+	y := newDeadEnd("y")
+	for _, inst := range []core.Instance{drv, b1, b2, x, y} {
+		b.Add(inst)
+	}
+	b.Connect(drv, "out", b1, "in")
+	b.Connect(drv, "out", b2, "in")
+	b.Connect(x, "out", y, "in")
+	b.Connect(y, "out", x, "in")
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestSparseActivityGating: a fully handler-less netlist resolves once on
+// the cycle-0 full sweep and replays afterwards — default-control work is
+// paid exactly once, not per cycle.
+func TestSparseActivityGating(t *testing.T) {
+	b := core.NewBuilder(core.WithMetrics())
+	x := newDeadEnd("x")
+	y := newDeadEnd("y")
+	b.Add(x)
+	b.Add(y)
+	b.Connect(x, "out", y, "in")
+	b.Connect(y, "out", x, "in")
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Scheduler(); got != core.SchedulerSparse {
+		t.Fatalf("auto resolved to %v, want sparse", got)
+	}
+	const cycles = 5
+	if err := sim.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Metrics()
+	for _, k := range []core.SigKind{core.SigData, core.SigEnable, core.SigAck} {
+		if got := m.DefaultFallbacks(k); got != 2 {
+			t.Errorf("default fallbacks[%s] = %d, want 2 (cycle-0 full sweep only)", k, got)
+		}
+		if got := m.CycleBreaks(k); got != 1 {
+			t.Errorf("cycle breaks[%s] = %d, want 1", k, got)
+		}
+	}
+	// Only the cycle-0 full sweep counts the instances as active.
+	if got := m.ActiveInstances(); got != 2 {
+		t.Errorf("active instances = %d, want 2", got)
+	}
+	// The replayed resolution stays observable between cycles.
+	for _, c := range sim.Conns() {
+		for _, k := range []core.SigKind{core.SigData, core.SigEnable, core.SigAck} {
+			if got := c.Status(k); got != core.No {
+				t.Errorf("%v %s = %v, want replayed no", c, k, got)
+			}
+		}
+	}
+	info := sim.Schedule()
+	if info == nil {
+		t.Fatal("sparse scheduler should expose schedule info")
+	}
+	if info.ActiveInsts != 0 || info.GatedInsts != 2 || info.ActiveConns != 0 || info.GatedConns != 2 {
+		t.Errorf("partition = %d/%d insts %d/%d conns, want 0/2 and 0/2",
+			info.ActiveInsts, info.GatedInsts, info.ActiveConns, info.GatedConns)
+	}
+}
+
+// TestSparsePartitionMixed: the activity closure keeps the live region
+// active (driver is a start-handler seed; the ackers cascade) and gates
+// the dead loop, and the live region's behavior is unchanged.
+func TestSparsePartitionMixed(t *testing.T) {
+	sim := buildMixed(t, core.WithMetrics())
+	info := sim.Schedule()
+	if info.ActiveInsts != 3 || info.GatedInsts != 2 {
+		t.Fatalf("instance partition = %d/%d, want 3 active / 2 gated", info.ActiveInsts, info.GatedInsts)
+	}
+	if info.AlwaysActive != 1 {
+		t.Errorf("seeds = %d, want 1 (the driver)", info.AlwaysActive)
+	}
+	if info.ActiveConns != 2 || info.GatedConns != 2 {
+		t.Errorf("conn partition = %d/%d, want 2/2", info.ActiveConns, info.GatedConns)
+	}
+	const cycles = 4
+	if err := sim.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	// Live region: every cycle both fan-out transfers complete, exactly
+	// as under the full schedulers.
+	for i := 0; i < 2; i++ {
+		if !sim.Conns()[i].Status(core.SigAck).Bool() {
+			t.Errorf("live conn %d did not complete its handshake", i)
+		}
+	}
+	m := sim.Metrics()
+	// Cycle 0 is a full sweep (5 active); the remaining cycles run the
+	// 3-instance active region and skip waking 0 gated reactive
+	// instances (the dead loop has no reactive handlers to skip).
+	if got, want := m.ActiveInstances(), uint64(5+3*(cycles-1)); got != want {
+		t.Errorf("active instances = %d, want %d", got, want)
+	}
+	if got := m.Wakes(); got == 0 {
+		t.Error("live region should still wake its reactive instances")
+	}
+}
+
+// TestSparseSkippedWakes: gated *reactive* instances are counted as
+// skipped wakes each sparse cycle.
+func TestSparseSkippedWakes(t *testing.T) {
+	b := core.NewBuilder(core.WithMetrics())
+	// Two reactive ackers whose inputs come from a handler-less module:
+	// no seed reaches them, so they gate.
+	d := newDeadEnd("d")
+	a1 := newAcker("a1")
+	a2 := newAcker("a2")
+	b.Add(d)
+	b.Add(a1)
+	b.Add(a2)
+	b.Connect(d, "out", a1, "in")
+	b.Connect(d, "out", a2, "in")
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 5
+	if err := sim.Run(cycles); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Metrics()
+	if got, want := m.SkippedWakes(), uint64(2*(cycles-1)); got != want {
+		t.Errorf("skipped wakes = %d, want %d", got, want)
+	}
+}
+
+// TestSparseInvalidateActivity: forcing a full sweep re-resolves every
+// connection for exactly one cycle.
+func TestSparseInvalidateActivity(t *testing.T) {
+	sim := buildMixed(t, core.WithMetrics())
+	if err := sim.Run(2); err != nil { // full + 1 sparse
+		t.Fatal(err)
+	}
+	before := sim.Metrics().ActiveInstances()
+	sim.InvalidateActivity()
+	if err := sim.Run(2); err != nil { // full + 1 sparse
+		t.Fatal(err)
+	}
+	got := sim.Metrics().ActiveInstances() - before
+	if want := uint64(5 + 3); got != want {
+		t.Errorf("active instances across invalidated pair = %d, want %d", got, want)
+	}
+}
+
+// TestSparseAutonomousSeed: MarkAutonomous keeps a reactive-only
+// instance (and its neighborhood) in the active region.
+func TestSparseAutonomousSeed(t *testing.T) {
+	b := core.NewBuilder()
+	d := newDeadEnd("d")
+	a := newAcker("a")
+	a.MarkAutonomous()
+	b.Add(d)
+	b.Add(a)
+	b.Connect(d, "out", a, "in")
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sim.Schedule()
+	if info.ActiveInsts != 1 || info.AlwaysActive != 1 {
+		t.Fatalf("autonomous instance not seeded: %+v", info)
+	}
+	if info.GatedConns != 0 {
+		t.Errorf("conns adjacent to an autonomous instance must stay active, %d gated", info.GatedConns)
+	}
+}
+
+// TestSparseMatchesSequential: per-cycle post-resolution statuses are
+// bit-identical between the sparse and sequential schedulers on the
+// mixed netlist. (Data values are not compared: the full schedulers
+// release the data lane at commit, while sparse retains gated conns'
+// data as replay state — between cycles only statuses are contractual.)
+func TestSparseMatchesSequential(t *testing.T) {
+	snap := func(s *core.Sim) []string {
+		var out []string
+		for _, c := range s.Conns() {
+			out = append(out, fmt.Sprintf("%d:%v/%v/%v", c.ID(),
+				c.Status(core.SigData), c.Status(core.SigEnable), c.Status(core.SigAck)))
+		}
+		return out
+	}
+	sparse := buildMixed(t)
+	seq := buildMixed(t, core.WithScheduler(core.SchedulerSequential))
+	for cycle := 0; cycle < 6; cycle++ {
+		if err := sparse.Step(); err != nil {
+			t.Fatal(err)
+		}
+		a := snap(sparse)
+		if err := seq.Step(); err != nil {
+			t.Fatal(err)
+		}
+		b := snap(seq)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cycle %d conn %d: sparse %s != sequential %s", cycle, i, a[i], b[i])
+			}
+		}
+	}
+}

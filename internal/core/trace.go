@@ -72,7 +72,7 @@ func (t *TextTracer) OnResolve(c *Conn, k SigKind, s Status) {
 		return
 	}
 	if k == SigData && s == Yes {
-		fmt.Fprintf(t.W, "  %s %s=%s (%v)\n", c, k, s, c.data)
+		fmt.Fprintf(t.W, "  %s %s=%s (%v)\n", c, k, s, c.dataValue())
 		return
 	}
 	fmt.Fprintf(t.W, "  %s %s=%s\n", c, k, s)

@@ -45,6 +45,8 @@ type SchedulerStats struct {
 	Reacts           uint64            `json:"reacts"`
 	FixedPointIters  uint64            `json:"fixed_point_iters"`
 	ParallelRounds   uint64            `json:"parallel_rounds"`
+	ActiveInsts      uint64            `json:"active_insts"`
+	SkippedWakes     uint64            `json:"skipped_wakes"`
 	RoundSize        *HistogramStats   `json:"round_size,omitempty"`
 	DefaultFallbacks map[string]uint64 `json:"default_fallbacks"`
 	CycleBreaks      map[string]uint64 `json:"cycle_breaks"`
@@ -67,6 +69,11 @@ type ScheduleStats struct {
 	ResidueConns    int      `json:"residue_conns"`
 	AckSweepConns   int      `json:"ack_sweep_conns"`
 	AckResidueConns int      `json:"ack_residue_conns"`
+	ActiveInsts     int      `json:"active_insts,omitempty"`
+	GatedInsts      int      `json:"gated_insts,omitempty"`
+	AlwaysActive    int      `json:"always_active,omitempty"`
+	ActiveConns     int      `json:"active_conns,omitempty"`
+	GatedConns      int      `json:"gated_conns,omitempty"`
 	BreakSites      []string `json:"break_sites,omitempty"`
 }
 
@@ -84,6 +91,11 @@ func scheduleStats(info *core.ScheduleInfo) *ScheduleStats {
 		ResidueConns:    info.ResidueConns,
 		AckSweepConns:   info.AckSweepConns,
 		AckResidueConns: info.AckResidueConns,
+		ActiveInsts:     info.ActiveInsts,
+		GatedInsts:      info.GatedInsts,
+		AlwaysActive:    info.AlwaysActive,
+		ActiveConns:     info.ActiveConns,
+		GatedConns:      info.GatedConns,
 		BreakSites:      info.BreakSites,
 	}
 }
@@ -143,6 +155,8 @@ func TakeSnapshot(s *core.Sim) Snapshot {
 		Reacts:           m.Reacts(),
 		FixedPointIters:  m.FixedPointIters(),
 		ParallelRounds:   m.ParallelRounds(),
+		ActiveInsts:      m.ActiveInstances(),
+		SkippedWakes:     m.SkippedWakes(),
 		DefaultFallbacks: map[string]uint64{},
 		CycleBreaks:      map[string]uint64{},
 	}
@@ -236,6 +250,13 @@ func WriteCSV(w io.Writer, s *core.Sim) error {
 		row("schedule", "", "residue_conns", int64(sd.ResidueConns))
 		row("schedule", "", "ack_sweep_conns", int64(sd.AckSweepConns))
 		row("schedule", "", "ack_residue_conns", int64(sd.AckResidueConns))
+		if sd.Scheduler == "sparse" {
+			row("schedule", "", "active_insts", int64(sd.ActiveInsts))
+			row("schedule", "", "gated_insts", int64(sd.GatedInsts))
+			row("schedule", "", "always_active", int64(sd.AlwaysActive))
+			row("schedule", "", "active_conns", int64(sd.ActiveConns))
+			row("schedule", "", "gated_conns", int64(sd.GatedConns))
+		}
 		for i, site := range sd.BreakSites {
 			cw.Write([]string{"schedule", strconv.Itoa(i), "break_site", site})
 		}
@@ -246,6 +267,8 @@ func WriteCSV(w io.Writer, s *core.Sim) error {
 		row("scheduler", "", "reacts", sc.Reacts)
 		row("scheduler", "", "fixed_point_iters", sc.FixedPointIters)
 		row("scheduler", "", "parallel_rounds", sc.ParallelRounds)
+		row("scheduler", "", "active_insts", sc.ActiveInsts)
+		row("scheduler", "", "skipped_wakes", sc.SkippedWakes)
 		for _, k := range sigKinds {
 			row("scheduler", k.String(), "default_fallbacks", sc.DefaultFallbacks[k.String()])
 			row("scheduler", k.String(), "cycle_breaks", sc.CycleBreaks[k.String()])

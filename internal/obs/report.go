@@ -26,6 +26,11 @@ func WriteScheduleReport(w io.Writer, s *core.Sim) error {
 		info.SweepConns, info.ForwardLevels, info.ResidueConns)
 	fmt.Fprintf(w, "  ack sweep:      %d conns over %d level(s), %d in cyclic residue\n",
 		info.AckSweepConns, info.AckLevels, info.AckResidueConns)
+	if info.Scheduler == core.SchedulerSparse {
+		fmt.Fprintf(w, "  activity:       %d/%d instances active (%d seed(s)), %d/%d conns re-resolved per cycle\n",
+			info.ActiveInsts, info.ActiveInsts+info.GatedInsts, info.AlwaysActive,
+			info.ActiveConns, info.ActiveConns+info.GatedConns)
+	}
 	if len(info.BreakSites) == 0 {
 		_, err := fmt.Fprintf(w, "  cycle breaks:   none — fully static schedule, zero fixed-point iterations\n")
 		return err

@@ -23,16 +23,26 @@
 // # Scheduler selection
 //
 // WithScheduler picks the engine that resolves each cycle's signals. The
-// default (SchedulerAuto) is the levelized static scheduler: at build
-// time the signal dependency graph is condensed into strongly connected
-// components and levelized, so acyclic regions resolve in one
-// deterministic sweep with no fixed-point iteration; only genuine cycles
-// iterate, on a worklist. SchedulerSequential and SchedulerParallel are
-// the classic dynamic fixed-point engines. Every scheduler produces
-// bit-identical per-cycle signal assignments and statistics:
+// default (SchedulerAuto) is the sparse activity-gated scheduler: the
+// levelized static engine — at build time the signal dependency graph is
+// condensed into strongly connected components and levelized, so acyclic
+// regions resolve in one deterministic sweep with no fixed-point
+// iteration — plus a build-time activity partition that resolves regions
+// unreachable from any cycle-start (or autonomous) instance exactly once
+// and replays their values thereafter. SchedulerSequential and
+// SchedulerParallel are the classic dynamic fixed-point engines. Every
+// scheduler produces bit-identical per-cycle signal assignments and
+// statistics:
 //
 //	sim, _ := b.Build(lse.WithScheduler(lse.SchedulerLevelized))
 //	lse.WriteScheduleReport(os.Stderr, sim) // SCCs, levels, break sites
+//
+// Reactive modules whose behavior depends on more than their observed
+// input signals (e.g. handlers that read Now() or draw randomness even
+// when no data is offered) must declare it with Base.MarkAutonomous so
+// the sparse engine never gates them; modules with cycle-start handlers
+// need no marking. Sim.InvalidateActivity forces one full re-sweep after
+// out-of-band state mutation.
 //
 // # Quickstart (LSS)
 //
@@ -243,9 +253,10 @@ const (
 
 // Scheduler kinds, accepted by WithScheduler. All schedulers produce
 // bit-identical per-cycle signal assignments and statistics; they differ
-// only in host-time cost.
+// only in host-time cost (the sparse engine's *scheduler metrics*
+// legitimately differ, since gated work is counted once, not per cycle).
 const (
-	// SchedulerAuto lets Build choose (currently SchedulerLevelized).
+	// SchedulerAuto lets Build choose (currently SchedulerSparse).
 	SchedulerAuto = core.SchedulerAuto
 	// SchedulerSequential is the demand-driven sequential fixed point.
 	SchedulerSequential = core.SchedulerSequential
@@ -254,6 +265,10 @@ const (
 	// SchedulerLevelized is the static scheduling engine: SCC-condensed,
 	// levelized sweeps with a worklist for genuinely cyclic residues.
 	SchedulerLevelized = core.SchedulerLevelized
+	// SchedulerSparse is the levelized engine plus build-time activity
+	// gating: regions unreachable from any cycle-start (or autonomous)
+	// instance are resolved once and replayed, not re-resolved per cycle.
+	SchedulerSparse = core.SchedulerSparse
 )
 
 // NewBuilder returns a netlist builder over DefaultRegistry, configured
@@ -298,6 +313,10 @@ var (
 	WithRegistry = core.WithRegistry
 	// WithMetrics enables scheduler metrics collection.
 	WithMetrics = core.WithMetrics
+	// WithParallelThreshold sets the minimum reactive-round size the
+	// parallel scheduler dispatches to its worker pool; smaller rounds
+	// run inline, avoiding barrier latency that exceeds the work.
+	WithParallelThreshold = core.WithParallelThreshold
 )
 
 // WithObserver applies an observability bundle — scheduler metrics and/or

@@ -1,0 +1,126 @@
+// Command benchguard compares a `go test -bench` output against a
+// checked-in JSON baseline (BENCH_*.json) and exits nonzero when any
+// benchmark regressed beyond the threshold — the bench-smoke CI gate.
+//
+// Usage:
+//
+//	go test -bench=... -run=^$ . | tee bench.out
+//	go run ./tools/benchguard -baseline BENCH_4.json bench.out
+//
+// Only slowdowns fail: a benchmark running faster than its baseline, or
+// one missing from the baseline, is reported but never an error, so the
+// guard stays quiet while new benchmarks land ahead of a baseline
+// refresh. Baseline entries missing from the output are warnings too —
+// the smoke pattern may legitimately run a subset.
+//
+// Repeated samples of the same benchmark (go test -count=N) are folded
+// to their minimum before comparison: the min of a few short runs is a
+// far more stable estimate of the code's true cost on a noisy shared
+// host than any single sample, and a genuine regression slows every
+// sample, so taking the min never masks one.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baseline struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchLine matches one result row; the -N suffix go test appends to the
+// name (GOMAXPROCS) is stripped so names align with the baseline's.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_4.json", "baseline JSON file (BENCH_*.json layout)")
+	threshold := flag.Float64("threshold", 1.25, "fail when ns/op exceeds baseline by this factor")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *basePath, err))
+	}
+	want := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		want[b.Name] = b.NsPerOp
+	}
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	best := map[string]float64{} // min ns/op across repeated samples
+	var order []string
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		got, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := best[name]; !ok {
+			best[name] = got
+			order = append(order, name)
+		} else if got < prev {
+			best[name] = got
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	failed := 0
+	for _, name := range order {
+		got := best[name]
+		ref, ok := want[name]
+		if !ok {
+			fmt.Printf("benchguard: %-55s %12.0f ns/op  (no baseline)\n", name, got)
+			continue
+		}
+		ratio := got / ref
+		status := "ok"
+		if ratio > *threshold {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("benchguard: %-55s %12.0f ns/op  %6.2fx baseline  %s\n", name, got, ratio, status)
+	}
+	for name := range want {
+		if _, ok := best[name]; !ok {
+			fmt.Printf("benchguard: %-55s not in this run\n", name)
+		}
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d benchmark(s) regressed more than %.0f%% over %s",
+			failed, (*threshold-1)*100, *basePath))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
