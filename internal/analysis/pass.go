@@ -36,6 +36,7 @@ var (
 		{Code: "LSE004", Name: "deadcode", Doc: "dead structure: instances with no path to any sink", Run: passDeadStructure},
 		{Code: "LSE006", Name: "hierarchy", Doc: "composite exports bound to nothing", Run: passHierarchy},
 		{Code: "LSE007", Name: "activity", Doc: "instances the sparse scheduler can never activity-gate: reactive handler with no connected input", Run: passActivity},
+		{Code: "LSE008", Name: "payload", Doc: "scalar payload declarations that don't reach end to end: sinks reading scalar lanes via the boxed path, or connections forced to the spill lane by mixed payload kinds", Run: passPayload},
 	}
 	specPasses = []SpecPass{
 		{Code: "LSE005", Name: "params", Doc: "unused or shadowed parameters and lets", Run: passParams},

@@ -26,9 +26,9 @@ import (
 )
 
 // writeMethods are the Port methods that drive signal status. They mirror
-// core.(*Base).mustWritePhase call sites.
+// the operations guarded by core.(*Conn)'s write-phase check.
 var writeMethods = map[string]bool{
-	"Send": true, "SendNothing": true,
+	"Send": true, "SendUint64": true, "SendNothing": true,
 	"Enable": true, "Disable": true,
 	"Ack": true, "Nack": true,
 }

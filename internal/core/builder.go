@@ -246,9 +246,23 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	for _, c := range s.conns {
 		c.sim = s
 	}
+	// Payload-lane inference: a connection joins the uint64 scalar fast
+	// lane when its driver declares PayloadUint64 and its sink does not
+	// demand the boxed path (PayloadAny — mixed payload kinds force the
+	// spill lane). Everything else spills to the boxed []any lane, the
+	// always-correct slow path.
+	scalarConns := 0
+	for _, c := range s.conns {
+		c.scalar = c.src.opts.Payload == PayloadUint64 && c.dst.opts.Payload != PayloadAny
+		if c.scalar {
+			scalarConns++
+		}
+	}
 	if sched == SchedulerLevelized || sched == SchedulerSparse {
 		s.schedule = buildSchedule(s)
 		s.schedule.info.Scheduler = sched
+		s.schedule.info.ScalarConns = scalarConns
+		s.schedule.info.SpillConns = len(s.conns) - scalarConns
 	}
 	if sched == SchedulerSparse {
 		s.sparse = buildSparse(s)

@@ -159,17 +159,6 @@ func (b *Base) Histogram(name string) *Histogram {
 	return b.sim.stats.histogram(b.name + "." + name)
 }
 
-// mustWritePhase validates that a signal write is legal right now. The
-// port's full name is only materialized on the failure path — this is the
-// hottest check in the engine.
-func (b *Base) mustWritePhase(op string, p *Port) {
-	if b.sim == nil {
-		contractPanic(op, p.fullName(), "instance not attached to a simulator")
-	}
-	if ph := b.sim.phase; ph != phaseStart && ph != phaseReact {
-		contractPanic(op, p.fullName(), "signals may be driven only during cycle-start or reactive phases")
-	}
-}
 
 func (b *Base) attach(s *Sim, id int) {
 	b.sim = s

@@ -14,6 +14,7 @@ type workerPool struct {
 	n     int
 	tasks chan *poolRound
 	stop  sync.Once
+	round poolRound // reused across rounds; run() is single-caller
 }
 
 // poolRound is one barrier round: a pre-sorted batch of scheduled
@@ -74,7 +75,14 @@ func (p *workerPool) runOne(r *poolRound) {
 // worker counts off the futex path entirely. A panic captured in any
 // executor is re-raised here, on the caller's goroutine.
 func (p *workerPool) run(s *Sim, batch []*Base) {
-	r := &poolRound{sim: s, batch: batch}
+	// The round descriptor is reused across rounds: run() has a single
+	// caller (the stepping goroutine) and wg.Wait() below guarantees no
+	// worker still holds the previous round, so resetting in place is
+	// race-free and keeps steady-state rounds allocation-free.
+	r := &p.round
+	r.sim, r.batch = s, batch
+	r.next.Store(0)
+	r.panicV = nil
 	k := p.n
 	if k > len(batch) {
 		k = len(batch)
@@ -85,8 +93,10 @@ func (p *workerPool) run(s *Sim, batch []*Base) {
 	}
 	p.runOne(r)
 	r.wg.Wait()
-	if r.panicV != nil {
-		panic(r.panicV)
+	r.sim, r.batch = nil, nil // don't pin the Sim from the pool
+	if v := r.panicV; v != nil {
+		r.panicV = nil
+		panic(v)
 	}
 }
 

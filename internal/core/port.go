@@ -19,6 +19,39 @@ func (d Dir) String() string {
 	return "out"
 }
 
+// PayloadKind declares what kind of value a port sends or expects on the
+// data signal. The engine stays payload-opaque at the contract level —
+// the declaration never changes what a model computes — but Build uses it
+// to pick each connection's storage lane: connections whose driver
+// declares PayloadUint64 (and whose sink does not demand PayloadAny) get
+// the dense uint64 scalar lane and never box; everything else spills to
+// the boxed []any lane, the always-correct slow path.
+type PayloadKind uint8
+
+const (
+	// PayloadUnspecified makes no claim; the connection uses the boxed
+	// spill lane.
+	PayloadUnspecified PayloadKind = iota
+	// PayloadUint64 declares scalar uint64 payloads. On an Out port it
+	// elects the connection into the scalar fast lane; on an In port it
+	// declares the module reads via Uint64/TransferredUint64.
+	PayloadUint64
+	// PayloadAny declares reference payloads read through the boxed Data
+	// path. On an In port it forces connections onto the spill lane even
+	// when the driver declares a scalar kind (mixed payload kinds).
+	PayloadAny
+)
+
+func (k PayloadKind) String() string {
+	switch k {
+	case PayloadUint64:
+		return "uint64"
+	case PayloadAny:
+		return "any"
+	}
+	return "unspecified"
+}
+
 // PortOpts customizes a port's arity constraints and default control
 // semantics. The zero value gives an optional port with engine defaults.
 type PortOpts struct {
@@ -43,6 +76,10 @@ type PortOpts struct {
 	// control functions: any handshake policy can be expressed without
 	// touching the module that owns the port.
 	Control ControlFn
+	// Payload declares the kind of value the port's data signals carry;
+	// Build uses it to choose each connection's storage lane (see
+	// PayloadKind). Leave PayloadUnspecified for the boxed spill lane.
+	Payload PayloadKind
 	// NoDefault declares that default-control resolution firing on this
 	// port's connections indicates a modeling error: every signal the
 	// port drives must be explicitly resolved by module code each cycle.
@@ -100,18 +137,29 @@ func (p *Port) fullName() string {
 	return p.owner.name + "." + p.name
 }
 
+// check and mustDir guard every port access; their failure paths live in
+// separate functions so the guards themselves stay small enough for the
+// compiler to inline into the hot Send/Enable/Ack/Status methods.
 func (p *Port) check(i int) int {
-	if i < 0 || i >= len(p.conns) {
-		contractPanic("index", fmt.Sprintf("%s[%d]", p.fullName(), i),
-			fmt.Sprintf("port has width %d", len(p.conns)))
+	if uint(i) >= uint(len(p.conns)) {
+		p.badIndex(i)
 	}
 	return i
 }
 
+func (p *Port) badIndex(i int) {
+	contractPanic("index", fmt.Sprintf("%s[%d]", p.fullName(), i),
+		fmt.Sprintf("port has width %d", len(p.conns)))
+}
+
 func (p *Port) mustDir(d Dir, op string) {
 	if p.dir != d {
-		contractPanic(op, p.fullName(), fmt.Sprintf("not allowed on an %s port", p.dir))
+		p.badDir(op)
 	}
+}
+
+func (p *Port) badDir(op string) {
+	contractPanic(op, p.fullName(), fmt.Sprintf("not allowed on an %s port", p.dir))
 }
 
 // --- Receiver-side observations and actions (In ports) ---
@@ -120,8 +168,15 @@ func (p *Port) mustDir(d Dir, op string) {
 func (p *Port) DataStatus(i int) Status { return p.conns[p.check(i)].status(SigData) }
 
 // Data returns the value offered on connection i. It is valid only when
-// DataStatus(i) == Yes.
+// DataStatus(i) == Yes. On a scalar-lane connection the value is boxed on
+// read; Uint64 reads it without boxing.
 func (p *Port) Data(i int) any { return p.conns[p.check(i)].dataValue() }
+
+// Uint64 returns the scalar value offered on connection i without boxing
+// — the fast-lane counterpart of Data, valid only when DataStatus(i) ==
+// Yes. On a spill-lane connection it unboxes, panicking if the boxed
+// value is not a uint64.
+func (p *Port) Uint64(i int) uint64 { return p.conns[p.check(i)].dataUint64() }
 
 // EnableStatus returns the resolution state of connection i's enable signal.
 func (p *Port) EnableStatus(i int) Status { return p.conns[p.check(i)].status(SigEnable) }
@@ -129,44 +184,52 @@ func (p *Port) EnableStatus(i int) Status { return p.conns[p.check(i)].status(Si
 // Ack accepts the datum offered on connection i this cycle.
 func (p *Port) Ack(i int) {
 	p.mustDir(In, "ack")
-	p.owner.mustWritePhase("ack", p)
 	p.conns[p.check(i)].raise(SigAck, Yes, nil)
 }
 
 // Nack refuses the datum offered on connection i this cycle.
 func (p *Port) Nack(i int) {
 	p.mustDir(In, "nack")
-	p.owner.mustWritePhase("nack", p)
 	p.conns[p.check(i)].raise(SigAck, No, nil)
 }
 
 // --- Sender-side observations and actions (Out ports) ---
 
 // Send offers v on connection i this cycle.
+//
+// On a connection elected into the scalar fast lane (driver declares
+// PayloadUint64), v must be a uint64 — any other dynamic type is a
+// contract violation. SendUint64 offers the same value without boxing.
 func (p *Port) Send(i int, v any) {
 	p.mustDir(Out, "send")
-	p.owner.mustWritePhase("send", p)
-	p.conns[p.check(i)].raise(SigData, Yes, v)
+	p.conns[p.check(i)].raiseData(v)
+}
+
+// SendUint64 offers scalar v on connection i this cycle without boxing —
+// the fast-lane counterpart of Send. On a spill-lane connection it falls
+// back to a boxed store, so it is always safe to call; the fast path
+// requires the port to declare PayloadUint64 so Build elects the
+// connection into the scalar lane.
+func (p *Port) SendUint64(i int, v uint64) {
+	p.mustDir(Out, "send")
+	p.conns[p.check(i)].raiseUint64(v)
 }
 
 // SendNothing resolves connection i's data signal to Nothing.
 func (p *Port) SendNothing(i int) {
 	p.mustDir(Out, "send nothing")
-	p.owner.mustWritePhase("send nothing", p)
 	p.conns[p.check(i)].raise(SigData, No, nil)
 }
 
 // Enable commits that the data offered on connection i is firm.
 func (p *Port) Enable(i int) {
 	p.mustDir(Out, "enable")
-	p.owner.mustWritePhase("enable", p)
 	p.conns[p.check(i)].raise(SigEnable, Yes, nil)
 }
 
 // Disable withdraws the data offered on connection i.
 func (p *Port) Disable(i int) {
 	p.mustDir(Out, "disable")
-	p.owner.mustWritePhase("disable", p)
 	p.conns[p.check(i)].raise(SigEnable, No, nil)
 }
 
@@ -180,11 +243,25 @@ func (p *Port) AckStatus(i int) Status { return p.conns[p.check(i)].status(SigAc
 func (p *Port) Transferred(i int) bool { return p.conns[p.check(i)].transferred() }
 
 // TransferredData returns the datum moved over connection i this cycle,
-// or (nil, false) when the handshake did not complete.
+// or (nil, false) when the handshake did not complete. After commit the
+// data lanes are released, so between cycles it reports (nil, false)
+// even though the statuses still read Yes.
 func (p *Port) TransferredData(i int) (any, bool) {
 	c := p.conns[p.check(i)]
-	if !c.transferred() {
+	if c.sim.released || !c.transferred() {
 		return nil, false
 	}
 	return c.dataValue(), true
+}
+
+// TransferredUint64 returns the scalar moved over connection i this cycle
+// without boxing, or (0, false) when the handshake did not complete —
+// the fast-lane counterpart of TransferredData, with the same post-commit
+// release semantics.
+func (p *Port) TransferredUint64(i int) (uint64, bool) {
+	c := p.conns[p.check(i)]
+	if c.sim.released || !c.transferred() {
+		return 0, false
+	}
+	return c.dataUint64(), true
 }

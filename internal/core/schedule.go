@@ -62,6 +62,12 @@ type ScheduleInfo struct {
 	AlwaysActive int
 	ActiveConns  int
 	GatedConns   int
+	// ScalarConns/SpillConns split the connections by Build-time payload
+	// lane election: scalar connections carry uint64 values in the dense
+	// fast lane and never box; spill connections store boxed values in
+	// the []any lane (the always-correct slow path).
+	ScalarConns int
+	SpillConns  int
 }
 
 // fillActivity copies the sparse activity partition's shape into the
@@ -255,7 +261,14 @@ func (s *Sim) applyDefaultsLevelized() {
 // single batch followed by one reactive drain — no fixed-point iteration
 // and no eligibility checks.
 func (s *Sim) sweep(k SigKind, levels [][]*Conn) {
+	n := len(s.conns)
 	for _, lvl := range levels {
+		if s.resolved[k] == n {
+			// Every kind-k signal already resolved (reactions on a fully
+			// active netlist usually resolve everything): nothing left to
+			// default, skip the remaining level scans.
+			return
+		}
 		applied := false
 		for _, c := range lvl {
 			if c.status(k) == Unknown {
@@ -277,7 +290,7 @@ func (s *Sim) sweep(k SigKind, levels [][]*Conn) {
 // genuine dependency cycle is broken at the lowest-id unresolved
 // connection — the same site the sequential scanner picks.
 func (s *Sim) runResidue(k SigKind, conns []*Conn, deps, dependents [][]*Conn) {
-	if len(conns) == 0 {
+	if len(conns) == 0 || s.resolved[k] == len(s.conns) {
 		return
 	}
 	sc := s.schedule
@@ -352,12 +365,15 @@ func (s *Sim) runResidue(k SigKind, conns []*Conn, deps, dependents [][]*Conn) {
 }
 
 // noteResolve feeds kind-k resolutions to the active residue worklist.
-// Called from raise on every successful resolution; a single flag check
-// when the worklist is idle.
+// Called from raise on every successful resolution; the recording slow
+// path is split out so the idle-worklist flag check inlines.
 func (s *Sim) noteResolve(c *Conn, k SigKind) {
-	if !s.residueOn || k != s.residueKind {
-		return
+	if s.residueOn && k == s.residueKind {
+		s.noteResolveSlow(c)
 	}
+}
+
+func (s *Sim) noteResolveSlow(c *Conn) {
 	if s.par {
 		s.wakeMu.Lock()
 		s.resolvedBuf = append(s.resolvedBuf, c)

@@ -14,15 +14,25 @@ import (
 //     status by construction), not a pointer chase over every Conn.
 //   - The sparse scheduler resets only the active region's lanes and the
 //     gated remainder keeps — "replays" — its settled resolution.
-//   - The data lane can be released eagerly at commit so transferred
-//     values are not pinned for an extra cycle.
+//   - The spill data lane can be released eagerly at commit so
+//     transferred values are not pinned for an extra cycle.
+//
+// The data value is stored in one of two lanes, chosen per connection at
+// Build time from the ports' PayloadKind declarations: connections whose
+// driver declares PayloadUint64 use the dense scalar lane and never box;
+// the rest spill to the boxed []any lane. The contract itself stays
+// payload-opaque — the lane split changes storage, never resolution.
+// Scalar values need no release (they pin no heap memory) and are
+// unreadable outside a data-Yes window, so only the spill lane is cleared
+// at commit.
 //
 // Status cells are atomic because the parallel scheduler's workers race
-// on raise; the data lane is written only by the single instance that
+// on raise; the data lanes are written only by the single instance that
 // drives the connection's data signal, ordered by the status store.
 type sigPlane struct {
-	lanes [3][]atomic.Uint32 // indexed by SigKind, then conn id
-	data  []any              // valid where the data lane holds Yes
+	lanes  [3][]atomic.Uint32 // indexed by SigKind, then conn id
+	data   []any              // spill lane: valid where the data lane holds Yes
+	scalar []uint64           // fast lane for PayloadUint64 connections
 }
 
 func newSigPlane(nConns int) sigPlane {
@@ -31,6 +41,7 @@ func newSigPlane(nConns int) sigPlane {
 		p.lanes[k] = make([]atomic.Uint32, nConns)
 	}
 	p.data = make([]any, nConns)
+	p.scalar = make([]uint64, nConns)
 	return p
 }
 
@@ -42,8 +53,10 @@ func (p *sigPlane) clearStatus() {
 	}
 }
 
-// clearConn resets one connection's three status cells and data value —
-// the sparse scheduler's per-connection reset for the active region.
+// clearConn resets one connection's three status cells and spill value —
+// the sparse scheduler's per-connection reset for the active region. The
+// scalar lane is left as is: a stale scalar pins nothing and is
+// unreadable until the next data-Yes store overwrites it.
 func (p *sigPlane) clearConn(id int) {
 	p.lanes[SigData][id].Store(uint32(Unknown))
 	p.lanes[SigEnable][id].Store(uint32(Unknown))
@@ -61,6 +74,7 @@ type Conn struct {
 	dst    *Port // input side
 	srcIdx int   // index of this connection on src
 	dstIdx int   // index of this connection on dst
+	scalar bool  // data values live in the uint64 fast lane (set at Build)
 
 	sim *Sim
 	pos Pos // spec position of the connect statement, if known
@@ -80,22 +94,64 @@ func (c *Conn) Dst() (*Port, int) { return c.dst, c.dstIdx }
 // otherwise.
 func (c *Conn) SourcePos() Pos { return c.pos }
 
+// Scalar reports whether Build elected the connection into the uint64
+// fast lane (driver declares PayloadUint64, sink does not demand
+// PayloadAny). Spill-lane connections box every data value.
+func (c *Conn) Scalar() bool { return c.scalar }
+
 // Status returns the current resolution state of signal k — the read
 // tracers use to inspect a connection mid-cycle.
 func (c *Conn) Status(k SigKind) Status { return c.status(k) }
 
 // Data returns the value carried by the data signal and whether it is
 // valid (i.e. the data signal has resolved Yes this cycle). The data
-// lane is released at commit, so between cycles Data reports invalid.
+// lanes are released at commit, so between cycles Data reports invalid —
+// explicitly, on both lanes: the statuses still read Yes after commit,
+// but neither a released spill value nor a stale scalar is observable.
+// Scalar-lane values are boxed on read; tight loops should use
+// Port.Uint64 instead.
 func (c *Conn) Data() (any, bool) {
-	if c.status(SigData) != Yes {
+	if c.sim.released || c.status(SigData) != Yes {
 		return nil, false
+	}
+	if c.scalar {
+		return c.sim.plane.scalar[c.id], true
 	}
 	return c.sim.plane.data[c.id], true
 }
 
-// dataValue returns the raw data-lane value without a validity check.
-func (c *Conn) dataValue() any { return c.sim.plane.data[c.id] }
+// dataValue returns the data-lane value without a handshake check,
+// boxing scalar-lane values on read. A scalar connection whose data
+// signal is not Yes reads as nil, mirroring the spill lane's
+// never-stored state.
+func (c *Conn) dataValue() any {
+	if c.scalar {
+		if c.status(SigData) != Yes {
+			return nil
+		}
+		return c.sim.plane.scalar[c.id]
+	}
+	return c.sim.plane.data[c.id]
+}
+
+// dataUint64 returns the scalar value without boxing. On a spill-lane
+// connection it unboxes, so the typed read path stays correct (merely
+// slow) when a connection fell back to the spill lane.
+func (c *Conn) dataUint64() uint64 {
+	if c.scalar {
+		return c.sim.plane.scalar[c.id]
+	}
+	v := c.sim.plane.data[c.id]
+	if v == nil {
+		return 0
+	}
+	u, ok := v.(uint64)
+	if !ok {
+		contractPanic("uint64", c.String(),
+			fmt.Sprintf("spill-lane value has type %T, not uint64", v))
+	}
+	return u
+}
 
 func (c *Conn) String() string {
 	return fmt.Sprintf("%s[%d]->%s[%d]", c.src.fullName(), c.srcIdx, c.dst.fullName(), c.dstIdx)
@@ -105,21 +161,109 @@ func (c *Conn) status(k SigKind) Status {
 	return Status(c.sim.plane.lanes[k][c.id].Load())
 }
 
+// checkWrite validates that driving a signal is legal right now — the
+// write-phase guard for every signal-drive entry point (raise, raiseData,
+// raiseUint64). One flag load on the hot path; the failure path is split
+// out so the guard inlines.
+func (c *Conn) checkWrite() {
+	if s := c.sim; s == nil || !s.writable {
+		c.badWrite()
+	}
+}
+
+func (c *Conn) badWrite() {
+	if c.sim == nil {
+		contractPanic("drive", c.String(), "connection not attached to a simulator")
+	}
+	contractPanic("drive", c.String(),
+		"signals may be driven only during cycle-start or reactive phases")
+}
+
 // raise resolves signal k to status s (with value v when k is SigData).
 // It returns true when this call performed the resolution. Raising an
 // already-resolved signal to the same status is a no-op; to a different
 // status it is a contract violation.
 func (c *Conn) raise(k SigKind, s Status, v any) bool {
+	c.checkWrite()
 	if s == Unknown {
 		contractPanic("raise "+k.String(), c.String(), "cannot raise a signal to Unknown")
 	}
-	pl := &c.sim.plane
 	if k == SigData && s == Yes {
-		// The data value must be visible before the status store; the
-		// acquire load in status() orders the read.
-		pl.data[c.id] = v
+		return c.raiseData(v)
 	}
-	cell := &pl.lanes[k][c.id]
+	return c.resolve(k, s)
+}
+
+// raiseData resolves the data signal to Yes carrying v, storing it in the
+// connection's elected lane. On a scalar-lane connection v must be a
+// uint64 — the driver declared PayloadUint64, so anything else is a
+// contract violation.
+func (c *Conn) raiseData(v any) bool {
+	c.checkWrite()
+	pl := &c.sim.plane
+	if c.scalar {
+		u, ok := v.(uint64)
+		if !ok {
+			contractPanic("send", c.String(),
+				fmt.Sprintf("scalar-lane connection carries uint64 payloads, got %T "+
+					"(send a uint64, or declare PayloadAny on the sink to keep the boxed lane)", v))
+		}
+		pl.scalar[c.id] = u
+		return c.resolve(SigData, Yes)
+	}
+	pl.data[c.id] = v
+	if c.resolve(SigData, Yes) {
+		c.sim.spillHits.Add(1)
+		return true
+	}
+	return false
+}
+
+// raiseUint64 resolves the data signal to Yes carrying scalar v. On a
+// scalar-lane connection the store is a plain uint64 write — no boxing,
+// no write barrier. On a spill-lane connection it degrades to a boxed
+// store, keeping the typed API correct everywhere.
+func (c *Conn) raiseUint64(v uint64) bool {
+	c.checkWrite()
+	pl := &c.sim.plane
+	if c.scalar {
+		pl.scalar[c.id] = v
+		return c.resolve(SigData, Yes)
+	}
+	pl.data[c.id] = v
+	if c.resolve(SigData, Yes) {
+		c.sim.spillHits.Add(1)
+		return true
+	}
+	return false
+}
+
+// resolve performs the status transition for signal k: the data/scalar
+// lane store (done by the caller) must precede this call so the release
+// CAS publishes the value; the acquire load in status() orders reads.
+// Under a single-worker engine only one goroutine ever raises, so the
+// transition is a plain load + store instead of a bus-locking CAS.
+func (c *Conn) resolve(k SigKind, s Status) bool {
+	cell := &c.sim.plane.lanes[k][c.id]
+	if c.sim.workers == 1 {
+		if prev := Status(cell.Load()); prev != Unknown {
+			if prev != s {
+				contractPanic("raise "+k.String(), c.String(),
+					fmt.Sprintf("already resolved to %s, cannot re-raise to %s", prev, s))
+			}
+			return false
+		}
+		cell.Store(uint32(s))
+		c.sim.resolved[k]++
+		c.sim.onResolve(c, k, s)
+		c.sim.noteResolve(c, k)
+		if k == SigAck {
+			c.sim.wake(c.src.owner)
+		} else {
+			c.sim.wake(c.dst.owner)
+		}
+		return true
+	}
 	if cell.CompareAndSwap(uint32(Unknown), uint32(s)) {
 		c.sim.onResolve(c, k, s)
 		c.sim.noteResolve(c, k)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,7 +39,32 @@ type Sim struct {
 	pool      *workerPool
 
 	phase phase
-	cycle uint64
+	// writable mirrors phase ∈ {phaseStart, phaseReact} as one flag so
+	// mustWritePhase — the guard on every signal write — is a single
+	// load-and-branch that inlines. Maintained by setPhase only.
+	writable bool
+	cycle    uint64
+
+	// released is set at commit and cleared at the top of the next Step:
+	// between cycles, data-value reads (Conn.Data, TransferredData and
+	// their typed counterparts) report "not driven" on both lanes even
+	// though the statuses still read Yes. This makes the post-commit read
+	// path explicit — a tracer can never observe a released spill value
+	// or a stale scalar.
+	released bool
+
+	// spillHits counts data-Yes stores that landed on the boxed spill
+	// lane. Always on: only the spill path — which boxes anyway — pays
+	// the atomic add, so the scalar fast lane costs nothing.
+	spillHits atomic.Uint64
+
+	// resolved counts this cycle's resolutions per signal kind. It is
+	// maintained only on the single-worker resolve path (a plain
+	// increment; parallel workers would contend on it), so consumers may
+	// rely on it only as a lower bound: resolved[k] == len(conns) proves
+	// kind k is fully resolved and the default sweep for it can be
+	// skipped; a smaller count proves nothing. Reset each Step.
+	resolved [3]int
 
 	queue  []*Base // sequential work queue (FIFO by wake order)
 	qhead  int
@@ -86,17 +112,39 @@ func (s *Sim) Instance(name string) Instance { return s.byName[name] }
 // Conns returns the netlist's connections.
 func (s *Sim) Conns() []*Conn { return s.conns }
 
+// SpillHits returns the cumulative number of data-Yes resolutions stored
+// on the boxed spill lane — each one an interface store (and usually an
+// allocation) the scalar fast lane would have avoided. Divide by the
+// cycle count for a per-cycle boxing rate.
+func (s *Sim) SpillHits() uint64 { return s.spillHits.Load() }
+
 func (s *Sim) onResolve(c *Conn, k SigKind, st Status) {
 	if s.tracer != nil {
 		s.tracer.OnResolve(c, k, st)
 	}
 }
 
-// wake schedules an instance's reactive handler.
+// setPhase moves the simulator to phase p, keeping the writable mirror
+// flag (read by mustWritePhase on every signal write) in sync.
+func (s *Sim) setPhase(p phase) {
+	s.phase = p
+	s.writable = p == phaseStart || p == phaseReact
+}
+
+// wake schedules an instance's reactive handler. b is never nil: every
+// caller passes a built instance's Base (connection endpoints and the
+// instance list are fixed at Build). The already-scheduled early-out
+// inlines into raise's resolution path — the common case on busy
+// netlists, where every resolution wakes an endpoint — as a plain load
+// instead of a call and a bus-locking compare-and-swap.
 func (s *Sim) wake(b *Base) {
-	if b == nil || b.react == nil {
+	if b.react == nil || b.scheduled.Load() {
 		return
 	}
+	s.wakeSlow(b)
+}
+
+func (s *Sim) wakeSlow(b *Base) {
 	if !b.scheduled.CompareAndSwap(false, true) {
 		return
 	}
@@ -293,6 +341,9 @@ func (s *Sim) applyDefaults(full bool) {
 
 func (s *Sim) defaultRound(k SigKind) {
 	for {
+		if s.resolved[k] == len(s.conns) {
+			return // fully resolved by reactions; nothing to default
+		}
 		progress := false
 		unresolved := false
 		for _, c := range s.conns {
@@ -419,7 +470,7 @@ func (s *Sim) Step() (err error) {
 			if !ok {
 				panic(r)
 			}
-			s.phase = phaseIdle
+			s.setPhase(phaseIdle)
 			if s.sparse != nil {
 				// The cycle aborted mid-resolution; the plane holds a
 				// partial state no replay may build on.
@@ -439,6 +490,9 @@ func (s *Sim) Step() (err error) {
 	if s.tracer != nil {
 		s.tracer.OnCycleBegin(s.cycle)
 	}
+	// Data-value reads are live again from here until commit.
+	s.released = false
+	s.resolved = [3]int{}
 	if full {
 		// Bulk reset: each status lane is one memclr (Unknown is the zero
 		// status). The data lane was already released at the previous
@@ -453,13 +507,13 @@ func (s *Sim) Step() (err error) {
 			s.plane.clearConn(c.id)
 		}
 	}
-	s.phase = phaseStart
+	s.setPhase(phaseStart)
 	for _, inst := range s.instances {
 		if fn := inst.base().start; fn != nil {
 			fn()
 		}
 	}
-	s.phase = phaseReact
+	s.setPhase(phaseReact)
 	if full {
 		for _, inst := range s.instances {
 			s.wake(inst.base())
@@ -480,11 +534,15 @@ func (s *Sim) Step() (err error) {
 	s.drain()
 	s.applyDefaults(full)
 	if full {
-		s.verifyResolved(s.conns)
+		// The resolution counters prove full resolution without a scan
+		// when every signal resolved through the single-worker path.
+		if s.resolved[SigData]+s.resolved[SigEnable]+s.resolved[SigAck] != 3*len(s.conns) {
+			s.verifyResolved(s.conns)
+		}
 	} else {
 		s.verifyResolved(sp.dirty)
 	}
-	s.phase = phaseEnd
+	s.setPhase(phaseEnd)
 	if s.tracer != nil {
 		s.tracer.OnCycleEnd(s.cycle)
 	}
@@ -493,10 +551,14 @@ func (s *Sim) Step() (err error) {
 			fn()
 		}
 	}
-	s.phase = phaseIdle
+	s.setPhase(phaseIdle)
 	// Commit: release transferred data values now instead of pinning them
 	// until the next cycle's reset. The sparse gated region keeps its
-	// values — they are the replayed resolution.
+	// values — they are the replayed resolution. The released flag makes
+	// both lanes read as "not driven" until the next Step, so the kept
+	// values (and stale scalars, which are never cleared) stay
+	// unobservable between cycles.
+	s.released = true
 	if sp == nil {
 		clear(s.plane.data)
 	} else if !full {

@@ -74,6 +74,8 @@ type ScheduleStats struct {
 	AlwaysActive    int      `json:"always_active,omitempty"`
 	ActiveConns     int      `json:"active_conns,omitempty"`
 	GatedConns      int      `json:"gated_conns,omitempty"`
+	ScalarConns     int      `json:"scalar_conns"`
+	SpillConns      int      `json:"spill_conns"`
 	BreakSites      []string `json:"break_sites,omitempty"`
 }
 
@@ -96,6 +98,8 @@ func scheduleStats(info *core.ScheduleInfo) *ScheduleStats {
 		AlwaysActive:    info.AlwaysActive,
 		ActiveConns:     info.ActiveConns,
 		GatedConns:      info.GatedConns,
+		ScalarConns:     info.ScalarConns,
+		SpillConns:      info.SpillConns,
 		BreakSites:      info.BreakSites,
 	}
 }
@@ -110,6 +114,7 @@ type Snapshot struct {
 	Seed       int64                     `json:"seed"`
 	Instances  int                       `json:"instances"`
 	Conns      int                       `json:"conns"`
+	SpillHits  uint64                    `json:"spill_hits"`
 	Counters   map[string]int64          `json:"counters"`
 	Histograms map[string]HistogramStats `json:"histograms"`
 	Schedule   *ScheduleStats            `json:"schedule,omitempty"`
@@ -129,6 +134,7 @@ func TakeSnapshot(s *core.Sim) Snapshot {
 		Seed:       s.Seed(),
 		Instances:  len(s.Instances()),
 		Conns:      len(s.Conns()),
+		SpillHits:  s.SpillHits(),
 		Counters:   map[string]int64{},
 		Histograms: map[string]HistogramStats{},
 	}
@@ -214,6 +220,7 @@ func WriteCSV(w io.Writer, s *core.Sim) error {
 	row("sim", "", "seed", snap.Seed)
 	row("sim", "", "instances", int64(snap.Instances))
 	row("sim", "", "conns", int64(snap.Conns))
+	row("sim", "", "spill_hits", snap.SpillHits)
 	names := make([]string, 0, len(snap.Counters))
 	for n := range snap.Counters {
 		names = append(names, n)
@@ -250,6 +257,8 @@ func WriteCSV(w io.Writer, s *core.Sim) error {
 		row("schedule", "", "residue_conns", int64(sd.ResidueConns))
 		row("schedule", "", "ack_sweep_conns", int64(sd.AckSweepConns))
 		row("schedule", "", "ack_residue_conns", int64(sd.AckResidueConns))
+		row("schedule", "", "scalar_conns", int64(sd.ScalarConns))
+		row("schedule", "", "spill_conns", int64(sd.SpillConns))
 		if sd.Scheduler == "sparse" {
 			row("schedule", "", "active_insts", int64(sd.ActiveInsts))
 			row("schedule", "", "gated_insts", int64(sd.GatedInsts))

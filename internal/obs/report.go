@@ -26,6 +26,8 @@ func WriteScheduleReport(w io.Writer, s *core.Sim) error {
 		info.SweepConns, info.ForwardLevels, info.ResidueConns)
 	fmt.Fprintf(w, "  ack sweep:      %d conns over %d level(s), %d in cyclic residue\n",
 		info.AckSweepConns, info.AckLevels, info.AckResidueConns)
+	fmt.Fprintf(w, "  payload lanes:  %d conns on the uint64 scalar fast lane, %d on the boxed spill lane\n",
+		info.ScalarConns, info.SpillConns)
 	if info.Scheduler == core.SchedulerSparse {
 		fmt.Fprintf(w, "  activity:       %d/%d instances active (%d seed(s)), %d/%d conns re-resolved per cycle\n",
 			info.ActiveInsts, info.ActiveInsts+info.GatedInsts, info.AlwaysActive,

@@ -8,6 +8,9 @@ import (
 // is offered on out connection i exactly latency cycles later (later if
 // back-pressured). Pairing in/out connections by index lets one instance
 // model an n-lane pipeline. Capacity per lane bounds entries in flight.
+//
+// With payload="uint64" the delay declares PayloadUint64 on both ports
+// and moves entries via SendUint64/TransferredUint64 without boxing.
 type Delay struct {
 	core.Base
 	In  *core.Port
@@ -15,6 +18,7 @@ type Delay struct {
 
 	latency  int
 	capacity int
+	typed    bool // payload="uint64": scalar fast-lane mode
 	lanes    [][]delayEntry
 
 	cAccepted *core.Counter
@@ -22,7 +26,8 @@ type Delay struct {
 }
 
 type delayEntry struct {
-	v     any
+	v     any    // boxed mode payload
+	u     uint64 // typed mode payload
 	ready uint64 // first cycle the entry may depart
 }
 
@@ -30,8 +35,13 @@ type delayEntry struct {
 //
 //	latency  (int, default 1) — cycles between acceptance and availability
 //	capacity (int, default latency) — max in-flight entries per lane
+//	payload  (string, default "any") — "uint64" selects the scalar fast lane
 func NewDelay(name string, p core.Params) (*Delay, error) {
-	d := &Delay{latency: p.Int("latency", 1)}
+	kind, err := payloadOpt(p)
+	if err != nil {
+		return nil, err
+	}
+	d := &Delay{latency: p.Int("latency", 1), typed: kind == core.PayloadUint64}
 	if d.latency < 1 {
 		return nil, &core.ParamError{Param: "latency", Detail: "must be >= 1"}
 	}
@@ -40,8 +50,8 @@ func NewDelay(name string, p core.Params) (*Delay, error) {
 		return nil, &core.ParamError{Param: "capacity", Detail: "must be >= 1"}
 	}
 	d.Init(name, d)
-	d.In = d.AddInPort("in", core.PortOpts{DefaultAck: core.No})
-	d.Out = d.AddOutPort("out")
+	d.In = d.AddInPort("in", core.PortOpts{DefaultAck: core.No, Payload: kind})
+	d.Out = d.AddOutPort("out", core.PortOpts{Payload: kind})
 	d.OnCycleStart(d.cycleStart)
 	d.OnReact(d.react)
 	d.OnCycleEnd(d.cycleEnd)
@@ -67,7 +77,11 @@ func (d *Delay) cycleStart() {
 	for i := 0; i < d.Out.Width(); i++ {
 		lane := d.lane(i)
 		if len(lane) > 0 && now >= lane[0].ready {
-			d.Out.Send(i, lane[0].v)
+			if d.typed {
+				d.Out.SendUint64(i, lane[0].u)
+			} else {
+				d.Out.Send(i, lane[0].v)
+			}
 			d.Out.Enable(i)
 		} else {
 			d.Out.SendNothing(i)
@@ -102,6 +116,13 @@ func (d *Delay) cycleEnd() {
 		}
 	}
 	for i := 0; i < d.In.Width(); i++ {
+		if d.typed {
+			if u, ok := d.In.TransferredUint64(i); ok {
+				d.lanes[i] = append(d.lane(i), delayEntry{u: u, ready: d.Now() + uint64(d.latency)})
+				d.cAccepted.Inc()
+			}
+			continue
+		}
 		if v, ok := d.In.TransferredData(i); ok {
 			d.lanes[i] = append(d.lane(i), delayEntry{v: v, ready: d.Now() + uint64(d.latency)})
 			d.cAccepted.Inc()

@@ -12,11 +12,17 @@ type Stamped interface {
 
 // Sink consumes and counts everything offered to it, optionally keeping
 // the received values and recording delivery latency for Stamped data.
+//
+// With payload="uint64" the sink declares PayloadUint64 on its in port
+// and consumes via TransferredUint64, so the steady-state counting path
+// never boxes. Latency stamping does not apply to scalar payloads, and
+// keep=true boxes each retained value.
 type Sink struct {
 	core.Base
 	In *core.Port
 
 	keep     bool
+	typed    bool // payload="uint64": scalar fast-lane mode
 	received []any
 
 	cReceived *core.Counter
@@ -25,11 +31,17 @@ type Sink struct {
 
 // NewSink constructs a sink. Parameters:
 //
-//	keep (bool, default false) — retain received values for inspection
+//	keep    (bool, default false)    — retain received values for inspection
+//	payload (string, default "any")  — "uint64" selects the scalar fast lane
 func NewSink(name string, p core.Params) (*Sink, error) {
-	s := &Sink{keep: p.Bool("keep", false)}
+	kind, err := payloadOpt(p)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sink{keep: p.Bool("keep", false), typed: kind == core.PayloadUint64}
 	s.Init(name, s)
-	s.In = s.AddInPort("in") // default control accepts everything
+	// Default control accepts everything.
+	s.In = s.AddInPort("in", core.PortOpts{Payload: kind})
 	s.OnCycleEnd(s.cycleEnd)
 	return s, nil
 }
@@ -57,6 +69,19 @@ func (s *Sink) cycleEnd() {
 	if s.cReceived == nil {
 		s.cReceived = s.Counter("received")
 		s.hLatency = s.Histogram("latency")
+	}
+	if s.typed {
+		for i := 0; i < s.In.Width(); i++ {
+			u, ok := s.In.TransferredUint64(i)
+			if !ok {
+				continue
+			}
+			s.cReceived.Inc()
+			if s.keep {
+				s.received = append(s.received, u)
+			}
+		}
+		return
 	}
 	for i := 0; i < s.In.Width(); i++ {
 		v, ok := s.In.TransferredData(i)

@@ -121,6 +121,10 @@ type (
 	Port = core.Port
 	// PortOpts customizes port arity and default control.
 	PortOpts = core.PortOpts
+	// PayloadKind declares what a port's data signals carry; Build uses
+	// it to elect each connection's storage lane (scalar fast lane vs
+	// boxed spill lane).
+	PayloadKind = core.PayloadKind
 	// ControlFn overrides default handshake resolution.
 	ControlFn = core.ControlFn
 	// Conn is one connection (data/enable/ack signal triple).
@@ -249,6 +253,16 @@ const (
 	SigData   = core.SigData
 	SigEnable = core.SigEnable
 	SigAck    = core.SigAck
+)
+
+// Payload kinds, declared via PortOpts.Payload. PayloadUint64 on a
+// driver (with no PayloadAny demand at the sink) elects the connection
+// into the uint64 scalar fast lane — zero-allocation sends through
+// Port.SendUint64 and reads through Port.Uint64/TransferredUint64.
+const (
+	PayloadUnspecified = core.PayloadUnspecified
+	PayloadUint64      = core.PayloadUint64
+	PayloadAny         = core.PayloadAny
 )
 
 // Scheduler kinds, accepted by WithScheduler. All schedulers produce

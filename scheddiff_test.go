@@ -418,3 +418,93 @@ func TestMeshScheduleGolden(t *testing.T) {
 		t.Fatalf("ack partition covers %d conns, want %d", got, len(sim.Conns()))
 	}
 }
+
+// TestSchedulersAgreeOnTypedNetlists is the two-lane plane's differential
+// guard: random source → queue-chain → sink netlists where every module
+// independently declares payload "uint64" or "any", mixing scalar-lane,
+// spill-lane and forced-spill (mixed payload kinds) connections in one
+// netlist. The cycle hash covers both lanes — cycleHasher reads each
+// connection through Conn.Data, which serves scalar and spill values
+// alike — so lane election must never change what a model computes, only
+// where the bytes live. All values are uint64 end to end (boxed sources
+// get an explicit uint64 generator) so typed readers downstream of boxed
+// drivers exercise the spill-lane unboxing path.
+func TestSchedulersAgreeOnTypedNetlists(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		ref := runTypedRandomUnder(t, seed, schedulerMatrix[0].opts...)
+		for _, tc := range schedulerMatrix[1:] {
+			got := runTypedRandomUnder(t, seed, tc.opts...)
+			diffRuns(t, fmt.Sprintf("typed-rand-%d", seed), tc.name, ref, got, tc.exactCounts)
+		}
+	}
+}
+
+func runTypedRandomUnder(t *testing.T, seed int64, opts ...lse.BuildOption) schedRun {
+	t.Helper()
+	h := &cycleHasher{}
+	opts = append(opts, lse.WithSeed(seed), lse.WithMetrics(), lse.WithTracer(h))
+	b := core.NewBuilder(opts...)
+	rng := rand.New(rand.NewSource(seed))
+	payloads := []string{"uint64", "uint64", "any"} // bias toward the fast lane
+	pick := func() string { return payloads[rng.Intn(len(payloads))] }
+	scalarConns := 0
+	nChains := 2 + rng.Intn(3)
+	for c := 0; c < nChains; c++ {
+		srcPayload := pick()
+		srcParams := core.Params{"count": int64(20 + rng.Intn(30)), "payload": srcPayload}
+		if srcPayload != "uint64" {
+			// Keep the value domain uint64 everywhere so a typed reader
+			// downstream of this boxed driver can still unbox.
+			srcParams["gen"] = pcl.GenFn(func(rng *rand.Rand, cycle, seq uint64) (any, bool) {
+				return seq, true
+			})
+		}
+		src, err := pcl.NewSource(fmt.Sprintf("src%d", c), srcParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Add(src)
+		var prev core.Instance = src
+		depth := 1 + rng.Intn(4)
+		for d := 0; d < depth; d++ {
+			q, err := pcl.NewQueue(fmt.Sprintf("q%d_%d", c, d),
+				core.Params{"capacity": int64(1 + rng.Intn(4)), "payload": pick()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Add(q)
+			b.Connect(prev, "out", q, "in")
+			prev = q
+		}
+		snk, err := pcl.NewSink(fmt.Sprintf("snk%d", c), core.Params{"payload": pick()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Add(snk)
+		b.Connect(prev, "out", snk, "in")
+	}
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sim.Conns() {
+		if c.Scalar() {
+			scalarConns++
+		}
+	}
+	if err := sim.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if info := sim.Schedule(); info != nil && info.ScalarConns != scalarConns {
+		t.Fatalf("schedule reports %d scalar conns, counted %d", info.ScalarConns, scalarConns)
+	}
+	var st bytes.Buffer
+	sim.Stats().Dump(&st)
+	r := schedRun{hashes: h.hashes, stats: st.String()}
+	m := sim.Metrics()
+	for i, k := range []core.SigKind{core.SigData, core.SigEnable, core.SigAck} {
+		r.defaults[i] = m.DefaultFallbacks(k)
+		r.breaks[i] = m.CycleBreaks(k)
+	}
+	return r
+}

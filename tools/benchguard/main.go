@@ -4,10 +4,19 @@
 //
 // Usage:
 //
-//	go test -bench=... -run=^$ . | tee bench.out
-//	go run ./tools/benchguard -baseline BENCH_4.json bench.out
+//	go test -bench=... -benchmem -run=^$ . | tee bench.out
+//	go run ./tools/benchguard -baseline BENCH_5.json bench.out
 //
-// Only slowdowns fail: a benchmark running faster than its baseline, or
+// Two metrics are gated. ns/op fails when it exceeds the baseline by the
+// -threshold factor. allocs/op (present when the run used -benchmem)
+// fails when it exceeds max(baseline*threshold, baseline+0.5): the
+// additive slack keeps a 0-alloc baseline meaningful — any steady-state
+// allocation on a zero-alloc path is a regression — without tripping on
+// amortized fractional counts. A baseline row without an allocs_per_op
+// field, or an output row without an allocs/op column, gates ns/op only,
+// so old baselines and -benchmem-less runs keep working.
+//
+// Only regressions fail: a benchmark running faster than its baseline, or
 // one missing from the baseline, is reported but never an error, so the
 // guard stays quiet while new benchmarks land ahead of a baseline
 // refresh. Baseline entries missing from the output are warnings too —
@@ -32,18 +41,28 @@ import (
 
 type baseline struct {
 	Benchmarks []struct {
-		Name    string  `json:"name"`
-		NsPerOp float64 `json:"ns_per_op"`
+		Name        string   `json:"name"`
+		NsPerOp     float64  `json:"ns_per_op"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
 	} `json:"benchmarks"`
 }
 
 // benchLine matches one result row; the -N suffix go test appends to the
-// name (GOMAXPROCS) is stripped so names align with the baseline's.
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// name (GOMAXPROCS) is stripped so names align with the baseline's. The
+// allocs/op column is optional (absent without -benchmem); custom
+// ReportMetric columns may sit between it and ns/op.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s]+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*\s([0-9]+) allocs/op)?`)
+
+type sample struct {
+	ns     float64
+	allocs float64
+	hasAll bool
+}
 
 func main() {
-	basePath := flag.String("baseline", "BENCH_4.json", "baseline JSON file (BENCH_*.json layout)")
-	threshold := flag.Float64("threshold", 1.25, "fail when ns/op exceeds baseline by this factor")
+	basePath := flag.String("baseline", "BENCH_5.json", "baseline JSON file (BENCH_*.json layout)")
+	threshold := flag.Float64("threshold", 1.25, "fail when a metric exceeds baseline by this factor")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*basePath)
@@ -54,9 +73,13 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(fmt.Errorf("parsing %s: %w", *basePath, err))
 	}
-	want := map[string]float64{}
+	wantNs := map[string]float64{}
+	wantAllocs := map[string]float64{}
 	for _, b := range base.Benchmarks {
-		want[b.Name] = b.NsPerOp
+		wantNs[b.Name] = b.NsPerOp
+		if b.AllocsPerOp != nil {
+			wantAllocs[b.Name] = *b.AllocsPerOp
+		}
 	}
 
 	in := os.Stdin
@@ -69,7 +92,7 @@ func main() {
 		in = f
 	}
 
-	best := map[string]float64{} // min ns/op across repeated samples
+	best := map[string]*sample{} // min per metric across repeated samples
 	var order []string
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
@@ -78,15 +101,25 @@ func main() {
 			continue
 		}
 		name := m[1]
-		got, err := strconv.ParseFloat(m[3], 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			continue
 		}
-		if prev, ok := best[name]; !ok {
-			best[name] = got
+		s, ok := best[name]
+		if !ok {
+			s = &sample{ns: ns}
+			best[name] = s
 			order = append(order, name)
-		} else if got < prev {
-			best[name] = got
+		} else if ns < s.ns {
+			s.ns = ns
+		}
+		if m[4] != "" {
+			if allocs, err := strconv.ParseFloat(m[4], 64); err == nil {
+				if !s.hasAll || allocs < s.allocs {
+					s.allocs = allocs
+					s.hasAll = true
+				}
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -96,27 +129,40 @@ func main() {
 	failed := 0
 	for _, name := range order {
 		got := best[name]
-		ref, ok := want[name]
+		refNs, ok := wantNs[name]
 		if !ok {
-			fmt.Printf("benchguard: %-55s %12.0f ns/op  (no baseline)\n", name, got)
+			fmt.Printf("benchguard: %-50s %12.0f ns/op  (no baseline)\n", name, got.ns)
 			continue
 		}
-		ratio := got / ref
+		ratio := got.ns / refNs
 		status := "ok"
 		if ratio > *threshold {
 			status = "REGRESSED"
 			failed++
 		}
-		fmt.Printf("benchguard: %-55s %12.0f ns/op  %6.2fx baseline  %s\n", name, got, ratio, status)
+		allocNote := ""
+		if refAllocs, ok := wantAllocs[name]; ok && got.hasAll {
+			limit := refAllocs * *threshold
+			if floor := refAllocs + 0.5; floor > limit {
+				limit = floor
+			}
+			allocNote = fmt.Sprintf("  %4.0f allocs/op (base %.0f)", got.allocs, refAllocs)
+			if got.allocs > limit {
+				status = "REGRESSED(allocs)"
+				failed++
+			}
+		}
+		fmt.Printf("benchguard: %-50s %12.0f ns/op  %6.2fx baseline%s  %s\n",
+			name, got.ns, ratio, allocNote, status)
 	}
-	for name := range want {
+	for name := range wantNs {
 		if _, ok := best[name]; !ok {
-			fmt.Printf("benchguard: %-55s not in this run\n", name)
+			fmt.Printf("benchguard: %-50s not in this run\n", name)
 		}
 	}
 	if failed > 0 {
-		fatal(fmt.Errorf("%d benchmark(s) regressed more than %.0f%% over %s",
-			failed, (*threshold-1)*100, *basePath))
+		fatal(fmt.Errorf("%d benchmark metric(s) regressed beyond threshold over %s",
+			failed, *basePath))
 	}
 }
 
