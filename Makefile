@@ -30,11 +30,11 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 ## bench-smoke: fast CI sanity pass over the scheduler benchmarks, gated
-## against the checked-in BENCH_5.json baseline (fail on >25% slowdown,
+## against the checked-in BENCH_6.json baseline (fail on >25% slowdown,
 ## or on allocs/op above a baselined zero-alloc row). Three samples per
 ## benchmark; benchguard compares the min of them, so one noisy sample
 ## on a shared host doesn't fail the gate.
 bench-smoke:
-	$(GO) test -bench='BenchmarkLevelized|BenchmarkA1|BenchmarkSparse|BenchmarkTyped' -benchtime=200x -benchmem -count=3 -run=^$$ . | tee bench-smoke.out
-	$(GO) run ./tools/benchguard -baseline BENCH_5.json bench-smoke.out
+	$(GO) test -bench='BenchmarkLevelized|BenchmarkA1|BenchmarkSparse|BenchmarkTyped|BenchmarkNewSimFromProgram' -benchtime=200x -benchmem -count=3 -run=^$$ . | tee bench-smoke.out
+	$(GO) run ./tools/benchguard -baseline BENCH_6.json bench-smoke.out
 	@rm -f bench-smoke.out

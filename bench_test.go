@@ -66,7 +66,7 @@ func BenchmarkFig2aCMP(b *testing.B) {
 	var cycles uint64
 	var latency float64
 	for i := 0; i < b.N; i++ {
-		bld := core.NewBuilder().SetSeed(1)
+		bld := core.NewBuilder(core.WithSeed(1))
 		cmp, err := systems.BuildCMP(bld, "cmp", systems.CMPCfg{W: 2, H: 2, RefsPer: 60, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
@@ -87,7 +87,7 @@ func BenchmarkFig2aCMP(b *testing.B) {
 func BenchmarkFig2bSensorNode(b *testing.B) {
 	var delivered int64
 	for i := 0; i < b.N; i++ {
-		bld := core.NewBuilder().SetSeed(5)
+		bld := core.NewBuilder(core.WithSeed(5))
 		net, err := systems.BuildSensorNet(bld, "sn", 3, 20, 40)
 		if err != nil {
 			b.Fatal(err)
@@ -107,7 +107,7 @@ func BenchmarkFig2bSensorNode(b *testing.B) {
 func BenchmarkFig2cGrid(b *testing.B) {
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		bld := core.NewBuilder().SetSeed(2)
+		bld := core.NewBuilder(core.WithSeed(2))
 		grid, err := systems.BuildCMP(bld, "grid", systems.CMPCfg{
 			W: 4, H: 2, Torus: true, RefsPer: 40, Seed: 2,
 		})
@@ -127,7 +127,7 @@ func BenchmarkFig2cGrid(b *testing.B) {
 func BenchmarkFig2dSystemOfSystems(b *testing.B) {
 	var summaries int64
 	for i := 0; i < b.N; i++ {
-		bld := core.NewBuilder().SetSeed(9)
+		bld := core.NewBuilder(core.WithSeed(9))
 		sos, err := systems.BuildSoS(bld, "sos", systems.SoSCfg{
 			Clusters: 2, SensorsPer: 2, SamplesPer: 16, Threshold: 10, Batch: 4,
 		})
@@ -223,7 +223,7 @@ func BenchmarkC1QueueReuse(b *testing.B) {
 func BenchmarkC2MixedAbstraction(b *testing.B) {
 	b.Run("statistical", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			bld := core.NewBuilder().SetSeed(3)
+			bld := core.NewBuilder(core.WithSeed(3))
 			nw, err := ccl.BuildCrossbar(bld, "net", 2, 4)
 			if err != nil {
 				b.Fatal(err)
@@ -254,7 +254,7 @@ func BenchmarkC2MixedAbstraction(b *testing.B) {
 	})
 	b.Run("detailed-cpu-ni", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			bld := core.NewBuilder().SetSeed(3)
+			bld := core.NewBuilder(core.WithSeed(3))
 			nw, err := ccl.BuildCrossbar(bld, "net", 2, 4)
 			if err != nil {
 				b.Fatal(err)
@@ -367,7 +367,11 @@ func BenchmarkC7NICThroughput(b *testing.B) {
 func BenchmarkA1ParallelScheduler(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			sim := buildMeshTraffic(b, core.WithWorkers(workers))
+			opts := []core.BuildOption{core.WithScheduler(core.SchedulerSequential)}
+			if workers > 1 {
+				opts = []core.BuildOption{core.WithScheduler(core.SchedulerParallel), core.WithWorkers(workers)}
+			}
+			sim := buildMeshTraffic(b, opts...)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := sim.Step(); err != nil {
@@ -382,7 +386,7 @@ func BenchmarkA1ParallelScheduler(b *testing.B) {
 // the scheduler benchmarks.
 func buildMeshTraffic(b testing.TB, opts ...core.BuildOption) *core.Sim {
 	b.Helper()
-	bld := core.NewBuilder(opts...).SetSeed(1)
+	bld := core.NewBuilder(append(append([]core.BuildOption(nil), opts...), core.WithSeed(1))...)
 	nw, err := ccl.BuildMesh(bld, "net", ccl.MeshCfg{W: 4, H: 4})
 	if err != nil {
 		b.Fatal(err)
@@ -403,6 +407,68 @@ func buildMeshTraffic(b testing.TB, opts ...core.BuildOption) *core.Sim {
 		b.Fatal(err)
 	}
 	return sim
+}
+
+// meshTrafficAssemble is buildMeshTraffic as a core.Compile recipe, so
+// the Program/Sim benchmarks stamp sessions from one compiled netlist.
+func meshTrafficAssemble(bld *core.Builder) error {
+	nw, err := ccl.BuildMesh(bld, "net", ccl.MeshCfg{W: 4, H: 4})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nw.Nodes; i++ {
+		src, err := pcl.NewSource(fmt.Sprintf("src%d", i), core.Params{
+			"rate": 0.2,
+			"gen":  ccl.PacketGen(i, nw.Nodes, ccl.UniformPattern, ccl.FixedSize(2)),
+		})
+		if err != nil {
+			return err
+		}
+		snk, err := pcl.NewSink(fmt.Sprintf("snk%d", i), nil)
+		if err != nil {
+			return err
+		}
+		bld.Add(src)
+		bld.Add(snk)
+		if err := nw.ConnectSource(bld, i, src, "out"); err != nil {
+			return err
+		}
+		if err := nw.ConnectSink(bld, i, snk, "in"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkNewSimFromProgram measures the Program/State split's payoff:
+// stamping a session from the compiled 4x4-mesh program (re-running only
+// the assembly recipe — no Tarjan, levelization or lane election) versus
+// compiling the whole program from scratch. The stamp path is what a
+// thousand-session parameter sweep pays per point.
+func BenchmarkNewSimFromProgram(b *testing.B) {
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prog, err := core.Compile(meshTrafficAssemble, core.WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = prog
+		}
+	})
+	b.Run("stamp", func(b *testing.B) {
+		prog, err := core.Compile(meshTrafficAssemble, core.WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim, err := prog.NewSim()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim.Close()
+		}
+	})
 }
 
 // benchScheduler steps sim b.N cycles and reports fixed-point iterations
@@ -633,7 +699,7 @@ func BenchmarkA3Topology(b *testing.B) {
 			var lat float64
 			var thr float64
 			for i := 0; i < b.N; i++ {
-				bld := core.NewBuilder().SetSeed(5)
+				bld := core.NewBuilder(core.WithSeed(5))
 				nw, err := build[name](bld)
 				if err != nil {
 					b.Fatal(err)
@@ -687,7 +753,7 @@ func BenchmarkA4VirtualChannels(b *testing.B) {
 		b.Run(fmt.Sprintf("vcs=%d", vcs), func(b *testing.B) {
 			var lat, thr, leak float64
 			for i := 0; i < b.N; i++ {
-				bld := core.NewBuilder().SetSeed(7)
+				bld := core.NewBuilder(core.WithSeed(7))
 				nw, err := ccl.BuildMesh(bld, "net", ccl.MeshCfg{W: 4, H: 4, VCs: vcs})
 				if err != nil {
 					b.Fatal(err)

@@ -6,14 +6,16 @@
 // Usage:
 //
 //	orion [-w 8] [-h 8] [-torus] [-pattern uniform] [-size 4]
-//	      [-cycles 2000] [-rates 0.05,0.1,...] [-seed 1]
+//	      [-cycles 2000] [-rates 0.05,0.1,...] [-seed 1] [-par 0]
 //	      [-metrics-addr :8123]
 //
-// Sweeps are cancellable: an interrupt (Ctrl-C) stops the current point
-// on a cycle boundary and prints the points measured so far. With
-// -metrics-addr, a live JSON snapshot of the point being simulated is
-// served at /metrics (and expvar at /debug/vars) for watching long
-// characterizations progress.
+// The network is compiled once into a shared program; every operating
+// point stamps its own simulation session from it, and up to -par points
+// (default GOMAXPROCS) run concurrently. Sweeps are cancellable: an
+// interrupt (Ctrl-C) stops the in-flight points on a cycle boundary and
+// prints the points measured so far. With -metrics-addr, a live JSON
+// snapshot of a point being simulated is served at /metrics (and expvar
+// at /debug/vars) for watching long characterizations progress.
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 	size := flag.Int("size", 4, "packet size in flits")
 	cycles := flag.Uint64("cycles", 2000, "measured cycles per point")
 	seed := flag.Int64("seed", 1, "random seed")
+	par := flag.Int("par", 0, "operating points measured concurrently (0 = GOMAXPROCS)")
 	ratesFlag := flag.String("rates", "0.02,0.05,0.1,0.15,0.2,0.3,0.4,0.6,0.8,0.95",
 		"comma-separated offered loads (packets/node/cycle)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live JSON metrics on this HTTP address while sweeping")
@@ -57,6 +60,7 @@ func main() {
 	cfg := ccl.SweepCfg{
 		W: *w, H: *h, Torus: *torus, Adaptive: *adaptive, VCs: *vcs,
 		Pattern: *pattern, Size: *size, Cycles: *cycles, Seed: *seed,
+		Parallel: *par,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -62,7 +62,7 @@ func (n *commitNI) cycleEnd() {
 // NIC and returns delivered frames per thousand cycles.
 func nicThroughput(tb testing.TB, payload, frames int) float64 {
 	tb.Helper()
-	b := core.NewBuilder().SetSeed(1)
+	b := core.NewBuilder(core.WithSeed(1))
 	nic, err := nilib.NewNIC(b, "nic", nilib.NICCfg{})
 	if err != nil {
 		tb.Fatal(err)

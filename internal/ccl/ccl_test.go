@@ -24,7 +24,7 @@ func loadNetwork(t *testing.T, seed int64, rate float64, count int,
 	pattern ccl.PatternFn, size ccl.SizeFn,
 	build func(b *core.Builder) (*ccl.Network, error)) *loadedNetwork {
 	t.Helper()
-	b := core.NewBuilder().SetSeed(seed)
+	b := core.NewBuilder(core.WithSeed(seed))
 	nw, err := build(b)
 	if err != nil {
 		t.Fatalf("build network: %v", err)
@@ -209,7 +209,11 @@ func TestBusSerializesAndFilters(t *testing.T) {
 
 func TestMeshDeterminism(t *testing.T) {
 	run := func(workers int) (int64, float64) {
-		b := core.NewBuilder().SetSeed(99).SetWorkers(workers)
+		opts := []core.BuildOption{core.WithSeed(99), core.WithScheduler(core.SchedulerSequential)}
+		if workers > 1 {
+			opts = []core.BuildOption{core.WithSeed(99), core.WithScheduler(core.SchedulerParallel), core.WithWorkers(workers)}
+		}
+		b := core.NewBuilder(opts...)
 		nw, err := ccl.BuildMesh(b, "mesh", ccl.MeshCfg{W: 3, H: 3})
 		if err != nil {
 			t.Fatal(err)
@@ -304,7 +308,7 @@ func TestTrafficPatterns(t *testing.T) {
 
 func TestPowerScalesWithLoad(t *testing.T) {
 	measure := func(rate float64) ccl.PowerReport {
-		b := core.NewBuilder().SetSeed(11)
+		b := core.NewBuilder(core.WithSeed(11))
 		nw, err := ccl.BuildMesh(b, "mesh", ccl.MeshCfg{W: 3, H: 3})
 		if err != nil {
 			t.Fatal(err)
@@ -353,7 +357,7 @@ func TestThermalModelConverges(t *testing.T) {
 }
 
 func TestWirelessCollisionAndDelivery(t *testing.T) {
-	b := core.NewBuilder().SetSeed(2)
+	b := core.NewBuilder(core.WithSeed(2))
 	w, err := ccl.NewWireless("air", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -394,7 +398,7 @@ func TestWirelessCollisionAndDelivery(t *testing.T) {
 }
 
 func TestWirelessLossDropsPackets(t *testing.T) {
-	b := core.NewBuilder().SetSeed(4)
+	b := core.NewBuilder(core.WithSeed(4))
 	w, err := ccl.NewWireless("air", core.Params{"loss": 1.0})
 	if err != nil {
 		t.Fatal(err)
@@ -424,7 +428,7 @@ func TestWirelessLossDropsPackets(t *testing.T) {
 // traffic drops versus a plain mesh of the same size.
 func TestTorusBeatsMeshOnAverageLatency(t *testing.T) {
 	measure := func(torus bool) float64 {
-		b := core.NewBuilder().SetSeed(21)
+		b := core.NewBuilder(core.WithSeed(21))
 		nw, err := ccl.BuildMesh(b, "net", ccl.MeshCfg{W: 4, H: 4, Torus: torus})
 		if err != nil {
 			t.Fatal(err)
@@ -498,7 +502,7 @@ func TestSweepShapeIsCanonical(t *testing.T) {
 // higher mean latency — the traffic-abstraction work §3.3 describes.
 func TestBurstyTrafficRaisesLatency(t *testing.T) {
 	measure := func(bursty bool) float64 {
-		b := core.NewBuilder().SetSeed(31)
+		b := core.NewBuilder(core.WithSeed(31))
 		nw, err := ccl.BuildMesh(b, "net", ccl.MeshCfg{W: 3, H: 3})
 		if err != nil {
 			t.Fatal(err)
@@ -554,7 +558,7 @@ func TestBurstyTrafficRaisesLatency(t *testing.T) {
 // under adaptive routing and that it beats XY latency under a skewed load.
 func TestAdaptiveRoutingDeliversAndRelievesHotRow(t *testing.T) {
 	measure := func(adaptive bool) (float64, int64) {
-		b := core.NewBuilder().SetSeed(13)
+		b := core.NewBuilder(core.WithSeed(13))
 		nw, err := ccl.BuildMesh(b, "net", ccl.MeshCfg{W: 4, H: 4, Adaptive: adaptive})
 		if err != nil {
 			t.Fatal(err)

@@ -15,7 +15,7 @@ import (
 // head packet; with VCs it proceeds.
 func buildHOLRouter(t *testing.T, vcs int) (sim *core.Sim, freeSink *pcl.Sink) {
 	t.Helper()
-	b := core.NewBuilder().SetSeed(1)
+	b := core.NewBuilder(core.WithSeed(1))
 	r, err := ccl.NewRouter(b, "r", ccl.RouterCfg{
 		Ports:    2,
 		BufDepth: 4,
@@ -84,7 +84,7 @@ func TestVCMeshStillDeliversEverything(t *testing.T) {
 // VC routers leak more (more buffer area) at equal traffic.
 func TestVCPowerAccountsExtraBuffers(t *testing.T) {
 	leak := func(vcs int) float64 {
-		b := core.NewBuilder().SetSeed(3)
+		b := core.NewBuilder(core.WithSeed(3))
 		nw, err := ccl.BuildMesh(b, "mesh", ccl.MeshCfg{W: 2, H: 2, VCs: vcs})
 		if err != nil {
 			t.Fatal(err)

@@ -26,6 +26,10 @@ type Builder struct {
 	built     bool
 	at        Pos // current spec position; stamped onto instances, conns, errors
 	postBuild []func(*Sim) error
+	// prog, when set, marks the builder as a session stamp for an already
+	// compiled program: Build validates the re-assembled netlist against
+	// it and binds its shared artifacts instead of recompiling.
+	prog *Program
 }
 
 // NewBuilder returns a Builder using DefaultRegistry, seed 0 and
@@ -37,48 +41,6 @@ func NewBuilder(opts ...BuildOption) *Builder {
 	}
 	return b
 }
-
-// SetRegistry selects the template registry used by Instantiate.
-//
-// Deprecated: pass WithRegistry to NewBuilder instead.
-func (b *Builder) SetRegistry(r *Registry) *Builder { b.reg = r; return b }
-
-// SetSeed sets the simulator's deterministic random seed.
-//
-// Deprecated: pass WithSeed to NewBuilder or Build instead.
-func (b *Builder) SetSeed(seed int64) *Builder { b.seed = seed; return b }
-
-// SetWorkers selects the number of scheduler workers. Values above one
-// select the parallel fixed-point scheduler, which produces results
-// bit-identical to the sequential one.
-//
-// Deprecated: pass WithScheduler (and optionally WithWorkers) to
-// NewBuilder or Build instead.
-func (b *Builder) SetWorkers(n int) *Builder {
-	b.setWorkers(n)
-	return b
-}
-
-// setWorkers implements the WithWorkers/SetWorkers shim: the worker
-// count doubles as a legacy scheduler selector.
-func (b *Builder) setWorkers(n int) {
-	if n < 1 {
-		n = 1
-	}
-	b.workers = n
-	if n > 1 {
-		b.sched = SchedulerParallel
-	} else {
-		b.sched = SchedulerSequential
-	}
-}
-
-// SetTracer attaches a Tracer to the simulator under construction,
-// replacing any tracer attached earlier.
-//
-// Deprecated: pass WithTracer to NewBuilder or Build instead; WithTracer
-// composes with previously attached tracers rather than replacing them.
-func (b *Builder) SetTracer(t Tracer) *Builder { b.tracer = t; return b }
 
 // addTracer composes t with any tracer already attached.
 func (b *Builder) addTracer(t Tracer) {
@@ -195,9 +157,12 @@ func (b *Builder) ConnectPorts(sp, dp *Port) error {
 	return nil
 }
 
-// Build validates the netlist and constructs the simulator, applying any
-// remaining configuration options first. The Builder must not be reused
-// afterwards.
+// Build validates the netlist, compiles it into a Program (unless the
+// builder is stamping a session for an already compiled one) and binds
+// one session to it, applying any remaining configuration options first.
+// The Builder must not be reused afterwards. The returned simulator's
+// Program is available via Sim.Program; programs that should mint many
+// sessions are compiled with Compile instead.
 func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	for _, o := range opts {
 		o(b)
@@ -222,17 +187,42 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	}
 	b.built = true
 	sched, workers := resolveScheduler(b.sched, b.workers)
+	// The compiled artifacts index by instance and connection id; assign
+	// instance ids (assembly order) before compiling or validating.
+	// Connection ids were assigned at Connect time.
+	for i, inst := range b.instances {
+		inst.base().id = i
+	}
+	p := b.prog
+	if p == nil {
+		// Compile path: this netlist defines the program.
+		p = compileProgram(b.instances, b.conns, sched)
+	} else {
+		// Session-stamp path (Program.NewSim): the expensive artifacts —
+		// Tarjan/levelization, activity partition, lane election — are
+		// already compiled; validate the re-assembled netlist matches and
+		// bind. This is the 0-rebuild-work spin-up path.
+		if err := p.checkStamp(b.instances, b.conns, sched); err != nil {
+			return nil, err
+		}
+	}
 	s := &Sim{
 		seed:      b.seed,
 		sched:     sched,
 		workers:   workers,
 		parMin:    b.parMin,
 		tracer:    b.tracer,
+		prog:      p,
 		instances: b.instances,
 		byName:    b.byName,
 		conns:     b.conns,
 		plane:     newSigPlane(len(b.conns)),
 		stats:     newStatSet(),
+		schedule:  p.schedule,
+		sparse:    p.sparse,
+	}
+	if s.sparse != nil {
+		s.sparseFull = true // cycle 0 establishes the gated region's values
 	}
 	if s.parMin == 0 {
 		s.parMin = defaultParallelThreshold * workers
@@ -240,33 +230,15 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	if b.metrics {
 		s.metrics = newMetrics(s)
 	}
+	s.bases = make([]*Base, len(s.instances))
 	for i, inst := range s.instances {
-		inst.base().attach(s, i)
+		base := inst.base()
+		base.attach(s, i)
+		s.bases[i] = base
 	}
 	for _, c := range s.conns {
 		c.sim = s
-	}
-	// Payload-lane inference: a connection joins the uint64 scalar fast
-	// lane when its driver declares PayloadUint64 and its sink does not
-	// demand the boxed path (PayloadAny — mixed payload kinds force the
-	// spill lane). Everything else spills to the boxed []any lane, the
-	// always-correct slow path.
-	scalarConns := 0
-	for _, c := range s.conns {
-		c.scalar = c.src.opts.Payload == PayloadUint64 && c.dst.opts.Payload != PayloadAny
-		if c.scalar {
-			scalarConns++
-		}
-	}
-	if sched == SchedulerLevelized || sched == SchedulerSparse {
-		s.schedule = buildSchedule(s)
-		s.schedule.info.Scheduler = sched
-		s.schedule.info.ScalarConns = scalarConns
-		s.schedule.info.SpillConns = len(s.conns) - scalarConns
-	}
-	if sched == SchedulerSparse {
-		s.sparse = buildSparse(s)
-		s.schedule.info.fillActivity(s.sparse)
+		c.scalar = p.scalar[c.id]
 	}
 	if workers > 1 {
 		s.pool = newWorkerPool(workers)

@@ -364,7 +364,7 @@ func TestDeterministicRandPerInstance(t *testing.T) {
 	mk := func() (*core.Sim, *source) {
 		src := newSource("src")
 		snk := newSink("snk", nil)
-		b := core.NewBuilder().SetSeed(42)
+		b := core.NewBuilder(core.WithSeed(42))
 		b.Add(src)
 		b.Add(snk)
 		b.Connect(src, "out", snk, "in")

@@ -196,7 +196,7 @@ func TestVCDTracerEmitsWaveform(t *testing.T) {
 	var sb strings.Builder
 	src := newSource("src")
 	snk := newSink("snk", nil)
-	b := core.NewBuilder().SetTracer(core.NewVCDTracer(&sb))
+	b := core.NewBuilder(core.WithTracer(core.NewVCDTracer(&sb)))
 	b.Add(src)
 	b.Add(snk)
 	b.Connect(src, "out", snk, "in")

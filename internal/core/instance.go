@@ -33,7 +33,8 @@ type Base struct {
 	autonomous bool // react depends on Now()/Rand(); never activity-gated
 	scheduled  atomic.Bool
 	rng        *rand.Rand
-	pos        Pos // spec position the instance was declared at, if known
+	rsrc       *countingSource // rng's underlying source; draw count feeds Snapshot
+	pos        Pos             // spec position the instance was declared at, if known
 }
 
 // Init names the instance and records its concrete value. It must be
@@ -165,7 +166,12 @@ func (b *Base) attach(s *Sim, id int) {
 	b.id = id
 	h := fnv.New64a()
 	h.Write([]byte(b.name))
-	b.rng = rand.New(rand.NewSource(s.seed ^ int64(h.Sum64())))
+	// The source is wrapped in a draw counter so Snapshot can record the
+	// stream position and Restore can replay it; the counting layer draws
+	// one underlying step per call, exactly like the bare source, so
+	// streams are unchanged.
+	b.rsrc = newCountingSource(s.seed ^ int64(h.Sum64()))
+	b.rng = rand.New(b.rsrc)
 }
 
 // Composite is a hierarchical instance assembled from sub-instances of

@@ -105,7 +105,7 @@ func TestSchedulerMetricsGolden(t *testing.T) {
 		{"parallel", 4},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			sim := buildFanout(t, core.WithWorkers(tc.workers), core.WithMetrics())
+			sim := buildFanout(t, append(schedulerFor(tc.workers), core.WithMetrics())...)
 			if err := sim.Run(cycles); err != nil {
 				t.Fatal(err)
 			}

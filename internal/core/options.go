@@ -67,17 +67,18 @@ func WithScheduler(k SchedulerKind) BuildOption {
 	return func(b *Builder) { b.sched = k }
 }
 
-// WithWorkers selects the number of scheduler workers and, as a
-// deprecated side effect, the scheduler itself: n>1 implies
-// SchedulerParallel, n<=1 SchedulerSequential (values below one are
-// clamped). To combine a worker pool with the levelized engine, pass
-// WithScheduler(SchedulerLevelized) after WithWorkers — the worker count
-// is kept, only the engine selection is overridden.
-//
-// Deprecated: use WithScheduler to pick the engine; WithWorkers remains
-// only as a worker-count knob and legacy scheduler selector.
+// WithWorkers selects the number of scheduler workers (values below one
+// are clamped to one). It is a pure count knob: the engine is chosen by
+// WithScheduler alone, and SchedulerSequential always resolves to one
+// worker. Under SchedulerParallel a count below two resolves to
+// GOMAXPROCS.
 func WithWorkers(n int) BuildOption {
-	return func(b *Builder) { b.setWorkers(n) }
+	return func(b *Builder) {
+		if n < 1 {
+			n = 1
+		}
+		b.workers = n
+	}
 }
 
 // defaultParallelThreshold is the per-worker round size below which the
@@ -110,8 +111,8 @@ func WithSeed(seed int64) BuildOption {
 }
 
 // WithTracer attaches a Tracer to the simulator under construction.
-// Unlike the deprecated SetTracer, repeated WithTracer options compose:
-// every attached tracer observes every event.
+// Repeated WithTracer options compose: every attached tracer observes
+// every event.
 func WithTracer(t Tracer) BuildOption {
 	return func(b *Builder) { b.addTracer(t) }
 }

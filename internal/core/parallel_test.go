@@ -14,7 +14,18 @@ import (
 // gates, registers and sinks, deterministically from seed, and returns the
 // sinks so results can be compared across scheduler configurations.
 func buildRandomNetlist(t *testing.T, seed int64, workers int) (*core.Sim, []*sink) {
-	return buildRandomNetlistOpts(t, seed, core.WithWorkers(workers))
+	return buildRandomNetlistOpts(t, seed, schedulerFor(workers)...)
+}
+
+// schedulerFor maps the legacy "worker count selects the engine" test
+// parameterization onto explicit scheduler options: one worker means the
+// sequential engine, more means the parallel engine with that many
+// workers.
+func schedulerFor(workers int) []core.BuildOption {
+	if workers <= 1 {
+		return []core.BuildOption{core.WithScheduler(core.SchedulerSequential)}
+	}
+	return []core.BuildOption{core.WithScheduler(core.SchedulerParallel), core.WithWorkers(workers)}
 }
 
 // buildRandomNetlistOpts is buildRandomNetlist with arbitrary build
@@ -22,7 +33,7 @@ func buildRandomNetlist(t *testing.T, seed int64, workers int) (*core.Sim, []*si
 func buildRandomNetlistOpts(t *testing.T, seed int64, opts ...core.BuildOption) (*core.Sim, []*sink) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	b := core.NewBuilder(opts...).SetSeed(seed)
+	b := core.NewBuilder(append(append([]core.BuildOption(nil), opts...), core.WithSeed(seed))...)
 
 	nChains := 2 + rng.Intn(4)
 	var sinks []*sink
@@ -105,7 +116,7 @@ func TestParallelRace(t *testing.T) {
 	// Exercised under -race in CI: a wide fanout through gates stresses
 	// concurrent signal resolution and wake bookkeeping.
 	src := newSource("src")
-	b := core.NewBuilder().SetWorkers(8)
+	b := core.NewBuilder(core.WithScheduler(core.SchedulerParallel), core.WithWorkers(8))
 	b.Add(src)
 	var sinks []*sink
 	for i := 0; i < 32; i++ {

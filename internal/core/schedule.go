@@ -1,6 +1,6 @@
 package core
 
-// schedule.go is the static scheduling engine. At Build time the module
+// schedule.go is the static scheduling engine. At compile time the module
 // graph's SCC condensation (graph.go) partitions every connection, per
 // signal direction, into either a levelized sweep — connections whose
 // default can be applied in one statically-ordered pass, because every
@@ -11,8 +11,14 @@ package core
 // only on the connection's own earlier-round signals, reactive handlers
 // are monotonic, and cycle breaks fire at the same lowest-id unresolved
 // connection the sequential scanner would pick.
+//
+// The compiled schedule lives on the Program and is shared read-only by
+// every session: levels, residues and dependency lists are connection-id
+// slices ([][]int32), and each Sim resolves ids against its own conns.
+// The runtime worklist scratch (remaining counts, ready queue) is
+// per-session state on the Sim.
 
-// ScheduleInfo describes the static schedule computed at Build time for
+// ScheduleInfo describes the static schedule computed at compile time for
 // the levelized and sparse schedulers. Sim.Schedule returns nil for
 // other schedulers.
 type ScheduleInfo struct {
@@ -20,7 +26,8 @@ type ScheduleInfo struct {
 	// SchedulerSparse when the info exists).
 	Scheduler SchedulerKind
 	// Workers is the resolved worker count (1 = reactive rounds run on
-	// the calling goroutine).
+	// the calling goroutine). A session property: zero on Program.Schedule,
+	// filled in by Sim.Schedule.
 	Workers int
 	// Modules is the number of instances in the netlist.
 	Modules int
@@ -62,7 +69,7 @@ type ScheduleInfo struct {
 	AlwaysActive int
 	ActiveConns  int
 	GatedConns   int
-	// ScalarConns/SpillConns split the connections by Build-time payload
+	// ScalarConns/SpillConns split the connections by compile-time payload
 	// lane election: scalar connections carry uint64 values in the dense
 	// fast lane and never box; spill connections store boxed values in
 	// the []any lane (the always-correct slow path).
@@ -72,7 +79,7 @@ type ScheduleInfo struct {
 
 // fillActivity copies the sparse activity partition's shape into the
 // schedule introspection info.
-func (si *ScheduleInfo) fillActivity(sp *sparseSchedule) {
+func (si *ScheduleInfo) fillActivity(sp *progSparse) {
 	si.ActiveInsts = sp.activeInsts
 	si.GatedInsts = len(sp.active) - sp.activeInsts
 	si.AlwaysActive = sp.alwaysActive
@@ -80,39 +87,38 @@ func (si *ScheduleInfo) fillActivity(sp *sparseSchedule) {
 	si.GatedConns = len(sp.connActive) - len(sp.dirty)
 }
 
-// schedule carries the precomputed static schedule and the runtime
-// worklist scratch state.
-type schedule struct {
-	fwdLevels [][]*Conn // static sweep batches for data/enable, id-ordered within a level
-	ackLevels [][]*Conn // static sweep batches for ack
-	fwdResidue []*Conn  // id-ordered connections needing runtime iteration
-	ackResidue []*Conn
+// progSchedule is the compiled static schedule, shared read-only across
+// every session of a Program. All connection references are ids into the
+// session's conns slice; the per-module dependency lists alias one
+// backing slice per module.
+type progSchedule struct {
+	fwdLevels  [][]int32 // static sweep batches for data/enable, id-ordered within a level
+	ackLevels  [][]int32 // static sweep batches for ack
+	fwdResidue []int32   // id-ordered connections needing runtime iteration
+	ackResidue []int32
 
 	// Per-connection dependency and dependent lists, shared per module:
 	// forward deps of c are the inputs of c's driving module, forward
 	// dependents the outputs of c's receiving module; ack direction is
 	// the mirror image.
-	fwdDeps       [][]*Conn
-	ackDeps       [][]*Conn
-	fwdDependents [][]*Conn
-	ackDependents [][]*Conn
-
-	// Worklist scratch, reused across cycles.
-	remaining []int32 // conn id -> unresolved dep count; -1 = not pending
-	ready     []*Conn
-	pending   int
+	fwdDeps       [][]int32
+	ackDeps       [][]int32
+	fwdDependents [][]int32
+	ackDependents [][]int32
 
 	info ScheduleInfo
 }
 
-// Schedule returns the static schedule computed at Build time, or nil
+// Schedule returns the static schedule computed at compile time, or nil
 // when the simulator uses neither the levelized nor the sparse
-// scheduler.
+// scheduler. The returned copy carries this session's worker count.
 func (s *Sim) Schedule() *ScheduleInfo {
 	if s.schedule == nil {
 		return nil
 	}
-	return &s.schedule.info
+	info := s.schedule.info
+	info.Workers = s.workers
+	return &info
 }
 
 // Scheduler returns the resolved scheduler kind the simulator runs.
@@ -121,29 +127,28 @@ func (s *Sim) Scheduler() SchedulerKind { return s.sched }
 // Workers returns the resolved scheduler worker count.
 func (s *Sim) Workers() int { return s.workers }
 
-// buildSchedule runs the Build-time static scheduling pass.
-func buildSchedule(s *Sim) *schedule {
-	g := buildModuleGraph(s.instances, s.conns)
-	fwdLevel, ackLevel, fwdTaint, ackTaint := g.levelize(s.conns)
+// buildSchedule runs the compile-time static scheduling pass. Instance
+// ids must already be assigned (assembly order).
+func buildSchedule(instances []Instance, conns []*Conn) *progSchedule {
+	g := buildModuleGraph(instances, conns)
+	fwdLevel, ackLevel, fwdTaint, ackTaint := g.levelize(conns)
 
-	nm := len(s.instances)
-	moduleIns := make([][]*Conn, nm)
-	moduleOuts := make([][]*Conn, nm)
-	for _, c := range s.conns {
-		moduleOuts[c.src.owner.id] = append(moduleOuts[c.src.owner.id], c)
-		moduleIns[c.dst.owner.id] = append(moduleIns[c.dst.owner.id], c)
+	nm := len(instances)
+	moduleIns := make([][]int32, nm)
+	moduleOuts := make([][]int32, nm)
+	for _, c := range conns {
+		moduleOuts[c.src.owner.id] = append(moduleOuts[c.src.owner.id], int32(c.id))
+		moduleIns[c.dst.owner.id] = append(moduleIns[c.dst.owner.id], int32(c.id))
 	}
 
-	sc := &schedule{
-		fwdDeps:       make([][]*Conn, len(s.conns)),
-		ackDeps:       make([][]*Conn, len(s.conns)),
-		fwdDependents: make([][]*Conn, len(s.conns)),
-		ackDependents: make([][]*Conn, len(s.conns)),
-		remaining:     make([]int32, len(s.conns)),
-		ready:         make([]*Conn, 0, 16),
+	sc := &progSchedule{
+		fwdDeps:       make([][]int32, len(conns)),
+		ackDeps:       make([][]int32, len(conns)),
+		fwdDependents: make([][]int32, len(conns)),
+		ackDependents: make([][]int32, len(conns)),
 	}
 	maxFwd, maxAck := 0, 0
-	for _, c := range s.conns {
+	for _, c := range conns {
 		if l := fwdLevel[g.sccOf[c.src.owner.id]]; l > maxFwd {
 			maxFwd = l
 		}
@@ -151,24 +156,24 @@ func buildSchedule(s *Sim) *schedule {
 			maxAck = l
 		}
 	}
-	sc.fwdLevels = make([][]*Conn, maxFwd+1)
-	sc.ackLevels = make([][]*Conn, maxAck+1)
-	// s.conns is id-ordered, so appending in order keeps every level and
+	sc.fwdLevels = make([][]int32, maxFwd+1)
+	sc.ackLevels = make([][]int32, maxAck+1)
+	// conns is id-ordered, so appending in order keeps every level and
 	// residue list pre-sorted by connection id.
-	for _, c := range s.conns {
+	for _, c := range conns {
 		sc.fwdDeps[c.id] = moduleIns[c.src.owner.id]
 		sc.ackDeps[c.id] = moduleOuts[c.dst.owner.id]
 		sc.fwdDependents[c.id] = moduleOuts[c.dst.owner.id]
 		sc.ackDependents[c.id] = moduleIns[c.src.owner.id]
 		if fs := g.sccOf[c.src.owner.id]; fwdTaint[fs] {
-			sc.fwdResidue = append(sc.fwdResidue, c)
+			sc.fwdResidue = append(sc.fwdResidue, int32(c.id))
 		} else {
-			sc.fwdLevels[fwdLevel[fs]] = append(sc.fwdLevels[fwdLevel[fs]], c)
+			sc.fwdLevels[fwdLevel[fs]] = append(sc.fwdLevels[fwdLevel[fs]], int32(c.id))
 		}
 		if as := g.sccOf[c.dst.owner.id]; ackTaint[as] {
-			sc.ackResidue = append(sc.ackResidue, c)
+			sc.ackResidue = append(sc.ackResidue, int32(c.id))
 		} else {
-			sc.ackLevels[ackLevel[as]] = append(sc.ackLevels[ackLevel[as]], c)
+			sc.ackLevels[ackLevel[as]] = append(sc.ackLevels[ackLevel[as]], int32(c.id))
 		}
 	}
 	sc.fwdLevels = compactLevels(sc.fwdLevels)
@@ -176,7 +181,6 @@ func buildSchedule(s *Sim) *schedule {
 
 	info := &sc.info
 	info.Scheduler = SchedulerLevelized
-	info.Workers = s.workers
 	info.Modules = nm
 	info.SCCs = g.nSCC
 	for scc, cyc := range g.cyclic {
@@ -200,14 +204,14 @@ func buildSchedule(s *Sim) *schedule {
 	// The break site of a cyclic SCC is its lowest-id internal
 	// connection: the first one the stall scan reaches.
 	seen := make(map[int]bool)
-	for _, c := range s.conns {
+	for _, c := range conns {
 		scc := g.sccOf[c.src.owner.id]
 		if scc == g.sccOf[c.dst.owner.id] && g.cyclic[scc] && !seen[scc] {
 			seen[scc] = true
 			info.BreakSites = append(info.BreakSites, c.String())
 		}
 	}
-	for _, p := range unconnectedPorts(s.instances) {
+	for _, p := range unconnectedPorts(instances) {
 		info.UnconnectedPorts = append(info.UnconnectedPorts, p.fullName())
 	}
 	return sc
@@ -232,7 +236,7 @@ func unconnectedPorts(instances []Instance) []*Port {
 	return out
 }
 
-func compactLevels(levels [][]*Conn) [][]*Conn {
+func compactLevels(levels [][]int32) [][]int32 {
 	out := levels[:0]
 	for _, lvl := range levels {
 		if len(lvl) > 0 {
@@ -260,7 +264,7 @@ func (s *Sim) applyDefaultsLevelized() {
 // dependencies all live in levels < L), so each level is defaulted as a
 // single batch followed by one reactive drain — no fixed-point iteration
 // and no eligibility checks.
-func (s *Sim) sweep(k SigKind, levels [][]*Conn) {
+func (s *Sim) sweep(k SigKind, levels [][]int32) {
 	n := len(s.conns)
 	for _, lvl := range levels {
 		if s.resolved[k] == n {
@@ -270,7 +274,8 @@ func (s *Sim) sweep(k SigKind, levels [][]*Conn) {
 			return
 		}
 		applied := false
-		for _, c := range lvl {
+		for _, id := range lvl {
+			c := s.conns[id]
 			if c.status(k) == Unknown {
 				s.applyDefault(c, k)
 				applied = true
@@ -288,48 +293,53 @@ func (s *Sim) sweep(k SigKind, levels [][]*Conn) {
 // decrement the counts and feed newly eligible connections into the
 // ready queue. When the queue stalls with connections outstanding, a
 // genuine dependency cycle is broken at the lowest-id unresolved
-// connection — the same site the sequential scanner picks.
-func (s *Sim) runResidue(k SigKind, conns []*Conn, deps, dependents [][]*Conn) {
-	if len(conns) == 0 || s.resolved[k] == len(s.conns) {
+// connection — the same site the sequential scanner picks. The worklist
+// scratch (remaining counts, ready queue) is session state on the Sim;
+// the id lists are the program's shared compiled schedule.
+func (s *Sim) runResidue(k SigKind, ids []int32, deps, dependents [][]int32) {
+	if len(ids) == 0 || s.resolved[k] == len(s.conns) {
 		return
 	}
-	sc := s.schedule
-	sc.pending = 0
-	ready := sc.ready[:0]
-	for _, c := range conns {
+	if s.schedRemaining == nil {
+		s.schedRemaining = make([]int32, len(s.conns))
+	}
+	pending := 0
+	ready := s.schedReady[:0]
+	for _, id := range ids {
+		c := s.conns[id]
 		if c.status(k) != Unknown {
-			sc.remaining[c.id] = -1
+			s.schedRemaining[id] = -1
 			continue
 		}
 		n := int32(0)
-		for _, d := range deps[c.id] {
-			if d.status(k) == Unknown {
+		for _, d := range deps[id] {
+			if s.conns[d].status(k) == Unknown {
 				n++
 			}
 		}
-		sc.remaining[c.id] = n
-		sc.pending++
+		s.schedRemaining[id] = n
+		pending++
 		if n == 0 {
-			ready = append(ready, c)
+			ready = append(ready, id)
 		}
 	}
 	s.residueKind = k
 	s.residueOn = true
 	defer func() { s.residueOn = false }()
 	head := 0
-	for sc.pending > 0 {
+	for pending > 0 {
 		var c *Conn
 		if head < len(ready) {
-			c = ready[head]
+			c = s.conns[ready[head]]
 			head++
 			if c.status(k) != Unknown {
 				continue // resolved by a reactive handler meanwhile
 			}
 		} else {
 			// Stall: break the cycle at the lowest-id unresolved conn.
-			for _, cc := range conns {
-				if cc.status(k) == Unknown {
-					c = cc
+			for _, id := range ids {
+				if s.conns[id].status(k) == Unknown {
+					c = s.conns[id]
 					break
 				}
 			}
@@ -346,14 +356,14 @@ func (s *Sim) runResidue(k SigKind, conns []*Conn, deps, dependents [][]*Conn) {
 		// worklist. The buffer is only appended to from raise(), which
 		// cannot run concurrently with this loop.
 		for _, rc := range s.resolvedBuf {
-			if sc.remaining[rc.id] >= 0 {
-				sc.remaining[rc.id] = -1
-				sc.pending--
+			if s.schedRemaining[rc.id] >= 0 {
+				s.schedRemaining[rc.id] = -1
+				pending--
 			}
 			for _, d := range dependents[rc.id] {
-				if sc.remaining[d.id] > 0 {
-					sc.remaining[d.id]--
-					if sc.remaining[d.id] == 0 {
+				if s.schedRemaining[d] > 0 {
+					s.schedRemaining[d]--
+					if s.schedRemaining[d] == 0 {
 						ready = append(ready, d)
 					}
 				}
@@ -361,7 +371,7 @@ func (s *Sim) runResidue(k SigKind, conns []*Conn, deps, dependents [][]*Conn) {
 		}
 		s.resolvedBuf = s.resolvedBuf[:0]
 	}
-	sc.ready = ready[:0]
+	s.schedReady = ready[:0]
 }
 
 // noteResolve feeds kind-k resolutions to the active residue worklist.

@@ -156,7 +156,7 @@ func TestScheduleNilForLegacySchedulers(t *testing.T) {
 	if seq.Scheduler() != core.SchedulerSequential || seq.Workers() != 1 {
 		t.Errorf("sequential resolved to %v/%d workers", seq.Scheduler(), seq.Workers())
 	}
-	par := buildFanout(t, core.WithWorkers(4))
+	par := buildFanout(t, core.WithScheduler(core.SchedulerParallel), core.WithWorkers(4))
 	if par.Schedule() != nil {
 		t.Error("parallel scheduler reports a static schedule")
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,15 +29,28 @@ type Sim struct {
 	workers   int
 	parMin    int // parallel rounds below this size drain inline
 	tracer    Tracer
+	prog      *Program // the compiled structure this session executes
 	instances []Instance
+	bases     []*Base // instances[i].base(), resolved once at bind
 	byName    map[string]Instance
 	conns     []*Conn
 	plane     sigPlane // dense signal state, indexed by conn id
 	stats     *StatSet
-	metrics   *Metrics        // nil unless built with WithMetrics
-	schedule  *schedule       // nil unless the levelized/sparse scheduler is selected
-	sparse    *sparseSchedule // nil unless the sparse scheduler is selected
+	metrics   *Metrics      // nil unless built with WithMetrics
+	schedule  *progSchedule // shared: nil unless the levelized/sparse scheduler is selected
+	sparse    *progSparse   // shared: nil unless the sparse scheduler is selected
 	pool      *workerPool
+
+	// sparseFull requests a full sweep from the next Step (cycle 0, after
+	// InvalidateActivity, a Step error or a Restore). Session state — the
+	// compiled activity partition itself is shared and never written.
+	sparseFull bool
+
+	// Levelized residue-worklist scratch, per session (the id lists it
+	// walks are the program's). schedRemaining is allocated lazily on the
+	// first residue run, so acyclic netlists never pay for it.
+	schedRemaining []int32 // conn id -> unresolved dep count; -1 = not pending
+	schedReady     []int32
 
 	phase phase
 	// writable mirrors phase ∈ {phaseStart, phaseReact} as one flag so
@@ -80,15 +94,25 @@ type Sim struct {
 	resolvedBuf []*Conn
 }
 
-// Close releases the simulator's worker pool, if any. Optional: a
-// finalizer releases it when the simulator is garbage collected; Close
-// merely makes the release deterministic. The simulator must not be
-// stepped afterwards.
+// Close releases the simulator's worker pool, if any, and is idempotent:
+// repeated calls are no-ops. A finalizer releases pooled workers when the
+// simulator is garbage collected; Close makes the release deterministic,
+// which matters when many short-lived sessions are stamped from one
+// Program (a sweep that relies on the finalizer leaks worker goroutines
+// until the collector catches up). The simulator must not be stepped
+// after Close.
 func (s *Sim) Close() {
 	if s.pool != nil {
 		s.pool.close()
+		s.pool = nil
+		runtime.SetFinalizer(s, nil)
 	}
 }
+
+// Program returns the compiled program this session executes. Every Sim
+// has one; only programs built with Compile (or lse.CompileLSS) carry an
+// assembly recipe and can stamp further sessions.
+func (s *Sim) Program() *Program { return s.prog }
 
 // Seed returns the simulator's random seed.
 func (s *Sim) Seed() int64 { return s.seed }
@@ -461,6 +485,20 @@ func (s *Sim) verifyResolved(conns []*Conn) {
 	}
 }
 
+// verifyResolvedIDs is verifyResolved over the program's shared id lists
+// (the sparse scheduler's active region).
+func (s *Sim) verifyResolvedIDs(ids []int32) {
+	for _, id := range ids {
+		c := s.conns[id]
+		for _, k := range [...]SigKind{SigData, SigEnable, SigAck} {
+			if c.status(k) == Unknown {
+				contractPanic("resolve", c.String(),
+					fmt.Sprintf("%s signal unresolved after default rounds", k))
+			}
+		}
+	}
+}
+
 // Step advances the simulation by one cycle. Contract violations raised by
 // module handlers are returned as *ContractError.
 func (s *Sim) Step() (err error) {
@@ -474,19 +512,17 @@ func (s *Sim) Step() (err error) {
 			if s.sparse != nil {
 				// The cycle aborted mid-resolution; the plane holds a
 				// partial state no replay may build on.
-				s.sparse.fullNext = true
+				s.sparseFull = true
 			}
 			err = ce
 		}
 	}()
 	// The sparse scheduler gates the cycle to the active region except on
-	// full sweeps (cycle 0, after InvalidateActivity or an error), which
-	// re-establish the gated region's settled resolution.
+	// full sweeps (cycle 0, after InvalidateActivity, an error or a
+	// Restore), which re-establish the gated region's settled resolution.
 	sp := s.sparse
-	full := sp == nil || sp.fullNext
-	if sp != nil {
-		sp.fullNext = false
-	}
+	full := sp == nil || s.sparseFull
+	s.sparseFull = false
 	if s.tracer != nil {
 		s.tracer.OnCycleBegin(s.cycle)
 	}
@@ -503,24 +539,24 @@ func (s *Sim) Step() (err error) {
 			clear(s.plane.data)
 		}
 	} else {
-		for _, c := range sp.dirty {
-			s.plane.clearConn(c.id)
+		for _, id := range sp.dirty {
+			s.plane.clearConn(int(id))
 		}
 	}
 	s.setPhase(phaseStart)
-	for _, inst := range s.instances {
-		if fn := inst.base().start; fn != nil {
-			fn()
+	for _, b := range s.bases {
+		if b.start != nil {
+			b.start()
 		}
 	}
 	s.setPhase(phaseReact)
 	if full {
-		for _, inst := range s.instances {
-			s.wake(inst.base())
+		for _, b := range s.bases {
+			s.wake(b)
 		}
 	} else {
-		for _, b := range sp.reactWake {
-			s.wake(b)
+		for _, id := range sp.reactWake {
+			s.wake(s.bases[id])
 		}
 	}
 	if m := s.metrics; m != nil && sp != nil {
@@ -540,15 +576,15 @@ func (s *Sim) Step() (err error) {
 			s.verifyResolved(s.conns)
 		}
 	} else {
-		s.verifyResolved(sp.dirty)
+		s.verifyResolvedIDs(sp.dirty)
 	}
 	s.setPhase(phaseEnd)
 	if s.tracer != nil {
 		s.tracer.OnCycleEnd(s.cycle)
 	}
-	for _, inst := range s.instances {
-		if fn := inst.base().end; fn != nil {
-			fn()
+	for _, b := range s.bases {
+		if b.end != nil {
+			b.end()
 		}
 	}
 	s.setPhase(phaseIdle)
@@ -562,8 +598,8 @@ func (s *Sim) Step() (err error) {
 	if sp == nil {
 		clear(s.plane.data)
 	} else if !full {
-		for _, c := range sp.dirty {
-			s.plane.data[c.id] = nil
+		for _, id := range sp.dirty {
+			s.plane.data[id] = nil
 		}
 	}
 	s.cycle++

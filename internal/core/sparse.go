@@ -2,7 +2,7 @@ package core
 
 // sparse.go is the activity-gated sparse scheduler. It layers an activity
 // partition on top of the levelized static schedule (schedule.go): at
-// Build time the netlist is split into an *active region* — instances
+// compile time the netlist is split into an *active region* — instances
 // that can observe or produce new signal values in some cycle — and a
 // *gated region* whose inputs provably never change, computed as the
 // conservative closure below. Per cycle, only the active region's
@@ -43,45 +43,43 @@ package core
 // instance within reach of a seed active), so only the idle behavior of
 // a handler is ever replayed.
 //
-// The partition is computed once; Sim.InvalidateActivity forces a full
-// sweep for harnesses that mutate module state between cycles, and the
-// scheduler falls back to a full sweep automatically on cycle 0 (to
-// establish the gated region's settled values) and after any Step error.
+// The partition is compiled once and shared read-only across sessions;
+// the full-sweep flag is per-session (Sim.sparseFull). Sim.InvalidateActivity
+// forces a full sweep for harnesses that mutate module state between
+// cycles, and the scheduler falls back to a full sweep automatically on
+// cycle 0 (to establish the gated region's settled values), after any
+// Step error, and after Program.Restore.
 
-// sparseSchedule is the Build-time activity partition plus per-cycle
-// scratch for the sparse scheduler. The embedded levelized schedule in
-// Sim.schedule still describes the full netlist; the filtered level
-// buckets here restrict its sweep to the active region.
-type sparseSchedule struct {
+// progSparse is the compiled activity partition, shared read-only across
+// every session of a Program. Connection references are ids into the
+// session's conns slice; reactWake holds instance ids.
+type progSparse struct {
 	active     []bool  // instance id -> in the active region
 	connActive []bool  // conn id -> reset and re-resolved each cycle
-	dirty      []*Conn // active conns, ascending id
-	reactWake  []*Base // active reactive instances, ascending id
+	dirty      []int32 // active conns, ascending id
+	reactWake  []int32 // active reactive instances, ascending id
 
 	// Active-region restrictions of the static schedule's sweep.
-	fwdLevels  [][]*Conn
-	ackLevels  [][]*Conn
-	fwdResidue []*Conn
-	ackResidue []*Conn
+	fwdLevels  [][]int32
+	ackLevels  [][]int32
+	fwdResidue []int32
+	ackResidue []int32
 
 	activeInsts  int // instances in the active region
 	gatedReacts  int // reactive instances never woken (skipped wakes/cycle)
 	alwaysActive int // seed instances
-
-	fullNext bool // next Step runs a full sweep (cycle 0, invalidation, error)
 }
 
 // buildSparse computes the activity partition over a netlist whose full
-// levelized schedule has already been built.
-func buildSparse(s *Sim) *sparseSchedule {
-	sp := &sparseSchedule{
-		active:     make([]bool, len(s.instances)),
-		connActive: make([]bool, len(s.conns)),
-		fullNext:   true, // cycle 0 establishes the gated region's values
+// levelized schedule has already been compiled.
+func buildSparse(instances []Instance, conns []*Conn, sc *progSchedule) *progSparse {
+	sp := &progSparse{
+		active:     make([]bool, len(instances)),
+		connActive: make([]bool, len(conns)),
 	}
 	// Seed the closure.
 	var queue []*Base
-	for _, inst := range s.instances {
+	for _, inst := range instances {
 		b := inst.base()
 		if _, isComposite := inst.(*Composite); isComposite {
 			continue // exports alias child ports; children seed themselves
@@ -117,17 +115,17 @@ func buildSparse(s *Sim) *sparseSchedule {
 			}
 		}
 	}
-	for _, c := range s.conns {
+	for _, c := range conns {
 		if sp.connActive[c.id] {
-			sp.dirty = append(sp.dirty, c)
+			sp.dirty = append(sp.dirty, int32(c.id))
 		}
 	}
-	for _, inst := range s.instances {
+	for _, inst := range instances {
 		b := inst.base()
 		if sp.active[b.id] {
 			sp.activeInsts++
 			if b.react != nil {
-				sp.reactWake = append(sp.reactWake, b)
+				sp.reactWake = append(sp.reactWake, int32(b.id))
 			}
 		} else if b.react != nil {
 			sp.gatedReacts++
@@ -135,7 +133,6 @@ func buildSparse(s *Sim) *sparseSchedule {
 	}
 	// Restrict the static sweep to the active region. Levels keep their
 	// internal id order, so sweep determinism is preserved.
-	sc := s.schedule
 	sp.fwdLevels = filterLevels(sc.fwdLevels, sp.connActive)
 	sp.ackLevels = filterLevels(sc.ackLevels, sp.connActive)
 	sp.fwdResidue = filterConns(sc.fwdResidue, sp.connActive)
@@ -155,8 +152,8 @@ func connectedInputs(b *Base) int {
 	return n
 }
 
-func filterLevels(levels [][]*Conn, keep []bool) [][]*Conn {
-	out := make([][]*Conn, 0, len(levels))
+func filterLevels(levels [][]int32, keep []bool) [][]int32 {
+	out := make([][]int32, 0, len(levels))
 	for _, lvl := range levels {
 		f := filterConns(lvl, keep)
 		if len(f) > 0 {
@@ -166,11 +163,11 @@ func filterLevels(levels [][]*Conn, keep []bool) [][]*Conn {
 	return out
 }
 
-func filterConns(conns []*Conn, keep []bool) []*Conn {
-	var out []*Conn
-	for _, c := range conns {
-		if keep[c.id] {
-			out = append(out, c)
+func filterConns(ids []int32, keep []bool) []int32 {
+	var out []int32
+	for _, id := range ids {
+		if keep[id] {
+			out = append(out, id)
 		}
 	}
 	return out
@@ -184,7 +181,7 @@ func filterConns(conns []*Conn, keep []bool) []*Conn {
 // resolution the mutation invalidated. A no-op under other schedulers.
 func (s *Sim) InvalidateActivity() {
 	if s.sparse != nil {
-		s.sparse.fullNext = true
+		s.sparseFull = true
 	}
 }
 

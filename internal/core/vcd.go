@@ -9,7 +9,7 @@ import (
 // VCDTracer emits a Value Change Dump of every connection's three
 // handshake signals (2-bit vectors: 00=unknown, 01=no, 10=yes), viewable
 // in any waveform viewer — the offline counterpart of the paper's
-// interactive visualizer. Attach it with Builder.SetTracer before Build
+// interactive visualizer. Attach it with the WithTracer build option
 // (the builder invokes Attach with the finished netlist). Sequential
 // scheduler only: signal resolution callbacks are not synchronized.
 type VCDTracer struct {

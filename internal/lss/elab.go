@@ -117,10 +117,39 @@ func (e *Elaborator) ElaborateWith(f *File, vars map[string]any) error {
 	return e.exec(f.Stmts, top)
 }
 
+// Compile parses src once and compiles it into a shared core.Program
+// whose assembly recipe re-elaborates the parsed spec — so every
+// Program.NewSim stamps a fresh instance graph without re-parsing,
+// re-levelizing or re-electing lanes. vars predefines top-level bindings
+// that shadow same-named `let` statements (the mechanism behind lsc -D
+// overrides); pass nil for none.
+func Compile(src string, vars map[string]any, opts ...core.BuildOption) (*core.Program, error) {
+	return CompileFile("", src, vars, opts...)
+}
+
+// CompileFile is Compile with a source file name: errors, build
+// diagnostics and static-analysis findings then point at name:line
+// instead of lss:line.
+func CompileFile(name, src string, vars map[string]any, opts ...core.BuildOption) (*core.Program, error) {
+	f, err := ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	// Elaboration walks the parsed AST read-only, so the closure is a
+	// deterministic recipe: every session re-elaborates the same tree.
+	assemble := func(b *core.Builder) error {
+		return NewElaborator(b).ElaborateWith(f, vars)
+	}
+	return core.Compile(assemble, opts...)
+}
+
 // Load parses src, elaborates it onto a fresh builder configured by
 // opts, and constructs the simulator — the Figure 1 pipeline in one
-// call. vars predefines top-level bindings that shadow same-named `let`
-// statements (the mechanism behind lsc -D overrides); pass nil for none.
+// call. The returned session is bound to a fresh compiled Program
+// (Sim.Program), so further sessions can be stamped from it without
+// rebuilding. vars predefines top-level bindings that shadow same-named
+// `let` statements (the mechanism behind lsc -D overrides); pass nil for
+// none.
 func Load(src string, vars map[string]any, opts ...core.BuildOption) (*core.Sim, error) {
 	return LoadFile("", src, vars, opts...)
 }
@@ -128,42 +157,11 @@ func Load(src string, vars map[string]any, opts ...core.BuildOption) (*core.Sim,
 // LoadFile is Load with a source file name: errors, build diagnostics and
 // static-analysis findings then point at name:line instead of lss:line.
 func LoadFile(name, src string, vars map[string]any, opts ...core.BuildOption) (*core.Sim, error) {
-	f, err := ParseFile(name, src)
+	p, err := CompileFile(name, src, vars, opts...)
 	if err != nil {
 		return nil, err
 	}
-	b := core.NewBuilder(opts...)
-	if err := NewElaborator(b).ElaborateWith(f, vars); err != nil {
-		return nil, err
-	}
-	return b.Build()
-}
-
-// Build parses src and elaborates it onto b (a fresh builder when nil),
-// returning the constructed simulator.
-//
-// Deprecated: use Load, which configures the builder from options
-// instead of accepting a possibly-nil one.
-func Build(src string, b *core.Builder) (*core.Sim, error) {
-	return BuildWith(src, b, nil)
-}
-
-// BuildWith is Build with predefined top-level bindings overriding the
-// spec's own `let` values.
-//
-// Deprecated: use Load.
-func BuildWith(src string, b *core.Builder, vars map[string]any) (*core.Sim, error) {
-	f, err := Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	if b == nil {
-		b = core.NewBuilder()
-	}
-	if err := NewElaborator(b).ElaborateWith(f, vars); err != nil {
-		return nil, err
-	}
-	return b.Build()
+	return p.NewSim()
 }
 
 func (e *Elaborator) exec(stmts []Stmt, sc *scope) error {

@@ -12,7 +12,7 @@ import (
 
 func buildAndRun(t *testing.T, src string, cycles uint64) *core.Sim {
 	t.Helper()
-	sim, err := lss.Build(src, core.NewBuilder().SetSeed(1))
+	sim, err := lss.Load(src, nil, core.WithSeed(1))
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -147,7 +147,7 @@ instance i : m();`,
 		"divide by zero": "let x = 1 / 0;",
 	}
 	for name, src := range cases {
-		if _, err := lss.Build(src, core.NewBuilder()); err == nil {
+		if _, err := lss.Load(src, nil); err == nil {
 			t.Errorf("%s: elaborator accepted %q", name, src)
 		}
 	}
@@ -155,7 +155,7 @@ instance i : m();`,
 
 func TestErrorsCarryLineNumbers(t *testing.T) {
 	src := "instance a : pcl.sink();\n\n\nb.out -> a.in;\n"
-	_, err := lss.Build(src, core.NewBuilder())
+	_, err := lss.Load(src, nil)
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -193,7 +193,7 @@ instance snk : pcl.sink();
 src.out -> snk.in;
 `
 	// Default: 2 items.
-	sim, err := lss.Build(src, core.NewBuilder())
+	sim, err := lss.Load(src, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ src.out -> snk.in;
 		t.Fatalf("default run received %d, want 2", got)
 	}
 	// Overridden: 7 items (the -D path).
-	sim2, err := lss.BuildWith(src, core.NewBuilder(), map[string]any{"n": int64(7)})
+	sim2, err := lss.Load(src, map[string]any{"n": int64(7)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -297,7 +297,7 @@ func TestMemArrayReadWrite(t *testing.T) {
 }
 
 func TestSourceRateAndCount(t *testing.T) {
-	b := core.NewBuilder().SetSeed(7)
+	b := core.NewBuilder(core.WithSeed(7))
 	src, err := pcl.NewSource("src", core.Params{"rate": 0.5, "count": 10})
 	if err != nil {
 		t.Fatal(err)

@@ -37,7 +37,7 @@ func TestQueueMatchesGoldenFIFO(t *testing.T) {
 			t.Fatal(err)
 		}
 		cons := simtest.NewConsumer("cons", func(cycle uint64, v any) bool { return !acceptGaps[cycle] })
-		b := core.NewBuilder().SetSeed(seed)
+		b := core.NewBuilder(core.WithSeed(seed))
 		b.Add(prod)
 		b.Add(q)
 		b.Add(cons)

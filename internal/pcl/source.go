@@ -88,6 +88,21 @@ func NewSource(name string, p core.Params) (*Source, error) {
 	return s, nil
 }
 
+// SetRate changes the per-connection injection probability. Values are
+// clamped to [0,1]. It exists so one compiled core.Program can stamp a
+// parameter sweep: each stamped Sim adjusts its sources before running
+// instead of recompiling the netlist per sweep point. Call it only
+// between cycles (before Run/Step), never from inside a handler.
+func (s *Source) SetRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	s.rate = rate
+}
+
 // Injected returns how many items have been successfully injected.
 func (s *Source) Injected() uint64 {
 	if s.cInjected == nil {

@@ -10,7 +10,7 @@ import (
 )
 
 func TestFig2aCMPRunsToCompletion(t *testing.T) {
-	b := core.NewBuilder().SetSeed(1)
+	b := core.NewBuilder(core.WithSeed(1))
 	cmp, err := systems.BuildCMP(b, "cmp", systems.CMPCfg{W: 2, H: 2, RefsPer: 40})
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +37,7 @@ func TestFig2aCMPRunsToCompletion(t *testing.T) {
 }
 
 func TestFig2bSensorNetDeliversFilteredReadings(t *testing.T) {
-	b := core.NewBuilder().SetSeed(5)
+	b := core.NewBuilder(core.WithSeed(5))
 	net, err := systems.BuildSensorNet(b, "sn", 3, 30, 50)
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +77,7 @@ func TestFig2bSensorNetDeliversFilteredReadings(t *testing.T) {
 }
 
 func TestFig2cGridTorus(t *testing.T) {
-	b := core.NewBuilder().SetSeed(2)
+	b := core.NewBuilder(core.WithSeed(2))
 	cmp, err := systems.BuildCMP(b, "grid", systems.CMPCfg{W: 4, H: 2, RefsPer: 30, Torus: true})
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +90,7 @@ func TestFig2cGridTorus(t *testing.T) {
 }
 
 func TestFig2dSystemOfSystems(t *testing.T) {
-	b := core.NewBuilder().SetSeed(9)
+	b := core.NewBuilder(core.WithSeed(9))
 	sos, err := systems.BuildSoS(b, "sos", systems.SoSCfg{
 		Clusters: 2, SensorsPer: 2, SamplesPer: 16, Threshold: 10, Batch: 4,
 	})

@@ -76,13 +76,41 @@
 // and a MetricsServer (see cmd/orion -metrics-addr) serves live JSON
 // snapshots plus expvar over HTTP while a sweep runs.
 //
-// # Deprecations
+// # Program vs Sim
 //
-// The Builder setter chain (SetSeed, SetWorkers, SetTracer, SetRegistry)
-// and the nil-builder BuildLSS entry point still work but are deprecated
-// in favor of the options API above. WithWorkers as a scheduler selector
-// is deprecated in favor of WithScheduler; it remains the worker-count
-// knob for the parallel engines.
+// A Program is the immutable compiled form of a netlist — static
+// schedule, activity partition, payload-lane election and the assembly
+// recipe — and a Sim is one behavioral session over it. Compile (or
+// CompileLSS) builds the Program once; Program.NewSim stamps fresh,
+// independent sessions with zero recompilation, safe to run concurrently
+// from many goroutines:
+//
+//	prog, _ := lse.CompileLSS(src)
+//	for i := 0; i < 1000; i++ {
+//	    go func(seed int64) {
+//	        sim, _ := prog.NewSim(lse.WithSeed(seed))
+//	        defer sim.Close()
+//	        sim.Run(10_000)
+//	    }(int64(i))
+//	}
+//
+// Sessions checkpoint with Sim.Snapshot and resume with Program.Restore;
+// a restored run is bit-identical to an uninterrupted one. Modules with
+// lifecycle handlers opt into checkpointing by implementing Stateful.
+//
+// # Supported surface
+//
+// This package is the single supported API: the Builder with functional
+// options (NewBuilder/Build with WithSeed, WithScheduler, WithWorkers,
+// WithTracer, WithRegistry, WithMetrics, WithParallelThreshold,
+// WithObserver, WithStrictAnalysis), the Program/Sim split (Compile,
+// CompileLSS*, Program.NewSim, Sim.Snapshot, Program.Restore), the LSS
+// entry points (LoadLSS, LoadLSSWith, LoadLSSFile, ParseLSS), the
+// analysis pipeline (Lint, Analyze) and the observability exporters
+// below. The PR-1-era Builder setter chain (SetSeed, SetWorkers,
+// SetTracer, SetRegistry), the nil-builder BuildLSS entry point and
+// WithWorkers-as-scheduler-selector have been removed: WithWorkers is a
+// pure worker-count knob and only WithScheduler picks the engine.
 //
 // The component libraries (pcl, upl, ccl, mpl, nilib) register their
 // templates into DefaultRegistry from their init functions; importing
@@ -109,6 +137,11 @@ type (
 	Builder = core.Builder
 	// BuildOption configures a simulator under construction.
 	BuildOption = core.BuildOption
+	// Program is the immutable compiled form of a netlist; NewSim stamps
+	// concurrent sessions from it and Restore resumes checkpoints.
+	Program = core.Program
+	// Stateful is implemented by modules that support Snapshot/Restore.
+	Stateful = core.Stateful
 	// Sim is an executable simulator.
 	Sim = core.Sim
 	// Instance is a module instance.
@@ -315,11 +348,8 @@ var (
 	// WithScheduler selects the scheduling engine (see SchedulerAuto,
 	// SchedulerSequential, SchedulerParallel, SchedulerLevelized).
 	WithScheduler = core.WithScheduler
-	// WithWorkers selects the scheduler worker count and, as a deprecated
-	// side effect, the engine (n>1 = parallel, else sequential).
-	//
-	// Deprecated: use WithScheduler to pick the engine; WithWorkers
-	// remains only as a worker-count knob and legacy scheduler selector.
+	// WithWorkers selects the scheduler worker count (a pure count knob;
+	// the engine is chosen by WithScheduler alone).
 	WithWorkers = core.WithWorkers
 	// WithTracer attaches a tracer; repeated options compose.
 	WithTracer = core.WithTracer
@@ -345,7 +375,9 @@ func WithObserver(o *Observer) BuildOption {
 
 // LoadLSS parses and elaborates an LSS specification onto a fresh builder
 // configured by opts, and constructs the simulator — the full Figure 1
-// pipeline in one call.
+// pipeline in one call. The session is bound to a fresh compiled Program
+// (Sim.Program), so further sessions can be stamped from it without
+// recompiling; use CompileLSS directly when many sessions are the point.
 func LoadLSS(src string, opts ...BuildOption) (*Sim, error) {
 	return lss.Load(src, nil, opts...)
 }
@@ -362,12 +394,33 @@ func LoadLSSFile(name, src string, defines map[string]any, opts ...BuildOption) 
 	return lss.LoadFile(name, src, defines, opts...)
 }
 
-// BuildLSS parses and elaborates an LSS specification onto b (a fresh
-// builder when nil) and constructs the simulator.
-//
-// Deprecated: use LoadLSS (or LoadLSSWith), which configures the builder
-// from options instead of accepting a possibly-nil one.
-func BuildLSS(src string, b *Builder) (*Sim, error) { return lss.Build(src, b) }
+// Compile runs a Go assembly recipe once and compiles the resulting
+// netlist into a shared Program; Program.NewSim then stamps fresh
+// sessions without re-running scheduling, activity partitioning or lane
+// election. The recipe must be deterministic — it is re-run per session
+// to stamp fresh instance state, validated against the compiled
+// program's structural fingerprint.
+func Compile(assemble func(*Builder) error, opts ...BuildOption) (*Program, error) {
+	return core.Compile(assemble, opts...)
+}
+
+// CompileLSS parses an LSS specification once and compiles it into a
+// shared Program whose recipe re-elaborates the parsed spec per session.
+func CompileLSS(src string, opts ...BuildOption) (*Program, error) {
+	return lss.Compile(src, nil, opts...)
+}
+
+// CompileLSSWith is CompileLSS with predefined top-level bindings that
+// shadow same-named `let` statements (the lsc -D override mechanism).
+func CompileLSSWith(src string, defines map[string]any, opts ...BuildOption) (*Program, error) {
+	return lss.Compile(src, defines, opts...)
+}
+
+// CompileLSSFile is CompileLSSWith with a source file name: parse errors,
+// build errors and analysis diagnostics then carry name:line positions.
+func CompileLSSFile(name, src string, defines map[string]any, opts ...BuildOption) (*Program, error) {
+	return lss.CompileFile(name, src, defines, opts...)
+}
 
 // ParseLSS parses a specification without elaborating it.
 func ParseLSS(src string) (*lss.File, error) { return lss.Parse(src) }

@@ -100,45 +100,61 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShims keeps the pre-redesign surface working: the
-// nil-builder BuildLSS entry point and the Builder setter chain must
-// behave exactly like the options API.
-func TestDeprecatedShims(t *testing.T) {
+// TestProgramSurface drives the Program/Sim split through the facade:
+// LoadLSS binds each Sim to a Program, CompileLSS stamps equivalent Sims
+// from one shared Program, and WithWorkers is a pure count knob that no
+// longer selects the scheduling engine.
+func TestProgramSurface(t *testing.T) {
 	spec := `
 		instance src : pcl.source(count = 5);
 		instance snk : pcl.sink();
 		src.out -> snk.in;
 	`
-	old, err := lse.BuildLSS(spec, lse.NewBuilder().SetSeed(4).SetWorkers(2))
+	loaded, err := lse.LoadLSS(spec, lse.WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := lse.BuildLSS(spec, nil); err != nil {
-		t.Fatalf("nil-builder shim broke: %v", err)
+	if loaded.Program() == nil {
+		t.Fatal("LoadLSS returned a Sim with no bound Program")
 	}
-	niu, err := lse.LoadLSS(spec, lse.WithSeed(4), lse.WithWorkers(2))
+
+	prog, err := lse.CompileLSS(spec, lse.WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	// WithWorkers/SetWorkers still act as the legacy scheduler selector:
-	// a worker count above one selects the parallel fixed-point engine.
-	for _, s := range []*lse.Sim{old, niu} {
-		if got := s.Scheduler(); got != lse.SchedulerParallel {
-			t.Fatalf("WithWorkers(2) resolved scheduler %v, want parallel", got)
-		}
-		if got := s.Workers(); got != 2 {
-			t.Fatalf("WithWorkers(2) resolved %d workers, want 2", got)
-		}
+	if prog.Fingerprint() != loaded.Program().Fingerprint() {
+		t.Fatal("CompileLSS and LoadLSS disagree on the netlist fingerprint")
 	}
-	for _, s := range []*lse.Sim{old, niu} {
+	stamped, err := prog.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*lse.Sim{loaded, stamped} {
 		if err := s.Run(30); err != nil {
 			t.Fatal(err)
 		}
 	}
-	a := old.Stats().CounterValue("snk.received")
-	z := niu.Stats().CounterValue("snk.received")
+	a := loaded.Stats().CounterValue("snk.received")
+	z := stamped.Stats().CounterValue("snk.received")
 	if a != 5 || z != 5 {
-		t.Fatalf("deprecated=%d options=%d, want 5 and 5", a, z)
+		t.Fatalf("loaded=%d stamped=%d, want 5 and 5", a, z)
+	}
+
+	// WithWorkers no longer selects the engine: the default stays Auto's
+	// choice (the sparse scheduler) even with a worker count above one.
+	knob, err := lse.LoadLSS(spec, lse.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := knob.Scheduler(); got != lse.SchedulerSparse {
+		t.Fatalf("WithWorkers(2) alone resolved scheduler %v, want sparse (engine is chosen by WithScheduler)", got)
+	}
+	par, err := lse.LoadLSS(spec, lse.WithScheduler(lse.SchedulerParallel), lse.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, w := par.Scheduler(), par.Workers(); got != lse.SchedulerParallel || w != 2 {
+		t.Fatalf("scheduler %v workers %d, want parallel with 2", got, w)
 	}
 }
 
