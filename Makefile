@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke lint
+.PHONY: check vet build test race bench bench-smoke serve-smoke lint
 
 ## check: full gate — vet, build, and the test suite under the race detector.
 check: vet build race
@@ -30,11 +30,18 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 ## bench-smoke: fast CI sanity pass over the scheduler benchmarks, gated
-## against the checked-in BENCH_6.json baseline (fail on >25% slowdown,
+## against the checked-in BENCH_7.json baseline (fail on >25% slowdown,
 ## or on allocs/op above a baselined zero-alloc row). Three samples per
 ## benchmark; benchguard compares the min of them, so one noisy sample
 ## on a shared host doesn't fail the gate.
 bench-smoke:
-	$(GO) test -bench='BenchmarkLevelized|BenchmarkA1|BenchmarkSparse|BenchmarkTyped|BenchmarkNewSimFromProgram' -benchtime=200x -benchmem -count=3 -run=^$$ . | tee bench-smoke.out
-	$(GO) run ./tools/benchguard -baseline BENCH_6.json bench-smoke.out
+	$(GO) test -bench='BenchmarkLevelized|BenchmarkA1|BenchmarkSparse|BenchmarkTyped|BenchmarkNewSimFromProgram|BenchmarkSessionStampHTTP' -benchtime=200x -benchmem -count=3 -run=^$$ . | tee bench-smoke.out
+	$(GO) run ./tools/benchguard -baseline BENCH_7.json bench-smoke.out
 	@rm -f bench-smoke.out
+
+## serve-smoke: end-to-end daemon smoke — build lsd, spawn it as a real
+## process, drive submit/stamp/run/observe/snapshot/restore over HTTP,
+## then SIGINT it and require a clean shutdown.
+serve-smoke:
+	$(GO) build -o bin/lsd ./cmd/lsd
+	$(GO) run ./tools/servesmoke -lsd bin/lsd

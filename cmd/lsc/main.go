@@ -27,18 +27,28 @@
 //	               and exit with its maximum severity (cmd/lslint's codes)
 //	-strict S      fail construction when static analysis finds
 //	               diagnostics at or above severity S (info|warning|error)
+//	-metrics-addr  serve the running simulation's live JSON snapshot on
+//	               this HTTP address (/metrics, expvar at /debug/vars) —
+//	               the single-session mode of the lsd service
 //
 // With -stats-json, progress chatter moves to stderr so stdout stays
-// machine-readable.
+// machine-readable. Runs are interruptible: Ctrl-C stops the simulation
+// on a cycle boundary, the statistics of the completed prefix are
+// reported, and the metrics listener (when serving) drains cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"liberty/lse"
 )
@@ -88,6 +98,7 @@ func main() {
 	listTemplates := flag.Bool("templates", false, "list registered module templates and exit")
 	lint := flag.Bool("lint", false, "run static analysis only and exit with the report's maximum severity")
 	strict := flag.String("strict", "", "fail construction on diagnostics at or above this severity (info, warning or error)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live JSON metrics snapshot on this HTTP address while running")
 	flag.Parse()
 
 	if *listTemplates {
@@ -157,8 +168,10 @@ func main() {
 	if *events > 0 {
 		ev = lse.NewEventTracer(*events)
 	}
-	if *profile || ev != nil {
-		opts = append(opts, lse.WithObserver(&lse.Observer{Metrics: *profile, Events: ev}))
+	if *profile || ev != nil || *metricsAddr != "" {
+		// A live metrics endpoint implies scheduler metrics: the snapshot
+		// it serves is empty without them.
+		opts = append(opts, lse.WithObserver(&lse.Observer{Metrics: *profile || *metricsAddr != "", Events: ev}))
 	}
 	sim, err := lse.LoadLSSFile(flag.Arg(0), string(src), defs, opts...)
 	if err != nil {
@@ -166,6 +179,30 @@ func main() {
 	}
 	fmt.Fprintf(info, "constructed simulator: %d instances, %d connections (%s scheduler)\n",
 		len(sim.Instances()), len(sim.Conns()), sim.Scheduler())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var srvWG sync.WaitGroup
+	if *metricsAddr != "" {
+		srv, err := lse.NewServer(lse.ServerConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		srv.SetLocal(sim)
+		srvWG.Add(1)
+		go func() {
+			defer srvWG.Done()
+			// Cancelling the signal context is the only shutdown path, so
+			// the listener always drains before main returns.
+			if err := srv.ListenAndServe(ctx, *metricsAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "lsc: metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(info, "serving live metrics on http://%s/metrics\n", *metricsAddr)
+		defer srvWG.Wait()
+		defer stop() // run finished: release the listener before waiting on it
+	}
 	if *schedule {
 		if err := lse.WriteScheduleReport(os.Stderr, sim); err != nil {
 			fatal(err)
@@ -186,7 +223,13 @@ func main() {
 	}
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
-	runErr := sim.Run(*cycles)
+	runErr := sim.RunContext(ctx, *cycles)
+	if errors.Is(runErr, context.Canceled) {
+		// Interrupted: report the completed prefix instead of dying —
+		// partial statistics from a long run are still statistics.
+		fmt.Fprintf(os.Stderr, "lsc: interrupted at cycle %d\n", sim.Now())
+		runErr = nil
+	}
 	if runErr != nil && ev != nil {
 		// A contract violation is exactly when the captured event tail
 		// matters; dump it before exiting.

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
-	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -177,34 +176,7 @@ func TestHotReport(t *testing.T) {
 	}
 }
 
-func TestMetricsServer(t *testing.T) {
-	ms := obs.NewMetricsServer()
-	rec := httptest.NewRecorder()
-	ms.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
-	if rec.Code != 503 {
-		t.Fatalf("empty server returned %d, want 503", rec.Code)
-	}
-
-	sim := buildChain(t)
-	if err := sim.Run(10); err != nil {
-		t.Fatal(err)
-	}
-	ms.Set(sim)
-	rec = httptest.NewRecorder()
-	ms.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
-	if rec.Code != 200 {
-		t.Fatalf("metrics endpoint returned %d", rec.Code)
-	}
-	var snap obs.Snapshot
-	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
-		t.Fatalf("endpoint body not a snapshot: %v", err)
-	}
-	if snap.Cycles != 10 {
-		t.Fatalf("endpoint cycles = %d, want 10", snap.Cycles)
-	}
-	rec = httptest.NewRecorder()
-	ms.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
-	if rec.Code != 200 {
-		t.Fatalf("expvar endpoint returned %d", rec.Code)
-	}
-}
+// The live HTTP metrics surface moved into internal/simd: the top-level
+// /metrics single-session compatibility mode and the per-session
+// /v1/sessions/{id}/metrics endpoint are exercised by that package's
+// tests (TestLocalMetricsCompat and the end-to-end suite).

@@ -1,0 +1,168 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"liberty/internal/obs"
+)
+
+// Client is a thin typed wrapper over the /v1 wire protocol — the same
+// vocabulary the server speaks, for Go callers (orion -remote, the smoke
+// harness, tests). Errors that traveled as the JSON envelope come back
+// as *APIError, so callers switch on the stable LSD0xx codes.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8123".
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request; out, when non-nil, receives the decoded JSON
+// response.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.Base, "/")+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError turns an error response into *APIError, synthesizing
+// one for bodies that are not the envelope (a proxy in the way, say).
+func decodeAPIError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env errorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil {
+		env.Error.Status = resp.StatusCode
+		return env.Error
+	}
+	return &APIError{
+		Code:    CodeUnavailable,
+		Message: fmt.Sprintf("non-envelope error response: %s", bytes.TrimSpace(raw)),
+		Status:  resp.StatusCode,
+	}
+}
+
+func jsonBody(v any) (io.Reader, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(raw), nil
+}
+
+// SubmitProgram submits a spec for compilation (or a cache hit).
+func (c *Client) SubmitProgram(ctx context.Context, req SubmitProgramRequest) (ProgramInfo, error) {
+	body, err := jsonBody(req)
+	if err != nil {
+		return ProgramInfo{}, err
+	}
+	var info ProgramInfo
+	err = c.do(ctx, http.MethodPost, "/v1/programs", body, "application/json", &info)
+	return info, err
+}
+
+// NewSession stamps a session from a cached program.
+func (c *Client) NewSession(ctx context.Context, programID string, req CreateSessionRequest) (SessionInfo, error) {
+	body, err := jsonBody(req)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	var info SessionInfo
+	err = c.do(ctx, http.MethodPost, "/v1/programs/"+programID+"/sessions", body, "application/json", &info)
+	return info, err
+}
+
+// RestoreSession stamps a session from a snapshot previously taken with
+// Snapshot (or Sim.Snapshot — same gob format).
+func (c *Client) RestoreSession(ctx context.Context, programID string, snapshot io.Reader) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/programs/"+programID+"/sessions/restore",
+		snapshot, "application/octet-stream", &info)
+	return info, err
+}
+
+// Step advances a session by cycles (0 means 1).
+func (c *Client) Step(ctx context.Context, sessionID string, cycles uint64) (StepResponse, error) {
+	return c.advance(ctx, sessionID, "step", cycles)
+}
+
+// Run advances a session by cycles, cancellable through ctx.
+func (c *Client) Run(ctx context.Context, sessionID string, cycles uint64) (StepResponse, error) {
+	return c.advance(ctx, sessionID, "run", cycles)
+}
+
+func (c *Client) advance(ctx context.Context, sessionID, verb string, cycles uint64) (StepResponse, error) {
+	body, err := jsonBody(StepRequest{Cycles: cycles})
+	if err != nil {
+		return StepResponse{}, err
+	}
+	var resp StepResponse
+	err = c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/"+verb, body, "application/json", &resp)
+	return resp, err
+}
+
+// Observe fetches a session's statistics snapshot.
+func (c *Client) Observe(ctx context.Context, sessionID string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+sessionID+"/observe", nil, "", &snap)
+	return snap, err
+}
+
+// SessionInfo fetches a session's lifecycle info.
+func (c *Client) SessionInfo(ctx context.Context, sessionID string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+sessionID, nil, "", &info)
+	return info, err
+}
+
+// Snapshot fetches a session's checkpoint bytes.
+func (c *Client) Snapshot(ctx context.Context, sessionID string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(c.Base, "/")+"/v1/sessions/"+sessionID+"/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, decodeAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// CloseSession deletes a session.
+func (c *Client) CloseSession(ctx context.Context, sessionID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+sessionID, nil, "", nil)
+}

@@ -1,0 +1,711 @@
+package simd
+
+// The service's end-to-end suite: every test drives a real Server over
+// real HTTP (httptest), the same wire a remote client uses. The
+// bit-identity oracle mirrors the repo's scheddiff hasher: a restored
+// session must hash cycle-for-cycle identically to an uninterrupted run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	core "liberty/internal/core"
+	"liberty/internal/lss"
+)
+
+// testSpec exercises every stateful pcl template on the snapshot path:
+// two rate-gated sources competing through an arbiter into a queue →
+// delay → sink pipeline, with sub-unit rates keeping the RNG streams
+// hot so checkpoints must replay stream positions exactly.
+const testSpec = `# simd end-to-end fabric
+let r0 = 0.7;
+let r1 = 0.45;
+instance src0 : pcl.source(rate = r0);
+instance src1 : pcl.source(rate = r1);
+instance arb  : pcl.arbiter();
+instance q    : pcl.queue(capacity = 3);
+instance dly  : pcl.delay(latency = 2);
+instance snk  : pcl.sink();
+
+src0.out -> arb.in;
+src1.out -> arb.in;
+arb.out  -> q.in;
+q.out    -> dly.in;
+dly.out  -> snk.in;
+`
+
+// cycleHasher is the scheddiff oracle: at OnCycleEnd it hashes the
+// id-ordered statuses and data of every connection. Two runs are
+// bit-identical iff their hash sequences match.
+type cycleHasher struct {
+	sim    *core.Sim
+	hashes []uint64
+}
+
+func (h *cycleHasher) OnCycleBegin(uint64)                             {}
+func (h *cycleHasher) OnResolve(*core.Conn, core.SigKind, core.Status) {}
+func (h *cycleHasher) Attach(s *core.Sim)                              { h.sim = s }
+
+func (h *cycleHasher) OnCycleEnd(uint64) {
+	fh := fnv.New64a()
+	for _, c := range h.sim.Conns() {
+		v, _ := c.Data()
+		fmt.Fprintf(fh, "%d:%d%d%d=%v;", c.ID(),
+			c.Status(core.SigData), c.Status(core.SigEnable), c.Status(core.SigAck), v)
+	}
+	h.hashes = append(h.hashes, fh.Sum64())
+}
+
+// newTestServer starts a Server over real HTTP and returns it with a
+// client pointed at it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, &Client{Base: hs.URL, HTTP: hs.Client()}
+}
+
+func submitTestSpec(t *testing.T, c *Client) ProgramInfo {
+	t.Helper()
+	info, err := c.SubmitProgram(context.Background(), SubmitProgramRequest{
+		Spec: testSpec, Name: "simd_test.lss",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestSubmitAndCacheHit(t *testing.T) {
+	srv, client := newTestServer(t, Config{})
+	first := submitTestSpec(t, client)
+	if first.CacheHit {
+		t.Fatal("first submission reported a cache hit")
+	}
+	if first.Instances != 6 || first.Conns != 5 {
+		t.Fatalf("program shape wrong: %+v", first)
+	}
+	second := submitTestSpec(t, client)
+	if !second.CacheHit {
+		t.Fatal("identical resubmission missed the cache")
+	}
+	if second.ID != first.ID || second.Fingerprint != first.Fingerprint {
+		t.Fatalf("cache hit changed identity: %+v vs %+v", second, first)
+	}
+	// The acceptance pin: a hit returns the same compiled *core.Program,
+	// not an equivalent recompile.
+	entry, ok := srv.progs.get(first.ID)
+	if !ok {
+		t.Fatal("submitted program not in registry")
+	}
+	prog := entry.prog
+	entry2, _ := srv.progs.get(second.ID)
+	if entry2.prog != prog {
+		t.Fatal("cache hit returned a different *core.Program pointer")
+	}
+
+	// A different define is a different program.
+	other, err := client.SubmitProgram(context.Background(), SubmitProgramRequest{
+		Spec: testSpec, Defines: map[string]any{"r0": 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.CacheHit || other.ID == first.ID {
+		t.Fatalf("distinct defines deduped onto the same program: %+v", other)
+	}
+}
+
+func TestDefinesNormalization(t *testing.T) {
+	defs := map[string]any{
+		"n": json.Number("8"), "rate": json.Number("0.5"),
+		"flag": true, "pat": "uniform", "w": 4, "gf": 2.0,
+	}
+	if err := normalizeDefines(defs); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"n": int64(8), "rate": 0.5, "flag": true, "pat": "uniform",
+		"w": int64(4), "gf": int64(2),
+	}
+	if !reflect.DeepEqual(defs, want) {
+		t.Fatalf("normalized to %#v, want %#v", defs, want)
+	}
+	if err := normalizeDefines(map[string]any{"bad": []any{1}}); err == nil {
+		t.Fatal("array define accepted")
+	}
+
+	// End to end: an integer define must land as an integer binding —
+	// instance array bounds reject floats.
+	_, client := newTestServer(t, Config{})
+	info, err := client.SubmitProgram(context.Background(), SubmitProgramRequest{
+		Spec: `let n = 2;
+instance src[n] : pcl.source(rate = 0.5);
+instance snk[n] : pcl.sink();
+for i in 0 .. n-1 { src[i].out -> snk[i].in; }
+`,
+		Defines: map[string]any{"n": 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Instances != 8 {
+		t.Fatalf("define n=4 elaborated %d instances, want 8", info.Instances)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	ctx := context.Background()
+	prog := submitTestSpec(t, client)
+
+	a, err := client.NewSession(ctx, prog.ID, CreateSessionRequest{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := client.NewSession(ctx, prog.ID, CreateSessionRequest{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("sessions share id %s", a.ID)
+	}
+
+	// Step defaults to one cycle; run takes many.
+	st, err := client.Step(ctx, a.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycle != 1 || st.Ran != 1 {
+		t.Fatalf("default step landed at %+v", st)
+	}
+	if st, err = client.Run(ctx, a.ID, 99); err != nil || st.Cycle != 100 {
+		t.Fatalf("run landed at %+v (err %v)", st, err)
+	}
+
+	// Sessions are independent: b has not moved.
+	bi, err := client.SessionInfo(ctx, b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Cycle != 0 || bi.Seed != 2 {
+		t.Fatalf("sibling session disturbed: %+v", bi)
+	}
+
+	snap, err := client.Observe(ctx, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cycles != 100 || snap.Counters["snk.received"] == 0 {
+		t.Fatalf("observation wrong: cycles=%d received=%d", snap.Cycles, snap.Counters["snk.received"])
+	}
+
+	if err := client.CloseSession(ctx, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.SessionInfo(ctx, a.ID); !isCode(err, CodeNotFound) {
+		t.Fatalf("deleted session still answers: %v", err)
+	}
+	pi, err := client.SubmitProgram(ctx, SubmitProgramRequest{Spec: testSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.Sessions != 1 {
+		t.Fatalf("program counts %d sessions, want 1 (b)", pi.Sessions)
+	}
+}
+
+// TestConcurrentSessions is the acceptance load shape: 2×GOMAXPROCS
+// sessions stamped from one cached program, all stepping concurrently
+// over HTTP. Run under -race this doubles as the data-race gate.
+func TestConcurrentSessions(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	ctx := context.Background()
+	prog := submitTestSpec(t, client)
+	n := 2 * runtime.GOMAXPROCS(0)
+
+	sessions := make([]SessionInfo, n)
+	for i := range sessions {
+		var err error
+		sessions[i], err = client.NewSession(ctx, prog.ID, CreateSessionRequest{Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, ss := range sessions {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < 5; c++ {
+				if _, err := client.Run(ctx, ss.ID, 20); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %s: %v", sessions[i].ID, err)
+		}
+	}
+	for _, ss := range sessions {
+		info, err := client.SessionInfo(ctx, ss.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Cycle != 100 {
+			t.Fatalf("session %s at cycle %d, want 100", ss.ID, info.Cycle)
+		}
+	}
+}
+
+// TestSnapshotRestoreBitIdentical is the service's checkpoint oracle:
+// a session snapshotted over HTTP at cycle 60 and restored — locally and
+// into a fresh server session — must continue bit-identically (scheddiff
+// hashes, statistics) with an uninterrupted 140-cycle run.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	const snapAt, total = 60, 140
+	ctx := context.Background()
+	_, client := newTestServer(t, Config{})
+	prog := submitTestSpec(t, client)
+
+	// Reference: the same spec compiled locally (same structural
+	// fingerprint) run uninterrupted with the hasher attached.
+	local, err := lss.CompileFile("simd_test.lss", testSpec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := fmt.Sprintf("%016x", local.Fingerprint()); fp != prog.Fingerprint {
+		t.Fatalf("local fingerprint %s != served %s", fp, prog.Fingerprint)
+	}
+	ref := &cycleHasher{}
+	refSim, err := local.NewSim(core.WithSeed(1), core.WithTracer(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSim.Close()
+	if err := refSim.Run(total); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: run to snapAt on the server, snapshot over HTTP.
+	sess, err := client.NewSession(ctx, prog.ID, CreateSessionRequest{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Run(ctx, sess.ID, snapAt); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := client.Snapshot(ctx, sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore the HTTP snapshot into the local program with a hasher: the
+	// remainder must hash identically to the reference's tail.
+	h := &cycleHasher{}
+	restored, err := local.Restore(bytes.NewReader(ckpt), core.WithTracer(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if restored.Now() != snapAt {
+		t.Fatalf("restored at cycle %d, want %d", restored.Now(), snapAt)
+	}
+	if err := restored.Run(total - snapAt); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.hashes) != total-snapAt {
+		t.Fatalf("restored run hashed %d cycles, want %d", len(h.hashes), total-snapAt)
+	}
+	for i, want := range ref.hashes[snapAt:] {
+		if h.hashes[i] != want {
+			t.Fatalf("cycle %d diverged after HTTP snapshot/restore", snapAt+i)
+		}
+	}
+
+	// Restore into a fresh server session too: its statistics at cycle
+	// total must equal the uninterrupted session's.
+	rs, err := client.RestoreSession(ctx, prog.ID, bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cycle != snapAt || rs.Seed != 1 {
+		t.Fatalf("server restore landed at %+v", rs)
+	}
+	if _, err := client.Run(ctx, rs.ID, total-snapAt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Run(ctx, sess.ID, total-snapAt); err != nil {
+		t.Fatal(err)
+	}
+	restoredObs, err := client.Observe(ctx, rs.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directObs, err := client.Observe(ctx, sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restoredObs.Counters, directObs.Counters) {
+		t.Fatalf("restored session counters diverged:\n%v\nvs\n%v", restoredObs.Counters, directObs.Counters)
+	}
+}
+
+// fakeClock is a mutex-guarded test clock for the park/TTL policies.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestParkAndUnparkOnDemand(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	dir := t.TempDir()
+	srv, client := newTestServer(t, Config{
+		ParkAfter: time.Minute, CheckpointDir: dir, now: clock.now,
+	})
+	ctx := context.Background()
+	prog := submitTestSpec(t, client)
+	sess, err := client.NewSession(ctx, prog.ID, CreateSessionRequest{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Run(ctx, sess.ID, 40); err != nil {
+		t.Fatal(err)
+	}
+	before, err := client.Observe(ctx, sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock.advance(2 * time.Minute)
+	srv.sweepIdle(clock.now())
+
+	info, err := client.SessionInfo(ctx, sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "parked" || info.Cycle != 40 {
+		t.Fatalf("after sweep: %+v, want parked at 40", info)
+	}
+	ckpts, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if len(ckpts) != 1 {
+		t.Fatalf("found %d checkpoints, want 1", len(ckpts))
+	}
+
+	// A parked session's snapshot endpoint serves the checkpoint bytes
+	// without waking it.
+	if _, err := client.Snapshot(ctx, sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ = client.SessionInfo(ctx, sess.ID); info.State != "parked" {
+		t.Fatal("snapshot woke the parked session")
+	}
+
+	// Observation restores on demand; state and statistics survive.
+	after, err := client.Observe(ctx, sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after.Counters, before.Counters) {
+		t.Fatalf("park round-trip changed counters:\n%v\nvs\n%v", after.Counters, before.Counters)
+	}
+	if info, _ = client.SessionInfo(ctx, sess.ID); info.State != "live" {
+		t.Fatal("observe did not restore the parked session")
+	}
+	if ckpts, _ = filepath.Glob(filepath.Join(dir, "*.ckpt")); len(ckpts) != 0 {
+		t.Fatalf("unpark left %d checkpoints behind", len(ckpts))
+	}
+	// The restored session still steps.
+	if st, err := client.Run(ctx, sess.ID, 10); err != nil || st.Cycle != 50 {
+		t.Fatalf("post-unpark run landed at %+v (err %v)", st, err)
+	}
+}
+
+func TestSessionTTLEviction(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	srv, client := newTestServer(t, Config{
+		SessionTTL: time.Hour, now: clock.now,
+	})
+	ctx := context.Background()
+	prog := submitTestSpec(t, client)
+	sess, err := client.NewSession(ctx, prog.ID, CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(30 * time.Minute)
+	srv.sweepIdle(clock.now())
+	if _, err := client.SessionInfo(ctx, sess.ID); err != nil {
+		t.Fatalf("session evicted before its TTL: %v", err)
+	}
+	clock.advance(31 * time.Minute)
+	srv.sweepIdle(clock.now())
+	if _, err := client.SessionInfo(ctx, sess.ID); !isCode(err, CodeNotFound) {
+		t.Fatalf("expired session still answers: %v", err)
+	}
+}
+
+// isCode reports whether err is an *APIError carrying code.
+func isCode(err error, code ErrorCode) bool {
+	apiErr, ok := err.(*APIError)
+	return ok && apiErr.Code == code
+}
+
+// TestErrorEnvelope pins the unified error surface: every failure —
+// including mux-level unknown paths and methods — answers the same
+// {"error": {code, message}} envelope with the documented status.
+func TestErrorEnvelope(t *testing.T) {
+	srv, client := newTestServer(t, Config{MaxSessions: 1})
+	ctx := context.Background()
+	prog := submitTestSpec(t, client)
+	sess, err := client.NewSession(ctx, prog.ID, CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := client.httpClient().Post(client.Base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := client.httpClient().Get(client.Base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	check := func(name string, resp *http.Response, status int, code ErrorCode) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != status {
+			t.Fatalf("%s: status %d, want %d", name, resp.StatusCode, status)
+		}
+		var env errorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+			t.Fatalf("%s: response is not the error envelope: %v", name, err)
+		}
+		if env.Error.Code != code {
+			t.Fatalf("%s: code %s, want %s", name, env.Error.Code, code)
+		}
+	}
+
+	check("bad JSON", post("/v1/programs", "{nope"), 400, CodeBadRequest)
+	check("no spec", post("/v1/programs", "{}"), 400, CodeBadRequest)
+	check("unknown field", post("/v1/programs", `{"spce": "x"}`), 400, CodeBadRequest)
+	check("bad scheduler", post("/v1/programs",
+		`{"spec": "instance s : pcl.sink();", "options": {"scheduler": "quantum"}}`), 400, CodeBadRequest)
+	check("bad define", post("/v1/programs",
+		`{"spec": "instance s : pcl.sink();", "defines": {"x": [1]}}`), 400, CodeBadRequest)
+	check("uncompilable spec", post("/v1/programs", `{"spec": "instance x : no.such.template();"}`),
+		422, CodeSpecInvalid)
+	check("unknown program", get("/v1/programs/p0000000000000000"), 404, CodeNotFound)
+	check("unknown session", get("/v1/sessions/s999"), 404, CodeNotFound)
+	check("unknown path", get("/nope"), 404, CodeNotFound)
+	check("wrong method", post("/v1/sessions/"+sess.ID, "{}"), 404, CodeNotFound)
+	check("run without cycles", post("/v1/sessions/"+sess.ID+"/run", "{}"), 400, CodeBadRequest)
+	check("garbage snapshot", post("/v1/programs/"+prog.ID+"/sessions/restore", "not a snapshot"),
+		422, CodeSnapshotInvalid)
+	check("session capacity", post("/v1/programs/"+prog.ID+"/sessions", "{}"), 503, CodeUnavailable)
+
+	// Conflict: hold the session's mutation lock as an in-flight step
+	// would, then try to step it over HTTP.
+	ss, ok := srv.session(sess.ID)
+	if !ok {
+		t.Fatal("session vanished")
+	}
+	ss.mu.Lock()
+	check("busy session", post("/v1/sessions/"+sess.ID+"/step", "{}"), 409, CodeConflict)
+	ss.mu.Unlock()
+}
+
+// TestLocalMetricsCompat pins the single-session compatibility surface
+// the retired standalone obs.MetricsServer used to provide: top-level
+// /metrics serves the attached simulator's JSON snapshot, 503 (now in
+// the unified envelope) before one is attached, expvar at /debug/vars.
+func TestLocalMetricsCompat(t *testing.T) {
+	srv, client := newTestServer(t, Config{})
+	resp, err := client.httpClient().Get(client.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || env.Error == nil || env.Error.Code != CodeUnavailable {
+		t.Fatalf("unattached /metrics answered %d %+v, want 503 LSD007", resp.StatusCode, env.Error)
+	}
+
+	sim, err := lss.Load(testSpec, nil, core.WithSeed(1), core.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(25); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLocal(sim)
+
+	resp, err = client.httpClient().Get(client.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics answered %d", resp.StatusCode)
+	}
+	var snap struct {
+		Cycles   uint64           `json:"cycles"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cycles != 25 || len(snap.Counters) == 0 {
+		t.Fatalf("/metrics snapshot wrong: %+v", snap)
+	}
+
+	resp, err = client.httpClient().Get(client.Base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vars["liberty"]; !ok {
+		t.Fatal("/debug/vars is missing the liberty var")
+	}
+}
+
+// TestGracefulShutdown pins the no-shutdown-path fix: cancelling the
+// context hands ListenAndServe a clean nil return after draining.
+func TestGracefulShutdown(t *testing.T) {
+	srv, err := NewServer(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(ctx, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond) // let the listener come up
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ListenAndServe did not return after cancellation")
+	}
+}
+
+// TestServerCloseReleasesCheckpoints pins shutdown hygiene: closing the
+// server removes parked sessions' checkpoint files.
+func TestServerCloseReleasesCheckpoints(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	dir := t.TempDir()
+	srv, client := newTestServer(t, Config{
+		ParkAfter: time.Minute, CheckpointDir: dir, now: clock.now,
+	})
+	ctx := context.Background()
+	prog := submitTestSpec(t, client)
+	if _, err := client.NewSession(ctx, prog.ID, CreateSessionRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(2 * time.Minute)
+	srv.sweepIdle(clock.now())
+	if ckpts, _ := filepath.Glob(filepath.Join(dir, "*.ckpt")); len(ckpts) != 1 {
+		t.Fatalf("found %d checkpoints before close, want 1", len(ckpts))
+	}
+	srv.Close()
+	if ckpts, _ := filepath.Glob(filepath.Join(dir, "*.ckpt")); len(ckpts) != 0 {
+		t.Fatalf("close left %d checkpoints behind", len(ckpts))
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("close removed the caller-owned checkpoint dir: %v", err)
+	}
+}
+
+// TestProgramLRUEviction pins the cache policy: beyond capacity the
+// least-recently-used program leaves the cache, while sessions already
+// stamped from it keep running on their program pointer.
+func TestProgramLRUEviction(t *testing.T) {
+	_, client := newTestServer(t, Config{ProgramCache: 2})
+	ctx := context.Background()
+
+	submit := func(seed int) ProgramInfo {
+		t.Helper()
+		info, err := client.SubmitProgram(ctx, SubmitProgramRequest{
+			Spec: testSpec, Defines: map[string]any{"r0": 0.1 * float64(seed+1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info
+	}
+	p0 := submit(0)
+	sess, err := client.NewSession(ctx, p0.ID, CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit(1)
+	submit(2) // evicts p0, the least recently used
+
+	resp, err := client.httpClient().Get(client.Base + "/v1/programs/" + p0.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("evicted program still cached (status %d)", resp.StatusCode)
+	}
+	// The stamped session holds the program pointer and runs on.
+	if st, err := client.Run(ctx, sess.ID, 10); err != nil || st.Cycle != 10 {
+		t.Fatalf("session on evicted program: %+v (err %v)", st, err)
+	}
+}

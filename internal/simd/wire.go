@@ -1,0 +1,186 @@
+package simd
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"liberty/internal/analysis"
+	core "liberty/internal/core"
+)
+
+// wire.go is the /v1 request/response vocabulary. These types are
+// re-exported through the lse facade; within the /v1 lifetime fields may
+// be added but never removed or repurposed (see DESIGN.md Appendix F for
+// the API versioning rules).
+
+// BuildOptions are the compile-time options of a submitted program. They
+// are part of the program cache key: the same spec submitted with
+// different options compiles into a distinct cached program.
+type BuildOptions struct {
+	// Scheduler selects the engine: "auto" (default), "sequential",
+	// "parallel", "levelized" or "sparse". Sessions always run the
+	// engine their program was compiled for.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Workers is the scheduler worker count (parallel engine).
+	Workers int `json:"workers,omitempty"`
+	// Strict, when set to "info", "warning" or "error", fails compilation
+	// when static analysis finds diagnostics at or above that severity.
+	Strict string `json:"strict,omitempty"`
+}
+
+// buildOptions converts the wire options into core build options.
+// Unknown names are CodeBadRequest material, reported before any
+// compilation work happens.
+func (o BuildOptions) buildOptions() ([]core.BuildOption, error) {
+	var opts []core.BuildOption
+	if o.Scheduler != "" {
+		kind, err := ParseScheduler(o.Scheduler)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, core.WithScheduler(kind))
+	}
+	if o.Workers > 1 {
+		opts = append(opts, core.WithWorkers(o.Workers))
+	}
+	if o.Strict != "" {
+		min, err := analysis.ParseSeverity(o.Strict)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, analysis.StrictOption(min))
+	}
+	return opts, nil
+}
+
+// ParseScheduler converts a scheduler name from the wire ("auto",
+// "sequential", "parallel", "levelized", "sparse") into its kind.
+func ParseScheduler(name string) (core.SchedulerKind, error) {
+	switch name {
+	case "", "auto":
+		return core.SchedulerAuto, nil
+	case "sequential":
+		return core.SchedulerSequential, nil
+	case "parallel":
+		return core.SchedulerParallel, nil
+	case "levelized":
+		return core.SchedulerLevelized, nil
+	case "sparse":
+		return core.SchedulerSparse, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel, levelized or sparse)", name)
+}
+
+// SubmitProgramRequest is the POST /v1/programs body: one LSS
+// specification plus the define overrides and build options it should
+// compile under. Submitting an identical (spec, defines, options) triple
+// again answers with the already-cached program — the compile happens
+// once per key, not per client.
+type SubmitProgramRequest struct {
+	// Spec is the LSS specification source. Required.
+	Spec string `json:"spec"`
+	// Name labels source positions in compile errors (use a file name).
+	// It does not participate in the cache key: two submissions differing
+	// only by name dedupe onto one program.
+	Name string `json:"name,omitempty"`
+	// Defines predefine top-level let bindings (the lsc -D mechanism).
+	Defines map[string]any `json:"defines,omitempty"`
+	// Options are the compile-time build options.
+	Options BuildOptions `json:"options,omitempty"`
+}
+
+// normalizeDefines rewrites JSON-decoded define values into the types
+// the elaborator binds: numbers become int64 when integral, else
+// float64 — the same int-then-float precedence lsc -D applies — and
+// bools and strings pass through. Happens before the cache key is
+// computed, so a define's wire spelling (8 vs 8.0) is its identity.
+func normalizeDefines(defs map[string]any) error {
+	for name, v := range defs {
+		switch val := v.(type) {
+		case json.Number:
+			if n, err := strconv.ParseInt(val.String(), 10, 64); err == nil {
+				defs[name] = n
+			} else if f, err := val.Float64(); err == nil {
+				defs[name] = f
+			} else {
+				return fmt.Errorf("define %q: unparsable number %q", name, val.String())
+			}
+		case bool, string:
+		case float64: // a Go caller bypassing the wire decoder
+			if val == float64(int64(val)) {
+				defs[name] = int64(val)
+			}
+		case int:
+			defs[name] = int64(val)
+		case int64:
+		default:
+			return fmt.Errorf("define %q: values must be numbers, booleans or strings, not %T", name, v)
+		}
+	}
+	return nil
+}
+
+// ProgramInfo describes one cached compiled program.
+type ProgramInfo struct {
+	ID string `json:"id"`
+	// Fingerprint is the program's structural hash (hex); snapshots embed
+	// it, and restore rejects state from a different structure.
+	Fingerprint string `json:"fingerprint"`
+	Scheduler   string `json:"scheduler"`
+	Instances   int    `json:"instances"`
+	Conns       int    `json:"conns"`
+	// Sessions counts the program's live sessions.
+	Sessions int `json:"sessions"`
+	// CacheHit is set on submit responses: true when the submission
+	// deduped onto an already-compiled program.
+	CacheHit  bool      `json:"cache_hit,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// CreateSessionRequest is the POST /v1/programs/{id}/sessions body. An
+// empty body stamps a session with seed 0 and no metrics.
+type CreateSessionRequest struct {
+	// Seed is the session's deterministic random seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Metrics enables scheduler metrics collection for this session.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+// SessionInfo describes one session.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	ProgramID string `json:"program_id"`
+	Seed      int64  `json:"seed"`
+	Cycle     uint64 `json:"cycle"`
+	// State is "live" (Sim in memory) or "parked" (checkpointed to disk,
+	// restored on demand by the next access).
+	State     string    `json:"state"`
+	CreatedAt time.Time `json:"created_at"`
+	LastUsed  time.Time `json:"last_used"`
+}
+
+// StepRequest is the POST /v1/sessions/{id}/step (and .../run) body.
+type StepRequest struct {
+	// Cycles to advance; step defaults to 1, run requires >= 1.
+	Cycles uint64 `json:"cycles,omitempty"`
+}
+
+// StepResponse reports where the session landed.
+type StepResponse struct {
+	// Cycle is the session's cycle counter after the advance.
+	Cycle uint64 `json:"cycle"`
+	// Ran is how many cycles this request actually simulated.
+	Ran uint64 `json:"ran"`
+}
+
+// ProgramList is the GET /v1/programs response.
+type ProgramList struct {
+	Programs []ProgramInfo `json:"programs"`
+}
+
+// SessionList is the GET /v1/sessions response.
+type SessionList struct {
+	Sessions []SessionInfo `json:"sessions"`
+}

@@ -73,8 +73,8 @@
 //	ev.WriteText(os.Stderr)               // last 256 filtered signal events
 //
 // Long sweeps are cancellable via Sim.RunContext / Sim.RunUntilContext,
-// and a MetricsServer (see cmd/orion -metrics-addr) serves live JSON
-// snapshots plus expvar over HTTP while a sweep runs.
+// and the service layer (see below, and cmd/orion -metrics-addr) serves
+// live JSON snapshots plus expvar over HTTP while a sweep runs.
 //
 // # Program vs Sim
 //
@@ -97,6 +97,24 @@
 // Sessions checkpoint with Sim.Snapshot and resume with Program.Restore;
 // a restored run is bit-identical to an uninterrupted one. Modules with
 // lifecycle handlers opt into checkpointing by implementing Stateful.
+//
+// # Simulation as a service
+//
+// NewServer (the engine behind cmd/lsd) puts the Program/Sim split on
+// the network: a versioned /v1 HTTP/JSON API where POST /v1/programs
+// dedupes submitted specs into an LRU cache of compiled Programs, and
+// per-session endpoints stamp, step, observe, checkpoint and restore
+// concurrent sessions against the cached programs. All error responses
+// share one JSON envelope {code, message, details} with stable LSD0xx
+// codes:
+//
+//	srv, _ := lse.NewServer(lse.ServerConfig{SessionTTL: time.Hour})
+//	defer srv.Close()
+//	srv.ListenAndServe(ctx, ":8123") // graceful shutdown when ctx ends
+//
+// SetLocal serves one in-process simulator at the top-level /metrics —
+// the single-session compatibility mode behind lsc -metrics-addr and
+// orion -metrics-addr. ServeClient is the matching typed client.
 //
 // # Supported surface
 //
@@ -125,6 +143,7 @@ import (
 	core "liberty/internal/core"
 	"liberty/internal/lss"
 	"liberty/internal/obs"
+	"liberty/internal/simd"
 
 	// The component libraries register their templates on import.
 	_ "liberty/internal/ccl"
@@ -212,9 +231,46 @@ type (
 	Snapshot = obs.Snapshot
 	// ScheduleStats is the snapshot's static-schedule section.
 	ScheduleStats = obs.ScheduleStats
-	// MetricsServer serves live JSON snapshots over HTTP.
-	MetricsServer = obs.MetricsServer
 )
+
+// Service types, re-exported from the simd layer (the engine behind
+// cmd/lsd — see the "Simulation as a service" section above and the
+// README quick-start).
+type (
+	// Server is the simulation service: program cache, session registry
+	// and the /v1 HTTP surface. It replaces the retired MetricsServer;
+	// its SetLocal + /metrics route is the single-session compatibility
+	// mode.
+	Server = simd.Server
+	// ServerConfig tunes a Server (cache capacity, session cap and TTL,
+	// park-to-disk policy, step-worker bound).
+	ServerConfig = simd.Config
+	// ServeClient is the typed client for a Server's /v1 API.
+	ServeClient = simd.Client
+	// ServeError is the unified API error envelope payload; its Code
+	// field carries the stable LSD0xx identifiers.
+	ServeError = simd.APIError
+	// ErrorCode is a stable LSD0xx API error identifier.
+	ErrorCode = simd.ErrorCode
+	// SubmitProgramRequest is the POST /v1/programs wire type.
+	SubmitProgramRequest = simd.SubmitProgramRequest
+	// ProgramBuildOptions are a submitted program's compile options.
+	ProgramBuildOptions = simd.BuildOptions
+	// ProgramInfo describes one cached compiled program.
+	ProgramInfo = simd.ProgramInfo
+	// CreateSessionRequest is the session-stamp wire type.
+	CreateSessionRequest = simd.CreateSessionRequest
+	// SessionInfo describes one managed session.
+	SessionInfo = simd.SessionInfo
+	// StepRequest asks a session to advance N cycles.
+	StepRequest = simd.StepRequest
+	// StepResponse reports where a session landed.
+	StepResponse = simd.StepResponse
+)
+
+// NewServer returns a ready-to-mount simulation service; see
+// Server.Handler, Server.ListenAndServe and Server.Close.
+func NewServer(cfg ServerConfig) (*Server, error) { return simd.NewServer(cfg) }
 
 // Static-analysis types, re-exported from the analysis engine (see the
 // "Static analysis & linting" section of the README and cmd/lslint).
@@ -436,9 +492,6 @@ func NewVCDTracer(w io.Writer) *core.VCDTracer { return core.NewVCDTracer(w) }
 // NewEventTracer returns a structured event tracer keeping the last
 // capacity signal events; attach it with WithTracer or WithObserver.
 func NewEventTracer(capacity int) *EventTracer { return obs.NewEventTracer(capacity) }
-
-// NewMetricsServer returns an HTTP server exposing live JSON snapshots.
-func NewMetricsServer() *MetricsServer { return obs.NewMetricsServer() }
 
 // TakeSnapshot captures a simulator's statistics and scheduler metrics.
 func TakeSnapshot(s *Sim) Snapshot { return obs.TakeSnapshot(s) }
