@@ -14,7 +14,7 @@ vet:
 lint:
 	$(GO) build -o bin/lslint ./cmd/lslint
 	$(GO) build -o bin/vetlse ./cmd/vetlse
-	./bin/lslint specs examples || [ $$? -eq 1 ]
+	./bin/lslint specs/*.lss examples || [ $$? -eq 1 ]
 	$(GO) vet -vettool=$$(pwd)/bin/vetlse ./...
 
 build:
@@ -30,13 +30,13 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 ## bench-smoke: fast CI sanity pass over the scheduler benchmarks, gated
-## against the checked-in BENCH_7.json baseline (fail on >25% slowdown,
+## against the checked-in BENCH_8.json baseline (fail on >25% slowdown,
 ## or on allocs/op above a baselined zero-alloc row). Three samples per
 ## benchmark; benchguard compares the min of them, so one noisy sample
 ## on a shared host doesn't fail the gate.
 bench-smoke:
-	$(GO) test -bench='BenchmarkLevelized|BenchmarkA1|BenchmarkSparse|BenchmarkTyped|BenchmarkNewSimFromProgram|BenchmarkSessionStampHTTP' -benchtime=200x -benchmem -count=3 -run=^$$ . | tee bench-smoke.out
-	$(GO) run ./tools/benchguard -baseline BENCH_7.json bench-smoke.out
+	$(GO) test -bench='BenchmarkLevelized|BenchmarkA1|BenchmarkSparse|BenchmarkTyped|BenchmarkNewSimFromProgram|BenchmarkSessionStampHTTP|BenchmarkDataflow|BenchmarkPruned' -benchtime=200x -benchmem -count=3 -run=^$$ . | tee bench-smoke.out
+	$(GO) run ./tools/benchguard -baseline BENCH_8.json bench-smoke.out
 	@rm -f bench-smoke.out
 
 ## serve-smoke: end-to-end daemon smoke — build lsd, spawn it as a real

@@ -874,3 +874,48 @@ func BenchmarkObsOverhead(b *testing.B) {
 			core.WithTracer(obs.NewEventTracer(4096).FilterInstances("cpu.*")))
 	})
 }
+
+// BenchmarkDataflowAnalyze measures the whole-program dataflow analysis
+// (the engine behind LSE009–LSE013 and WithDataflowPrune) over the 16x16
+// torus mesh — one large cyclic SCC, the fixed-point engine's worst
+// case: no finite round count converges, so the run pays the full
+// iteration budget and then the SCC widening.
+func BenchmarkDataflowAnalyze(b *testing.B) {
+	sim := buildDefaultMesh(b, 16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.AnalyzeFlow(sim)
+	}
+}
+
+// BenchmarkPrunedMesh compares sparse sessions of the same mixed netlist
+// — a few live low-rate chains beside many provably dead rate-0 chains —
+// with and without WithDataflowPrune. Unpruned, every dead source's
+// cycle-start handler and every dead instance's commit handler still run
+// each cycle (cycle-start handlers are always-active seeds); pruned,
+// that structure is deleted from the schedule and only replays its
+// settled resolution.
+func BenchmarkPrunedMesh(b *testing.B) {
+	assemble := assemblePrunable(2, 16, 8)
+	for _, tc := range []struct {
+		name string
+		opts []core.BuildOption
+	}{
+		{"unpruned", []core.BuildOption{core.WithScheduler(core.SchedulerSparse)}},
+		{"pruned", []core.BuildOption{core.WithScheduler(core.SchedulerSparse), core.WithDataflowPrune()}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			prog, err := core.Compile(assemble, tc.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := prog.NewSim(core.WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			benchScheduler(b, sim)
+		})
+	}
+}

@@ -12,8 +12,11 @@
 // Directories are walked recursively for .lss files. Flags:
 //
 //	-json          emit the report as JSON instead of text
+//	-sarif         emit the report as SARIF 2.1.0 (for code-host ingestion)
 //	-D name=value  predefine a top-level binding (repeatable), as lsc -D
-//	-passes        list the registered analysis passes and exit
+//	-passes a,b    run only the named passes (slugs or LSE codes); an
+//	               unknown name exits 3 with the valid list
+//	-list-passes   list the registered analysis passes and exit
 //
 // Diagnostics anchored to a line carrying (or directly below) an
 // `# lse:ignore [CODE,...]` comment are suppressed.
@@ -64,17 +67,19 @@ func (d defines) Set(s string) error {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
-	listPasses := flag.Bool("passes", false, "list the registered analysis passes and exit")
+	sarifOut := flag.Bool("sarif", false, "emit the report as SARIF 2.1.0")
+	passNames := flag.String("passes", "", "comma-separated pass names (slugs or LSE codes) to run; default all")
+	listPasses := flag.Bool("list-passes", false, "list the registered analysis passes and exit")
 	defs := defines{}
 	flag.Var(defs, "D", "predefine a top-level binding: -D name=value (repeatable)")
 	flag.Parse()
 
 	if *listPasses {
 		for _, p := range analysis.SpecPasses() {
-			fmt.Printf("%s  %-12s (spec)     %s\n", p.Code, p.Name, p.Doc)
+			fmt.Printf("%s  %-14s (spec)     %s\n", p.Code, p.Name, p.Doc)
 		}
 		for _, p := range analysis.NetlistPasses() {
-			fmt.Printf("%s  %-12s (netlist)  %s\n", p.Code, p.Name, p.Doc)
+			fmt.Printf("%s  %-14s (netlist)  %s\n", p.Code, p.Name, p.Doc)
 		}
 		return
 	}
@@ -82,6 +87,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: lslint [flags] file.lss dir/ ...")
 		flag.Usage()
 		os.Exit(3)
+	}
+
+	sel := analysis.AllPasses()
+	if *passNames != "" {
+		var err error
+		sel, err = analysis.SelectPasses(strings.Split(*passNames, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lslint:", err)
+			os.Exit(3)
+		}
 	}
 
 	specs, err := collect(flag.Args())
@@ -96,14 +111,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lslint:", err)
 			os.Exit(3)
 		}
-		r := analysis.LintSourceWith(path, string(src), defs)
+		r := sel.Lint(path, string(src), defs)
 		combined.Diags = append(combined.Diags, r.Diags...)
 	}
 	combined.Sort()
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		err = combined.WriteSARIF(os.Stdout)
+	case *jsonOut:
 		err = combined.WriteJSON(os.Stdout)
-	} else {
+	default:
 		err = combined.WriteText(os.Stdout)
 	}
 	if err != nil {

@@ -1,7 +1,9 @@
-// Command vetlse checks Go module templates for engine phase-contract
-// violations (see internal/analysis/vetlse): signal writes inside
-// OnCycleEnd commit handlers, which panic with a contract violation at
-// simulation time.
+// Command vetlse runs the engine-contract multichecker over Go module
+// templates (see internal/analysis/vetlse): planephase flags signal
+// writes reachable from OnCycleEnd commit handlers — including
+// registered method values — which panic with a contract violation at
+// simulation time; statefulgob flags asymmetric core.Stateful gob
+// serialization and boxed state payloads the package never registers.
 //
 // It runs two ways:
 //

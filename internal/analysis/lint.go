@@ -24,25 +24,13 @@ func LintSource(name, src string, opts ...core.BuildOption) *Report {
 // LintSourceWith is LintSource with predefined top-level bindings, the
 // analysis-side equivalent of lsc -D overrides.
 func LintSourceWith(name, src string, vars map[string]any, opts ...core.BuildOption) *Report {
-	r := &Report{}
-	f, err := lss.ParseFile(name, src)
-	if err != nil {
-		addErr(r, err)
-		return finish(r, name, src)
-	}
-	for _, p := range specPasses {
-		p.Run(f, r)
-	}
-	sim, err := buildFor(f, vars, opts...)
-	if err != nil {
-		addErr(r, err)
-		return finish(r, name, src)
-	}
-	defer sim.Close()
-	for _, p := range netlistPasses {
-		p.Run(sim, r)
-	}
-	return finish(r, name, src)
+	return AllPasses().Lint(name, src, vars, opts...)
+}
+
+// parseFor parses the spec source; split out so Selection.Lint shares
+// the same entry.
+func parseFor(name, src string) (*lss.File, error) {
+	return lss.ParseFile(name, src)
 }
 
 func finish(r *Report, name, src string) *Report {

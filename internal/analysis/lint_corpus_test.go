@@ -1,0 +1,133 @@
+package analysis_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"liberty/internal/analysis"
+)
+
+// TestLintCorpusGolden pins the diagnostic surface over the golden lint
+// corpus: one minimal spec per code under specs/lint, each asserting the
+// exact codes, severities and anchors the full pipeline emits — including
+// deliberate co-fires (a provably dead chain is both LSE010 and a
+// foldable LSE013 component). lse007.lss uses the test-only ana.relay
+// template, so the corpus lints in-process here rather than via lslint.
+func TestLintCorpusGolden(t *testing.T) {
+	type want struct {
+		code  string
+		sev   analysis.Severity
+		where string
+	}
+	conn := "src.out[0]->snk.in[0]"
+	cases := map[string][]want{
+		"lse000.lss": {{"LSE000", analysis.Error, "x"}},
+		"lse001.lss": {
+			{"LSE001", analysis.Info, "snk.in"},
+			{"LSE004", analysis.Info, "snk"},
+		},
+		"lse002.lss": {
+			{"LSE004", analysis.Warning, "q1"},
+			{"LSE004", analysis.Warning, "q2"},
+			{"LSE002", analysis.Warning, "q1.out[0]->q2.in[0]"},
+		},
+		"lse003.lss": {{"LSE003", analysis.Warning, conn}},
+		"lse004.lss": {
+			{"LSE004", analysis.Warning, "src"},
+			{"LSE004", analysis.Warning, "q1"},
+			{"LSE004", analysis.Warning, "q2"},
+			{"LSE002", analysis.Warning, "q1.out[0]->q2.in[0]"},
+		},
+		"lse005.lss": {{"LSE005", analysis.Info, "unused"}},
+		"lse006.lss": {
+			{"LSE001", analysis.Info, "b/s.in"},
+			{"LSE004", analysis.Info, "b/s"},
+			{"LSE006", analysis.Warning, "b"},
+		},
+		"lse007.lss": {
+			{"LSE001", analysis.Info, "r.in"},
+			{"LSE001", analysis.Info, "r.out"},
+			{"LSE004", analysis.Info, "r"},
+			{"LSE007", analysis.Info, "r"},
+		},
+		"lse008.lss": {{"LSE008", analysis.Info, conn}},
+		"lse009.lss": {{"LSE009", analysis.Info, conn}},
+		"lse010.lss": {
+			{"LSE010", analysis.Warning, "src"},
+			{"LSE013", analysis.Info, "src"},
+			{"LSE010", analysis.Warning, "q"},
+			{"LSE010", analysis.Warning, "snk"},
+			{"LSE010", analysis.Warning, "src.out[0]->q.in[0]"},
+			{"LSE010", analysis.Warning, "q.out[0]->snk.in[0]"},
+		},
+		"lse011.lss": {
+			{"LSE009", analysis.Info, conn},
+			{"LSE011", analysis.Info, conn},
+		},
+		"lse012.lss": {{"LSE012", analysis.Warning, conn}},
+		"lse013.lss": {
+			{"LSE010", analysis.Warning, "dsrc"},
+			{"LSE013", analysis.Info, "dsrc"},
+			{"LSE010", analysis.Warning, "dq"},
+			{"LSE010", analysis.Warning, "dsnk"},
+			{"LSE010", analysis.Warning, "dsrc.out[0]->dq.in[0]"},
+			{"LSE010", analysis.Warning, "dq.out[0]->dsnk.in[0]"},
+		},
+	}
+
+	dir := filepath.Join("..", "..", "specs", "lint")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".lss") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) != len(cases) {
+		t.Errorf("corpus has %d specs, goldens cover %d — add the missing golden entry", len(names), len(cases))
+	}
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			wants, ok := cases[name]
+			if !ok {
+				t.Fatalf("no golden entry for %s", name)
+			}
+			path := filepath.Join(dir, name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := analysis.LintSource(path, string(src))
+			var got []string
+			for _, d := range r.Diags {
+				got = append(got, fmt.Sprintf("%s %s %s", d.Code, d.Severity, d.Where))
+			}
+			var exp []string
+			for _, w := range wants {
+				exp = append(exp, fmt.Sprintf("%s %s %s", w.code, w.sev, w.where))
+			}
+			if strings.Join(got, "\n") != strings.Join(exp, "\n") {
+				t.Errorf("diagnostics mismatch\n--- want:\n%s\n--- got:\n%s",
+					strings.Join(exp, "\n"), strings.Join(got, "\n"))
+			}
+			// Every corpus file must fire the code it is named for.
+			code := "LSE" + strings.TrimSuffix(strings.TrimPrefix(name, "lse"), ".lss")
+			found := false
+			for _, d := range r.Diags {
+				if d.Code == code {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s never fired its namesake code %s", name, code)
+			}
+		})
+	}
+}

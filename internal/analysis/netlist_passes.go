@@ -190,40 +190,8 @@ func passHandshake(s *core.Sim, r *Report) {
 // A sink is an instance with no outgoing connections; reachability runs
 // backward from the sinks over the connection graph.
 func passDeadStructure(s *core.Sim, r *Report) {
-	insts := s.Instances()
-	outDeg := make(map[core.Instance]int, len(insts))
-	hasConn := make(map[core.Instance]bool, len(insts))
-	preds := make(map[core.Instance][]core.Instance, len(insts))
-	for _, c := range s.Conns() {
-		sp, _ := c.Src()
-		dp, _ := c.Dst()
-		src, dst := sp.Owner(), dp.Owner()
-		outDeg[src]++
-		hasConn[src], hasConn[dst] = true, true
-		preds[dst] = append(preds[dst], src)
-	}
-	reach := make(map[core.Instance]bool, len(insts))
-	var stack []core.Instance
-	for _, inst := range insts {
-		if _, isComposite := asComposite(inst); isComposite {
-			continue
-		}
-		if hasConn[inst] && outDeg[inst] == 0 {
-			reach[inst] = true
-			stack = append(stack, inst)
-		}
-	}
-	for len(stack) > 0 {
-		inst := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, p := range preds[inst] {
-			if !reach[p] {
-				reach[p] = true
-				stack = append(stack, p)
-			}
-		}
-	}
-	for _, inst := range insts {
+	hasConn, reach := sinkReachability(s)
+	for _, inst := range s.Instances() {
 		if _, isComposite := asComposite(inst); isComposite {
 			continue
 		}

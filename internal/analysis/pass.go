@@ -37,6 +37,11 @@ var (
 		{Code: "LSE006", Name: "hierarchy", Doc: "composite exports bound to nothing", Run: passHierarchy},
 		{Code: "LSE007", Name: "activity", Doc: "instances the sparse scheduler can never activity-gate: reactive handler with no connected input", Run: passActivity},
 		{Code: "LSE008", Name: "payload", Doc: "scalar payload declarations that don't reach end to end: sinks reading scalar lanes via the boxed path, or connections forced to the spill lane by mixed payload kinds", Run: passPayload},
+		{Code: "LSE009", Name: "consthandshake", Doc: "constant-driven handshakes: enable and ack provably resolve yes on every cycle", Run: passConstHandshake},
+		{Code: "LSE010", Name: "flowdead", Doc: "statically dead structure the dataflow lattice proves dead even though the connection graph says it is alive", Run: passFlowDead},
+		{Code: "LSE011", Name: "constspill", Doc: "guaranteed spill seams: boxed-lane connections that provably carry data every cycle, paying the allocation on the hot path", Run: passGuaranteedSpill},
+		{Code: "LSE012", Name: "stall", Doc: "provable protocol stalls: the driver always enables but the sink provably never acks", Run: passProtocolStall},
+		{Code: "LSE013", Name: "foldable", Doc: "constant-foldable subnetlists: connected components whose every connection resolves to the same proven facts every cycle", Run: passFoldable},
 	}
 	specPasses = []SpecPass{
 		{Code: "LSE005", Name: "params", Doc: "unused or shadowed parameters and lets", Run: passParams},

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// sarif.go renders a Report as a minimal SARIF 2.1.0 log — the static
+// analysis interchange format code hosts ingest for inline review
+// annotations. Only the stdlib encoder is used; the emitted subset is
+// one run with the lslint tool descriptor, one reporting rule per
+// distinct diagnostic code, and one result per diagnostic.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// sarifLevel maps the report severities onto SARIF's result levels.
+func sarifLevel(s Severity) string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	}
+	return "note"
+}
+
+// WriteSARIF renders the report as an indented SARIF 2.1.0 log. The
+// rules array carries one entry per distinct code, in first-appearance
+// order, with the pass doc as the short description when the code maps
+// to a registered pass (LSE000 has no pass; it gets a fixed description).
+func (r *Report) WriteSARIF(w io.Writer) error {
+	docs := map[string]string{
+		"LSE000": "specification failed to parse, elaborate or build",
+	}
+	for _, p := range netlistPasses {
+		docs[p.Code] = p.Doc
+	}
+	for _, p := range specPasses {
+		docs[p.Code] = p.Doc
+	}
+	rules := []sarifRule{}
+	ruleSeen := map[string]bool{}
+	results := []sarifResult{}
+	for _, d := range r.Diags {
+		if !ruleSeen[d.Code] {
+			ruleSeen[d.Code] = true
+			rules = append(rules, sarifRule{
+				ID:               d.Code,
+				ShortDescription: sarifMessage{Text: docs[d.Code]},
+			})
+		}
+		res := sarifResult{
+			RuleID:  d.Code,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: d.Message},
+		}
+		if d.Where != "" {
+			res.Message.Text = d.Where + ": " + d.Message
+		}
+		if d.File != "" {
+			phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: d.File}}
+			if d.Line > 0 {
+				phys.Region = &sarifRegion{StartLine: d.Line}
+			}
+			res.Locations = []sarifLocation{{PhysicalLocation: phys}}
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "lslint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,239 @@
+package vetlse
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// runStatefulgob audits the package's core.Stateful implementations.
+// Snapshot/Restore round-trips break silently when the two sides drift:
+// a field packed by MarshalState but never read back by UnmarshalState
+// survives the snapshot and dies in the restore, and a boxed ([]any)
+// payload whose concrete type was never gob.Register'ed fails only when
+// a value of that type happens to be in flight. Three checks:
+//
+//   - an instance type implementing one of MarshalState/UnmarshalState
+//     must implement the other;
+//   - the exported fields of the state literal the marshal side encodes
+//     must exactly match the fields the unmarshal side reads from its
+//     decoded state value (empty-blob implementations — no state
+//     literal — are exempt);
+//   - a package whose state structs carry any-typed fields must call
+//     gob.Register somewhere (conventionally an init).
+func runStatefulgob(fset *token.FileSet, files []*ast.File) []Finding {
+	ign := ignoreLines(fset, files)
+	type impl struct {
+		marshal, unmarshal *ast.FuncDecl
+	}
+	impls := map[string]*impl{}
+	var order []string
+	structs := map[string]*ast.StructType{}
+	structPos := map[string]token.Pos{}
+	hasRegister := false
+	for _, file := range files {
+		for _, d := range file.Decls {
+			if gd, ok := d.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok {
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							structs[ts.Name.Name] = st
+							structPos[ts.Name.Name] = ts.Pos()
+						}
+					}
+				}
+			}
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if fd.Name.Name != "MarshalState" && fd.Name.Name != "UnmarshalState" {
+				continue
+			}
+			recv := recvTypeName(fd.Recv.List[0].Type)
+			if recv == "" {
+				continue
+			}
+			if impls[recv] == nil {
+				impls[recv] = &impl{}
+				order = append(order, recv)
+			}
+			if fd.Name.Name == "MarshalState" {
+				impls[recv].marshal = fd
+			} else {
+				impls[recv].unmarshal = fd
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := c.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "Register" {
+				if x, ok := s.X.(*ast.Ident); ok && x.Name == "gob" {
+					hasRegister = true
+				}
+			}
+			return true
+		})
+	}
+	var out []Finding
+	add := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		if ignored(ign, p) {
+			return
+		}
+		out = append(out, Finding{Pos: p, Message: fmt.Sprintf(format, args...)})
+	}
+	needRegister := false
+	needRegisterPos := token.NoPos
+	var needRegisterType string
+	for _, recv := range order {
+		im := impls[recv]
+		switch {
+		case im.marshal == nil:
+			add(im.unmarshal.Pos(),
+				"%s implements UnmarshalState but not MarshalState: snapshots of this instance silently save no state", recv)
+			continue
+		case im.unmarshal == nil:
+			add(im.marshal.Pos(),
+				"%s implements MarshalState but not UnmarshalState: its snapshot blob can never be restored", recv)
+			continue
+		}
+		stateType, packed := stateLiteral(im.marshal)
+		if packed == nil {
+			continue // empty-blob implementation: nothing to compare
+		}
+		read := stateReads(im.unmarshal)
+		for _, f := range sortedDiff(packed, read) {
+			add(im.marshal.Pos(),
+				"%s.MarshalState packs field %s of %s but UnmarshalState never restores it: the value is lost on every snapshot round-trip", recv, f, stateType)
+		}
+		for _, f := range sortedDiff(read, packed) {
+			add(im.unmarshal.Pos(),
+				"%s.UnmarshalState reads field %s of %s but MarshalState never packs it: the restore always sees the zero value", recv, f, stateType)
+		}
+		if st, ok := structs[stateType]; ok && !hasRegister && !needRegister {
+			if anyTyped(st) {
+				needRegister = true
+				needRegisterPos = structPos[stateType]
+				needRegisterType = stateType
+			}
+		}
+	}
+	if needRegister {
+		add(needRegisterPos,
+			"state type %s carries boxed (any-typed) payloads but the package never calls gob.Register: concrete payload types will fail to encode at snapshot time", needRegisterType)
+	}
+	return out
+}
+
+func recvTypeName(t ast.Expr) string {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// stateLiteral finds the keyed composite literal MarshalState encodes —
+// the state struct value — returning its type name and field-key set.
+func stateLiteral(fd *ast.FuncDecl) (string, map[string]bool) {
+	var typeName string
+	var keys map[string]bool
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if keys != nil {
+			return false
+		}
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		id, ok := cl.Type.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		ks := map[string]bool{}
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if k, ok := kv.Key.(*ast.Ident); ok {
+					ks[k.Name] = true
+				}
+			}
+		}
+		if len(ks) == 0 {
+			return true
+		}
+		typeName, keys = id.Name, ks
+		return false
+	})
+	return typeName, keys
+}
+
+// stateReads collects the exported fields UnmarshalState reads from its
+// decoded state value — the variable passed by address to the decode
+// call (gobDecode(blob, &st)).
+func stateReads(fd *ast.FuncDecl) map[string]bool {
+	vars := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range c.Args {
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if id, ok := u.X.(*ast.Ident); ok {
+					vars[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	reads := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && vars[id.Name] && ast.IsExported(sel.Sel.Name) {
+			reads[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return reads
+}
+
+// sortedDiff returns the members of a missing from b, sorted.
+func sortedDiff(a, b map[string]bool) []string {
+	var out []string
+	for k := range a {
+		if !b[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// anyTyped reports whether the struct has a field whose type mentions
+// the boxed payload type (any / interface{}), at any slice depth.
+func anyTyped(st *ast.StructType) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.Ident:
+			if t.Name == "any" {
+				found = true
+			}
+		case *ast.InterfaceType:
+			if t.Methods == nil || len(t.Methods.List) == 0 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

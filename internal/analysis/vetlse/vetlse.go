@@ -1,20 +1,25 @@
 // Package vetlse statically checks Go module templates for violations of
-// the engine's phase contract: signal-status writes (Send, SendNothing,
-// Enable, Disable, Ack, Nack) are legal only during the cycle-start and
-// reactive phases, so a write lexically inside an OnCycleEnd commit
-// handler is a guaranteed *core.ContractError at runtime. Catching it at
-// vet time turns a simulation-crash-later into a build-break-now.
+// the engine's contracts that only manifest at simulation time. It is a
+// small multichecker built on go/ast alone (no type information, no
+// dependency on the external go/analysis framework):
 //
-// The check is syntactic (go/ast, no type information): it flags calls to
-// the signal-write method names inside function literals registered via
-// OnCycleEnd. Module code conventionally reaches ports as p.Send(i, v) or
-// m.Out.Ack(i), so matching on the selector name is precise in practice;
-// an unrelated method that shares a name can be excused with a
-// `//vetlse:ignore` comment on the offending line.
+//   - planephase flags signal-status writes (Send, SendUint64,
+//     SendNothing, Enable, Disable, Ack, Nack) lexically reachable from an
+//     OnCycleEnd commit handler — a guaranteed *core.ContractError at
+//     runtime. Both function literals and registered method values
+//     (OnCycleEnd(s.cycleEnd)) are checked.
 //
-// cmd/vetlse wraps the check both as a `go vet -vettool` backend and as a
-// standalone walker, keeping the repo dependency-free (the official
-// go/analysis framework lives outside the standard library).
+//   - statefulgob audits core.Stateful implementations: MarshalState and
+//     UnmarshalState must come in pairs, every field the marshal side
+//     packs into its state literal must be restored by the unmarshal
+//     side (and vice versa), and a package whose state carries boxed
+//     (any-typed) payloads must gob.Register payload types somewhere.
+//
+// The checks are syntactic, so an unrelated method that shares a name can
+// be excused with a `//vetlse:ignore` comment on the offending line.
+//
+// cmd/vetlse wraps the multichecker both as a `go vet -vettool` backend
+// and as a standalone walker.
 package vetlse
 
 import (
@@ -22,80 +27,71 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"path/filepath"
+	"sort"
 	"strings"
 )
 
-// writeMethods are the Port methods that drive signal status. They mirror
-// the operations guarded by core.(*Conn)'s write-phase check.
-var writeMethods = map[string]bool{
-	"Send": true, "SendUint64": true, "SendNothing": true,
-	"Enable": true, "Disable": true,
-	"Ack": true, "Nack": true,
-}
-
-// Finding is one phase-contract violation.
+// Finding is one contract violation.
 type Finding struct {
 	Pos     token.Position
-	Method  string // the signal-write method called
+	Check   string // the analyzer that produced it ("planephase", "statefulgob")
+	Method  string // planephase: the signal-write method called
 	Message string
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s", f.Pos, f.Message)
+	if f.Check == "" {
+		return fmt.Sprintf("%s: %s", f.Pos, f.Message)
+	}
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Check, f.Message)
 }
 
-// CheckFile inspects one parsed file. The file must have been parsed with
+// Analyzer is one named check over the files of a single package. Checks
+// receive every file of the package together so they can resolve
+// same-package references (a method value registered in one file, the
+// method body in another).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(fset *token.FileSet, files []*ast.File) []Finding
+}
+
+// analyzers is the registry, in execution order.
+var analyzers = []*Analyzer{
+	{
+		Name: "planephase",
+		Doc:  "signal writes reachable from OnCycleEnd commit handlers (guaranteed ContractError at runtime)",
+		Run:  runPlanephase,
+	},
+	{
+		Name: "statefulgob",
+		Doc:  "asymmetric or incomplete core.Stateful gob serialization: unpaired Marshal/UnmarshalState, fields packed but never restored, boxed payloads without gob.Register",
+		Run:  runStatefulgob,
+	},
+}
+
+// Analyzers returns the registered checks in execution order.
+func Analyzers() []*Analyzer { return analyzers }
+
+// CheckFile runs every analyzer over one parsed file (a single-file
+// package unit). The file must have been parsed with
 // parser.ParseComments for `//vetlse:ignore` suppression to work.
 func CheckFile(fset *token.FileSet, file *ast.File) []Finding {
-	ignored := ignoreLines(fset, file)
-	var out []Finding
-	ast.Inspect(file, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "OnCycleEnd" || len(call.Args) == 0 {
-			return true
-		}
-		fn, ok := call.Args[0].(*ast.FuncLit)
-		if !ok {
-			return true
-		}
-		ast.Inspect(fn.Body, func(inner ast.Node) bool {
-			c, ok := inner.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			s, ok := c.Fun.(*ast.SelectorExpr)
-			if !ok || !writeMethods[s.Sel.Name] {
-				return true
-			}
-			pos := fset.Position(c.Pos())
-			if ignored[pos.Line] {
-				return true
-			}
-			out = append(out, Finding{
-				Pos:    pos,
-				Method: s.Sel.Name,
-				Message: fmt.Sprintf(
-					"%s inside an OnCycleEnd handler: signals may be driven only during cycle-start or reactive phases; move the write to OnReact or OnCycleStart",
-					s.Sel.Name),
-			})
-			return true
-		})
-		return true
-	})
-	return out
+	return checkGroup(fset, []*ast.File{file})
 }
 
 // CheckFiles parses and checks the named Go source files with a shared
-// FileSet, returning findings in file order. A file that fails to parse
-// contributes an error finding rather than aborting the run — vet keeps
-// going past broken files.
+// FileSet. Files are grouped by directory — the closest syntactic
+// approximation of a package — so cross-file resolution stays inside one
+// package and never pairs declarations across unrelated packages. A file
+// that fails to parse contributes an error finding rather than aborting
+// the run — vet keeps going past broken files.
 func CheckFiles(paths []string) []Finding {
 	fset := token.NewFileSet()
 	var out []Finding
+	groups := map[string][]*ast.File{}
+	var dirs []string
 	for _, path := range paths {
 		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
@@ -105,21 +101,60 @@ func CheckFiles(paths []string) []Finding {
 			})
 			continue
 		}
-		out = append(out, CheckFile(fset, file)...)
+		dir := filepath.Dir(path)
+		if _, seen := groups[dir]; !seen {
+			dirs = append(dirs, dir)
+		}
+		groups[dir] = append(groups[dir], file)
+	}
+	for _, dir := range dirs {
+		out = append(out, checkGroup(fset, groups[dir])...)
 	}
 	return out
 }
 
-// ignoreLines collects the lines carrying a `//vetlse:ignore` comment;
-// findings anchored there are suppressed.
-func ignoreLines(fset *token.FileSet, file *ast.File) map[int]bool {
-	lines := map[int]bool{}
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, "vetlse:ignore") {
-				lines[fset.Position(c.Pos()).Line] = true
+func checkGroup(fset *token.FileSet, files []*ast.File) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		fs := a.Run(fset, files)
+		for i := range fs {
+			fs[i].Check = a.Name
+		}
+		out = append(out, fs...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// ignoreLines collects, per file, the lines carrying a `//vetlse:ignore`
+// comment; findings anchored there are suppressed.
+func ignoreLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	lines := map[string]map[int]bool{}
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "vetlse:ignore") {
+					pos := fset.Position(c.Pos())
+					if lines[pos.Filename] == nil {
+						lines[pos.Filename] = map[int]bool{}
+					}
+					lines[pos.Filename][pos.Line] = true
+				}
 			}
 		}
 	}
 	return lines
+}
+
+func ignored(ign map[string]map[int]bool, pos token.Position) bool {
+	return ign[pos.Filename][pos.Line]
 }

@@ -104,3 +104,148 @@ func TestCheckFilesReportsParseErrors(t *testing.T) {
 		t.Fatalf("want 1 parse-error finding, got %v", fs)
 	}
 }
+
+func TestMethodValueHandlerResolved(t *testing.T) {
+	src := `package m
+
+func build(q *queue) {
+	q.OnCycleEnd(q.commit)
+}
+
+func (q *queue) commit() {
+	q.In.Nack(0) // illegal: commit phase
+}
+`
+	fs := check(t, src)
+	if len(fs) != 1 || fs[0].Method != "Nack" {
+		t.Fatalf("want 1 Nack finding via method value, got %v", fs)
+	}
+}
+
+func TestMethodValueSendUint64Flagged(t *testing.T) {
+	src := `package m
+
+func build(s *src) {
+	s.OnCycleEnd(s.cycleEnd)
+}
+
+func (s *src) cycleEnd() {
+	s.Out.SendUint64(0, 1)
+}
+`
+	fs := check(t, src)
+	if len(fs) != 1 || fs[0].Method != "SendUint64" {
+		t.Fatalf("want 1 SendUint64 finding, got %v", fs)
+	}
+}
+
+func TestStatefulGobSymmetricPairClean(t *testing.T) {
+	src := `package m
+
+type qState struct {
+	Entries []int
+	Head    int
+}
+
+func (q *queue) MarshalState() ([]byte, error) {
+	return gobEncode(qState{Entries: q.entries, Head: q.head})
+}
+
+func (q *queue) UnmarshalState(blob []byte) error {
+	var st qState
+	if err := gobDecode(blob, &st); err != nil {
+		return err
+	}
+	q.entries = st.Entries
+	q.head = st.Head
+	return nil
+}
+`
+	if fs := check(t, src); len(fs) != 0 {
+		t.Fatalf("symmetric pair flagged: %v", fs)
+	}
+}
+
+func TestStatefulGobAsymmetricFields(t *testing.T) {
+	src := `package m
+
+type qState struct {
+	Entries []int
+	Head    int
+}
+
+func (q *queue) MarshalState() ([]byte, error) {
+	return gobEncode(qState{Entries: q.entries, Head: q.head})
+}
+
+func (q *queue) UnmarshalState(blob []byte) error {
+	var st qState
+	if err := gobDecode(blob, &st); err != nil {
+		return err
+	}
+	q.entries = st.Entries
+	return nil
+}
+`
+	fs := check(t, src)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "Head") {
+		t.Fatalf("want 1 finding about unrestored Head, got %v", fs)
+	}
+}
+
+func TestStatefulGobMissingCounterpart(t *testing.T) {
+	src := `package m
+
+func (q *queue) MarshalState() ([]byte, error) {
+	return gobEncode(qState{Head: q.head})
+}
+`
+	fs := check(t, src)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "UnmarshalState") {
+		t.Fatalf("want 1 missing-counterpart finding, got %v", fs)
+	}
+}
+
+func TestStatefulGobEmptyBlobExempt(t *testing.T) {
+	src := `package m
+
+func (t *tee) MarshalState() ([]byte, error) { return nil, nil }
+
+func (t *tee) UnmarshalState([]byte) error { return nil }
+`
+	if fs := check(t, src); len(fs) != 0 {
+		t.Fatalf("empty-blob impl flagged: %v", fs)
+	}
+}
+
+func TestStatefulGobBoxedPayloadNeedsRegister(t *testing.T) {
+	src := `package m
+
+type sState struct {
+	Pending []any
+}
+
+func (s *src) MarshalState() ([]byte, error) {
+	return gobEncode(sState{Pending: s.pending})
+}
+
+func (s *src) UnmarshalState(blob []byte) error {
+	var st sState
+	if err := gobDecode(blob, &st); err != nil {
+		return err
+	}
+	s.pending = st.Pending
+	return nil
+}
+`
+	fs := check(t, src)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "gob.Register") {
+		t.Fatalf("want 1 gob.Register finding, got %v", fs)
+	}
+	srcWithRegister := src + `
+func init() { gob.Register(0) }
+`
+	if fs := check(t, srcWithRegister); len(fs) != 0 {
+		t.Fatalf("registered package still flagged: %v", fs)
+	}
+}

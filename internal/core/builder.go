@@ -19,6 +19,7 @@ type Builder struct {
 	parMin    int // parallel round threshold; 0 = default
 	tracer    Tracer
 	metrics   bool
+	prune     bool // WithDataflowPrune: delete provably-dead structure
 	instances []Instance
 	byName    map[string]Instance
 	conns     []*Conn
@@ -187,6 +188,10 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	}
 	b.built = true
 	sched, workers := resolveScheduler(b.sched, b.workers)
+	if b.prune && sched != SchedulerSparse {
+		return nil, &BuildError{Op: "build", Where: "?",
+			Detail: fmt.Sprintf("WithDataflowPrune requires the sparse scheduler (the default), not %s: pruning moves provably-dead structure into the replayed gated region", sched)}
+	}
 	// The compiled artifacts index by instance and connection id; assign
 	// instance ids (assembly order) before compiling or validating.
 	// Connection ids were assigned at Connect time.
@@ -196,7 +201,7 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	p := b.prog
 	if p == nil {
 		// Compile path: this netlist defines the program.
-		p = compileProgram(b.instances, b.conns, sched)
+		p = compileProgram(b.instances, b.conns, sched, b.prune)
 	} else {
 		// Session-stamp path (Program.NewSim): the expensive artifacts —
 		// Tarjan/levelization, activity partition, lane election — are
@@ -223,6 +228,9 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	}
 	if s.sparse != nil {
 		s.sparseFull = true // cycle 0 establishes the gated region's values
+	}
+	if p.pruned != nil {
+		s.pruned = p.pruned.insts
 	}
 	if s.parMin == 0 {
 		s.parMin = defaultParallelThreshold * workers

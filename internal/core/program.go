@@ -44,6 +44,7 @@ type Program struct {
 
 	schedule *progSchedule // nil unless levelized/sparse
 	sparse   *progSparse   // nil unless sparse
+	pruned   *progPrune    // nil unless compiled with WithDataflowPrune
 }
 
 // Compile runs the assembly recipe once, compiles the resulting netlist
@@ -126,7 +127,7 @@ func (p *Program) Schedule() *ScheduleInfo {
 // validated netlist: lane election, structural fingerprint and — for the
 // levelized and sparse engines — the static schedule and activity
 // partition. Instance ids must already be assigned (assembly order).
-func compileProgram(instances []Instance, conns []*Conn, sched SchedulerKind) *Program {
+func compileProgram(instances []Instance, conns []*Conn, sched SchedulerKind, prune bool) *Program {
 	p := &Program{sched: sched, nInsts: len(instances), nConns: len(conns)}
 	// Payload-lane inference: a connection joins the uint64 scalar fast
 	// lane when its driver declares PayloadUint64 and its sink does not
@@ -149,6 +150,19 @@ func compileProgram(instances []Instance, conns []*Conn, sched SchedulerKind) *P
 	}
 	if sched == SchedulerSparse {
 		p.sparse = buildSparse(instances, conns, p.schedule)
+		if prune {
+			// Dataflow pruning: run the whole-program analysis and move
+			// provably-dead structure out of the per-cycle schedule before
+			// the partition is shared. The structural fingerprint is
+			// deliberately prune-independent — pruning changes which
+			// compiled artifacts a session binds, never the netlist shape
+			// sessions re-assemble.
+			ff := analyzeFlow(instances, conns)
+			p.pruned = computePrune(instances, conns, ff)
+			applyPrune(p.sparse, p.schedule, instances, conns, p.pruned)
+			p.schedule.info.PrunedConns = p.pruned.nConns
+			p.schedule.info.PrunedInsts = p.pruned.nInsts
+		}
 		p.schedule.info.fillActivity(p.sparse)
 	}
 	return p

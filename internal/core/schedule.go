@@ -75,16 +75,23 @@ type ScheduleInfo struct {
 	// the []any lane (the always-correct slow path).
 	ScalarConns int
 	SpillConns  int
+	// PrunedConns/PrunedInsts count the structure WithDataflowPrune
+	// deleted from the per-cycle schedule: connections the dataflow
+	// analysis proved dead and instances whose every connection died
+	// (their handlers never run). Both zero without the option; pruned
+	// structure is excluded from the Active/Gated splits above.
+	PrunedConns int
+	PrunedInsts int
 }
 
 // fillActivity copies the sparse activity partition's shape into the
 // schedule introspection info.
 func (si *ScheduleInfo) fillActivity(sp *progSparse) {
 	si.ActiveInsts = sp.activeInsts
-	si.GatedInsts = len(sp.active) - sp.activeInsts
+	si.GatedInsts = len(sp.active) - sp.activeInsts - si.PrunedInsts
 	si.AlwaysActive = sp.alwaysActive
 	si.ActiveConns = len(sp.dirty)
-	si.GatedConns = len(sp.connActive) - len(sp.dirty)
+	si.GatedConns = len(sp.connActive) - len(sp.dirty) - si.PrunedConns
 }
 
 // progSchedule is the compiled static schedule, shared read-only across

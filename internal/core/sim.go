@@ -39,6 +39,7 @@ type Sim struct {
 	metrics   *Metrics      // nil unless built with WithMetrics
 	schedule  *progSchedule // shared: nil unless the levelized/sparse scheduler is selected
 	sparse    *progSparse   // shared: nil unless the sparse scheduler is selected
+	pruned    []bool        // shared: instance id -> handlers never run (WithDataflowPrune); nil otherwise
 	pool      *workerPool
 
 	// sparseFull requests a full sweep from the next Step (cycle 0, after
@@ -544,14 +545,17 @@ func (s *Sim) Step() (err error) {
 		}
 	}
 	s.setPhase(phaseStart)
-	for _, b := range s.bases {
-		if b.start != nil {
+	for i, b := range s.bases {
+		if b.start != nil && (s.pruned == nil || !s.pruned[i]) {
 			b.start()
 		}
 	}
 	s.setPhase(phaseReact)
 	if full {
-		for _, b := range s.bases {
+		for i, b := range s.bases {
+			if s.pruned != nil && s.pruned[i] {
+				continue
+			}
 			s.wake(b)
 		}
 	} else {
@@ -582,8 +586,8 @@ func (s *Sim) Step() (err error) {
 	if s.tracer != nil {
 		s.tracer.OnCycleEnd(s.cycle)
 	}
-	for _, b := range s.bases {
-		if b.end != nil {
+	for i, b := range s.bases {
+		if b.end != nil && (s.pruned == nil || !s.pruned[i]) {
 			b.end()
 		}
 	}

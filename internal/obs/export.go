@@ -74,6 +74,8 @@ type ScheduleStats struct {
 	AlwaysActive    int      `json:"always_active,omitempty"`
 	ActiveConns     int      `json:"active_conns,omitempty"`
 	GatedConns      int      `json:"gated_conns,omitempty"`
+	PrunedInsts     int      `json:"pruned_insts,omitempty"`
+	PrunedConns     int      `json:"pruned_conns,omitempty"`
 	ScalarConns     int      `json:"scalar_conns"`
 	SpillConns      int      `json:"spill_conns"`
 	BreakSites      []string `json:"break_sites,omitempty"`
@@ -98,6 +100,8 @@ func scheduleStats(info *core.ScheduleInfo) *ScheduleStats {
 		AlwaysActive:    info.AlwaysActive,
 		ActiveConns:     info.ActiveConns,
 		GatedConns:      info.GatedConns,
+		PrunedInsts:     info.PrunedInsts,
+		PrunedConns:     info.PrunedConns,
 		ScalarConns:     info.ScalarConns,
 		SpillConns:      info.SpillConns,
 		BreakSites:      info.BreakSites,
@@ -265,6 +269,8 @@ func WriteCSV(w io.Writer, s *core.Sim) error {
 			row("schedule", "", "always_active", int64(sd.AlwaysActive))
 			row("schedule", "", "active_conns", int64(sd.ActiveConns))
 			row("schedule", "", "gated_conns", int64(sd.GatedConns))
+			row("schedule", "", "pruned_insts", int64(sd.PrunedInsts))
+			row("schedule", "", "pruned_conns", int64(sd.PrunedConns))
 		}
 		for i, site := range sd.BreakSites {
 			cw.Write([]string{"schedule", strconv.Itoa(i), "break_site", site})

@@ -32,6 +32,10 @@ func WriteScheduleReport(w io.Writer, s *core.Sim) error {
 		fmt.Fprintf(w, "  activity:       %d/%d instances active (%d seed(s)), %d/%d conns re-resolved per cycle\n",
 			info.ActiveInsts, info.ActiveInsts+info.GatedInsts, info.AlwaysActive,
 			info.ActiveConns, info.ActiveConns+info.GatedConns)
+		if info.PrunedConns > 0 || info.PrunedInsts > 0 {
+			fmt.Fprintf(w, "  dataflow prune: %d instance(s) and %d conn(s) proven dead and removed\n",
+				info.PrunedInsts, info.PrunedConns)
+		}
 	}
 	if len(info.BreakSites) == 0 {
 		_, err := fmt.Fprintf(w, "  cycle breaks:   none — fully static schedule, zero fixed-point iterations\n")

@@ -23,6 +23,7 @@ type Sink struct {
 
 	keep     bool
 	typed    bool // payload="uint64": scalar fast-lane mode
+	accept   bool
 	received []any
 
 	cReceived *core.Counter
@@ -32,16 +33,24 @@ type Sink struct {
 // NewSink constructs a sink. Parameters:
 //
 //	keep    (bool, default false)    — retain received values for inspection
+//	accept  (bool, default true)     — false refuses everything (DefaultAck=No),
+//	                                   modeling a detached or saturated consumer
 //	payload (string, default "any")  — "uint64" selects the scalar fast lane
 func NewSink(name string, p core.Params) (*Sink, error) {
 	kind, err := payloadOpt(p)
 	if err != nil {
 		return nil, err
 	}
-	s := &Sink{keep: p.Bool("keep", false), typed: kind == core.PayloadUint64}
+	s := &Sink{keep: p.Bool("keep", false), accept: p.Bool("accept", true), typed: kind == core.PayloadUint64}
 	s.Init(name, s)
-	// Default control accepts everything.
-	s.In = s.AddInPort("in", core.PortOpts{Payload: kind})
+	// Default control accepts everything — unless accept=false pins the
+	// ack to No, which the dataflow analysis sees as a provably stalled
+	// consumer (LSE012).
+	opts := core.PortOpts{Payload: kind}
+	if !s.accept {
+		opts.DefaultAck = core.No
+	}
+	s.In = s.AddInPort("in", opts)
 	s.OnCycleEnd(s.cycleEnd)
 	return s, nil
 }

@@ -42,10 +42,11 @@ type Source struct {
 	core.Base
 	Out *core.Port
 
-	rate  float64
-	count uint64 // 0 = unlimited
-	gen   GenFn
-	typed bool // payload="uint64": scalar fast-lane mode
+	rate       float64
+	count      uint64 // 0 = unlimited
+	gen        GenFn
+	typed      bool // payload="uint64": scalar fast-lane mode
+	defaultGen bool // no gen param: sequence-number generator (never exhausts)
 
 	pending []any // boxed mode pending item per out conn (nil = empty)
 	pendU   []uint64
@@ -78,6 +79,7 @@ func NewSource(name string, p core.Params) (*Source, error) {
 	if s.rate < 0 || s.rate > 1 {
 		return nil, &core.ParamError{Param: "rate", Detail: "must be in [0,1]"}
 	}
+	s.defaultGen = s.gen == nil
 	if s.gen == nil && !s.typed {
 		s.gen = func(rng *rand.Rand, cycle, seq uint64) (any, bool) { return int(seq), true }
 	}

@@ -417,6 +417,10 @@ var (
 	// parallel scheduler dispatches to its worker pool; smaller rounds
 	// run inline, avoiding barrier latency that exceeds the work.
 	WithParallelThreshold = core.WithParallelThreshold
+	// WithDataflowPrune deletes provably-dead connections and instances
+	// (per the whole-program dataflow analysis) from the compiled
+	// schedule and activity partition. Requires the sparse scheduler.
+	WithDataflowPrune = core.WithDataflowPrune
 )
 
 // WithObserver applies an observability bundle — scheduler metrics and/or
