@@ -82,7 +82,7 @@ func (d defines) Set(s string) error {
 func main() {
 	cycles := flag.Uint64("cycles", 1000, "cycles to simulate")
 	seed := flag.Int64("seed", 0, "deterministic random seed")
-	scheduler := flag.String("scheduler", "auto", "scheduling engine: auto, sequential, parallel, levelized or sparse")
+	scheduler := flag.String("scheduler", "auto", "scheduling engine: auto, sequential, parallel, levelized, sparse or partitioned")
 	schedule := flag.Bool("schedule", false, "dump the static schedule (levelized scheduler) to stderr")
 	workers := flag.Int("workers", 1, "scheduler workers (>1 = parallel scheduler; deprecated as a selector, use -scheduler)")
 	trace := flag.Bool("trace", false, "dump the signal trace to stderr")
@@ -298,8 +298,10 @@ func schedulerKind(name string) (lse.SchedulerKind, error) {
 		return lse.SchedulerLevelized, nil
 	case "sparse":
 		return lse.SchedulerSparse, nil
+	case "partitioned":
+		return lse.SchedulerPartitioned, nil
 	}
-	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel, levelized or sparse)", name)
+	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel, levelized, sparse or partitioned)", name)
 }
 
 func fatal(err error) {

@@ -16,6 +16,7 @@ type Builder struct {
 	seed      int64
 	sched     SchedulerKind
 	workers   int
+	shards    int // partitioned shard count; 0 = default
 	parMin    int // parallel round threshold; 0 = default
 	tracer    Tracer
 	metrics   bool
@@ -201,7 +202,7 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	p := b.prog
 	if p == nil {
 		// Compile path: this netlist defines the program.
-		p = compileProgram(b.instances, b.conns, sched, b.prune)
+		p = compileProgram(b.instances, b.conns, sched, b.prune, b.shards)
 	} else {
 		// Session-stamp path (Program.NewSim): the expensive artifacts —
 		// Tarjan/levelization, activity partition, lane election — are
@@ -221,7 +222,7 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 		instances: b.instances,
 		byName:    b.byName,
 		conns:     b.conns,
-		plane:     newSigPlane(len(b.conns)),
+		plane:     newSigPlane(planeSize(p, len(b.conns))),
 		stats:     newStatSet(),
 		schedule:  p.schedule,
 		sparse:    p.sparse,
@@ -244,12 +245,23 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 		base.attach(s, i)
 		s.bases[i] = base
 	}
-	for _, c := range s.conns {
+	for i, c := range s.conns {
 		c.sim = s
 		c.scalar = p.scalar[c.id]
+		c.slot = int32(i)
+	}
+	if pt := p.partition; pt != nil {
+		s.part = pt
+		for _, c := range s.conns {
+			c.slot = pt.slot[c.id]
+		}
 	}
 	if workers > 1 {
-		s.pool = newWorkerPool(workers)
+		if s.part != nil {
+			s.ppool = newPartPool(workers, s.part.nShards)
+		} else {
+			s.pool = newWorkerPool(workers)
+		}
 		// Workers hold only pool-internal references, so the simulator
 		// stays collectable; release them when it goes.
 		runtime.SetFinalizer(s, (*Sim).Close)
@@ -286,8 +298,21 @@ func resolveScheduler(sched SchedulerKind, workers int) (SchedulerKind, int) {
 		if workers < 2 {
 			workers = runtime.GOMAXPROCS(0)
 		}
+	case SchedulerPartitioned:
+		// Workers honored exactly as given (default one): the shard
+		// partition is compiled into the Program, and a session's
+		// phases cap their live executors at GOMAXPROCS anyway.
 	}
 	return sched, workers
+}
+
+// planeSize returns the signal-plane length for a program: the padded
+// partitioned layout when one was compiled, else one slot per conn.
+func planeSize(p *Program, nConns int) int {
+	if p.partition != nil {
+		return p.partition.planeSize
+	}
+	return nConns
 }
 
 // Sub composes a hierarchical child-instance name.

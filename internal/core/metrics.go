@@ -24,6 +24,7 @@ type Metrics struct {
 	reacts atomic.Uint64
 	iters  atomic.Uint64
 	rounds atomic.Uint64
+	steals atomic.Uint64
 
 	defaults [3]atomic.Uint64 // indexed by SigKind
 	breaks   [3]atomic.Uint64 // dependency-cycle breaks, by SigKind
@@ -69,6 +70,11 @@ func (m *Metrics) FixedPointIters() uint64 { return m.iters.Load() }
 // ParallelRounds returns the number of barrier-synchronized rounds the
 // parallel scheduler ran (0 under the sequential scheduler).
 func (m *Metrics) ParallelRounds() uint64 { return m.rounds.Load() }
+
+// Steals returns the number of round entries the partitioned
+// scheduler's workers claimed from shards they do not own (0 under the
+// other schedulers, and for single-worker sessions).
+func (m *Metrics) Steals() uint64 { return m.steals.Load() }
 
 // RoundSizes returns the histogram of parallel round batch sizes.
 func (m *Metrics) RoundSizes() *Histogram { return &m.roundSize }

@@ -42,6 +42,20 @@ const (
 	// Appendix C); scheduler metrics differ, since skipped work is the
 	// point. Sim.InvalidateActivity forces a full re-resolution.
 	SchedulerSparse
+	// SchedulerPartitioned is the build-time partitioned parallel
+	// engine: the module graph is sharded into connectivity-grown
+	// regions (WithShards, default 16), the signal plane is laid out so
+	// each shard's lanes occupy distinct cache lines, and every level of
+	// the static schedule is pre-split per shard. Sessions run reactive
+	// rounds as worker-affine phases — each worker claims its own
+	// shards' queues without synchronization and steals leftovers from
+	// the others — joined at a per-round barrier instead of per-round
+	// channel dispatch. Results are bit-identical to
+	// SchedulerSequential. WithWorkers is honored exactly as given
+	// (default one), and each phase caps its live executors at
+	// GOMAXPROCS, so over-provisioned sessions degrade to sequential
+	// execution instead of regressing. See DESIGN.md Appendix H.
+	SchedulerPartitioned
 )
 
 func (k SchedulerKind) String() string {
@@ -56,6 +70,8 @@ func (k SchedulerKind) String() string {
 		return "levelized"
 	case SchedulerSparse:
 		return "sparse"
+	case SchedulerPartitioned:
+		return "partitioned"
 	}
 	return "invalid"
 }
@@ -78,6 +94,27 @@ func WithWorkers(n int) BuildOption {
 			n = 1
 		}
 		b.workers = n
+	}
+}
+
+// WithShards sets the compile-time shard count for the partitioned
+// scheduler (SchedulerPartitioned); values below one select the default
+// (16), values above 1024 are clamped. Shards are a property of the
+// compiled Program — every session stamped from it inherits the same
+// partition and plane layout — while the worker count remains a session
+// property: workers own the shard sets {w, w+k, ...} and steal across
+// them, so any worker count runs correctly against any shard count.
+// More shards than instances are clamped to one shard per instance.
+// Ignored by every other scheduler.
+func WithShards(n int) BuildOption {
+	return func(b *Builder) {
+		if n < 1 {
+			n = 0 // default
+		}
+		if n > 1024 {
+			n = 1024
+		}
+		b.shards = n
 	}
 }
 

@@ -1,0 +1,176 @@
+package core_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	core "liberty/internal/core"
+)
+
+// TestPartitionedMatchesSequential is the partitioned engine's
+// correctness property: at any worker count, shard count and parallel
+// threshold, per-cycle signal statuses must stay bit-identical to the
+// sequential scanner on arbitrary netlists. Determinism does not depend
+// on the partition shape — only throughput does.
+func TestPartitionedMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		seqOut, seqFP := runNetlistStatuses(t, seed, 50, core.WithScheduler(core.SchedulerSequential))
+		for _, tc := range []struct {
+			name string
+			opts []core.BuildOption
+		}{
+			{"partitioned-w1", []core.BuildOption{core.WithScheduler(core.SchedulerPartitioned)}},
+			{"partitioned-w2", []core.BuildOption{core.WithScheduler(core.SchedulerPartitioned), core.WithWorkers(2)}},
+			{"partitioned-w4", []core.BuildOption{core.WithScheduler(core.SchedulerPartitioned), core.WithWorkers(4)}},
+			{"partitioned-w8", []core.BuildOption{core.WithScheduler(core.SchedulerPartitioned), core.WithWorkers(8)}},
+			{"partitioned-w4-s2-hot", []core.BuildOption{
+				core.WithScheduler(core.SchedulerPartitioned), core.WithWorkers(4),
+				core.WithShards(2), core.WithParallelThreshold(1)}},
+			{"partitioned-w8-s3-hot", []core.BuildOption{
+				core.WithScheduler(core.SchedulerPartitioned), core.WithWorkers(8),
+				core.WithShards(3), core.WithParallelThreshold(1)}},
+		} {
+			out, fp := runNetlistStatuses(t, seed, 50, tc.opts...)
+			if !reflect.DeepEqual(seqOut, out) {
+				t.Logf("seed=%d %s: sink outputs diverge: seq=%v got=%v", seed, tc.name, seqOut, out)
+				return false
+			}
+			if !reflect.DeepEqual(seqFP, fp) {
+				t.Logf("seed=%d %s: cycle status fingerprints diverge", seed, tc.name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionedRaceSteals drives the partitioned engine with more
+// executors than shards so executors 2 and 3 own nothing and every
+// round they run is a cross-shard steal. GOMAXPROCS is raised so the
+// executors genuinely interleave (the CI container may expose one CPU);
+// under -race this exercises the claim/steal/barrier protocol.
+func TestPartitionedRaceSteals(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	sim, sinks := buildRandomNetlistOpts(t, 7, // seed with a cyclic stage
+		core.WithScheduler(core.SchedulerPartitioned),
+		core.WithWorkers(4),
+		core.WithShards(2),
+		core.WithParallelThreshold(1))
+	defer sim.Close()
+
+	want, _ := runNetlistStatuses(t, 7, 40, core.WithScheduler(core.SchedulerSequential))
+	if err := sim.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]int, len(sinks))
+	for i, s := range sinks {
+		got[i] = s.got
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("stolen-work run diverges from sequential: want %v got %v", want, got)
+	}
+
+	info := sim.Schedule()
+	if info == nil {
+		t.Fatal("Schedule() = nil for partitioned scheduler")
+	}
+	if info.Shards != 2 {
+		t.Errorf("Shards = %d, want 2", info.Shards)
+	}
+	if len(info.LevelImbalance) == 0 {
+		t.Error("LevelImbalance empty for partitioned schedule")
+	}
+	if info.StealCount == 0 {
+		t.Error("StealCount = 0: 4 executors over 2 shards with threshold 1 must steal")
+	}
+	if sim.Metrics() != nil && sim.Metrics().Steals() != info.StealCount {
+		t.Errorf("Metrics().Steals() = %d, ScheduleInfo.StealCount = %d",
+			sim.Metrics().Steals(), info.StealCount)
+	}
+}
+
+// panicGate is a gate whose react panics once at a chosen cycle.
+type panicGate struct {
+	core.Base
+	in, out *core.Port
+	at      uint64
+}
+
+func newPanicGate(name string, at uint64) *panicGate {
+	g := &panicGate{at: at}
+	g.Init(name, g)
+	g.in = g.AddInPort("in", core.PortOpts{MinWidth: 1, MaxWidth: 1})
+	g.out = g.AddOutPort("out", core.PortOpts{MinWidth: 1, MaxWidth: 1})
+	g.OnReact(g.react)
+	return g
+}
+
+func (g *panicGate) react() {
+	if g.Now() == g.at {
+		panic("panicGate: injected failure")
+	}
+	if g.in.DataStatus(0) == core.Yes && g.out.DataStatus(0) == core.Unknown {
+		g.out.Send(0, g.in.Data(0))
+		g.out.Enable(0)
+	}
+	if st := g.out.AckStatus(0); st.Known() && g.in.AckStatus(0) == core.Unknown {
+		if st == core.Yes {
+			g.in.Ack(0)
+		} else {
+			g.in.Nack(0)
+		}
+	}
+}
+
+// TestPartitionedPanicRecovery: a panicking handler mid-phase must not
+// strand scheduled flags or wedge the phase pool — later Steps after
+// the recovered panic still run cleanly.
+func TestPartitionedPanicRecovery(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	b := core.NewBuilder(
+		core.WithScheduler(core.SchedulerPartitioned),
+		core.WithWorkers(4), core.WithShards(2), core.WithParallelThreshold(1))
+	src := newSource("src")
+	boom := newPanicGate("boom", 3)
+	snk := newSink("snk", nil)
+	b.Add(src)
+	b.Add(boom)
+	b.Add(snk)
+	if err := b.Connect(src, "out", boom, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(boom, "out", snk, "in"); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+
+	hit := false
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					hit = true
+				}
+			}()
+			if err := sim.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}()
+	}
+	if !hit {
+		t.Fatal("panicking module never fired")
+	}
+}

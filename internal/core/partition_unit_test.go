@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+)
+
+// partitionFixture compiles a partitioned program over a chain of n
+// modules and returns the compiled partition.
+func partitionFixture(t *testing.T, n, shards int) (*Program, *progPartition) {
+	t.Helper()
+	prog, err := Compile(func(b *Builder) error {
+		prev := newProgTestModule("m0")
+		b.Add(prev)
+		for i := 1; i < n; i++ {
+			m := newProgTestModule(chainName(i))
+			b.Add(m)
+			if err := b.Connect(prev, "out", m, "in"); err != nil {
+				return err
+			}
+			prev = m
+		}
+		return nil
+	}, WithScheduler(SchedulerPartitioned), WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.partition == nil {
+		t.Fatal("partitioned compile produced no partition")
+	}
+	return prog, prog.partition
+}
+
+func chainName(i int) string {
+	return "m" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// TestPartitionShardInvariants pins the compile-time partition's
+// contract: every instance and connection is assigned to a shard, a
+// connection belongs to its driver's shard, shard sizes are balanced to
+// within one quota step, and the plane slots of distinct shards are
+// separated by at least one full cache line on the 4-byte status lanes.
+func TestPartitionShardInvariants(t *testing.T) {
+	_, pt := partitionFixture(t, 40, 4)
+	if pt.nShards != 4 {
+		t.Fatalf("nShards = %d, want 4", pt.nShards)
+	}
+	counts := make([]int, pt.nShards)
+	for id, sh := range pt.instShard {
+		if sh < 0 || int(sh) >= pt.nShards {
+			t.Fatalf("instance %d assigned to shard %d (nShards=%d)", id, sh, pt.nShards)
+		}
+		counts[sh]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("shard sizes %v unbalanced beyond one instance", counts)
+	}
+
+	// Conn shard = driving module's shard; slot regions of distinct
+	// shards must not share a cache line (≥16 4-byte cells apart).
+	shardLo := make([]int32, pt.nShards)
+	shardHi := make([]int32, pt.nShards)
+	for i := range shardLo {
+		shardLo[i] = int32(pt.planeSize)
+		shardHi[i] = -1
+	}
+	seen := make(map[int32]bool)
+	for id, sh := range pt.connShard {
+		slot := pt.slot[id]
+		if seen[slot] {
+			t.Fatalf("slot %d assigned twice", slot)
+		}
+		seen[slot] = true
+		if slot < shardLo[sh] {
+			shardLo[sh] = slot
+		}
+		if slot > shardHi[sh] {
+			shardHi[sh] = slot
+		}
+	}
+	for a := 0; a < pt.nShards; a++ {
+		for b := 0; b < pt.nShards; b++ {
+			if a == b || shardHi[a] < 0 || shardHi[b] < 0 {
+				continue
+			}
+			if shardLo[b] > shardHi[a] && shardLo[b]-shardHi[a] < shardPad {
+				t.Fatalf("shards %d and %d plane regions are %d slots apart, want >= %d (one cache line)",
+					a, b, shardLo[b]-shardHi[a], shardPad)
+			}
+		}
+	}
+	if pt.planeSize < len(pt.slot) {
+		t.Fatalf("planeSize %d smaller than conn count %d", pt.planeSize, len(pt.slot))
+	}
+}
+
+// TestPartitionLevelShardsCoverSchedule: the per-shard level splits must
+// partition every level of the compiled schedule exactly — same
+// connections, no duplicates — and the level imbalance stats must exist
+// per forward level.
+func TestPartitionLevelShardsCoverSchedule(t *testing.T) {
+	prog, pt := partitionFixture(t, 24, 3)
+	sc := prog.schedule
+	if len(pt.fwdLevelShards) != len(sc.fwdLevels) {
+		t.Fatalf("fwdLevelShards has %d levels, schedule has %d", len(pt.fwdLevelShards), len(sc.fwdLevels))
+	}
+	for li, lvl := range sc.fwdLevels {
+		seen := make(map[int32]int)
+		for _, id := range lvl {
+			seen[id]++
+		}
+		total := 0
+		for sh, chunk := range pt.fwdLevelShards[li] {
+			for _, id := range chunk {
+				if pt.connShard[id] != int32(sh) {
+					t.Fatalf("level %d: conn %d in shard %d's chunk but owned by shard %d", li, id, sh, pt.connShard[id])
+				}
+				seen[id]--
+				total++
+			}
+		}
+		if total != len(lvl) {
+			t.Fatalf("level %d: shard chunks hold %d conns, level has %d", li, total, len(lvl))
+		}
+		for id, n := range seen {
+			if n != 0 {
+				t.Fatalf("level %d: conn %d covered %d times by shard chunks", li, id, 1-n)
+			}
+		}
+	}
+	info := prog.Schedule()
+	if info.Shards != 3 {
+		t.Fatalf("ScheduleInfo.Shards = %d, want 3", info.Shards)
+	}
+	if len(info.LevelImbalance) != len(sc.fwdLevels) {
+		t.Fatalf("LevelImbalance has %d entries, want %d", len(info.LevelImbalance), len(sc.fwdLevels))
+	}
+	for li, im := range info.LevelImbalance {
+		if im < 1.0 {
+			t.Fatalf("level %d imbalance %f < 1.0", li, im)
+		}
+	}
+}
+
+// TestPartitionShardClamp: more shards than instances clamps to one
+// shard per instance; WithShards(0) selects the default.
+func TestPartitionShardClamp(t *testing.T) {
+	_, pt := partitionFixture(t, 3, 64)
+	if pt.nShards != 3 {
+		t.Fatalf("nShards = %d, want clamp to 3 instances", pt.nShards)
+	}
+	_, pt = partitionFixture(t, 40, 0)
+	if pt.nShards != defaultShards {
+		t.Fatalf("nShards = %d, want default %d", pt.nShards, defaultShards)
+	}
+}
+
+// TestPartitionedSessionSharesPartition: stamped sessions bind the
+// program's compiled partition by reference and map conns onto the
+// padded plane through it.
+func TestPartitionedSessionSharesPartition(t *testing.T) {
+	prog, pt := partitionFixture(t, 20, 4)
+	sim, err := prog.NewSim(WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if sim.part != pt {
+		t.Fatal("stamped session rebuilt the partition instead of sharing the program's")
+	}
+	if len(sim.plane.lanes[0]) != pt.planeSize {
+		t.Fatalf("session plane has %d slots, partition wants %d", len(sim.plane.lanes[0]), pt.planeSize)
+	}
+	for _, c := range sim.conns {
+		if c.slot != pt.slot[c.id] {
+			t.Fatalf("conn %d bound slot %d, partition says %d", c.id, c.slot, pt.slot[c.id])
+		}
+	}
+	if sim.ppool == nil {
+		t.Fatal("4-worker partitioned session has no phase pool")
+	}
+	if err := sim.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,13 +47,25 @@ func (p *workerPool) runOne(r *poolRound) {
 	defer func() {
 		// A contract violation inside a handler must reach Sim.Step's
 		// recover on the stepping goroutine, not kill the process from a
-		// pool worker; capture it and let run re-raise it.
+		// pool worker; capture it and let run re-raise it. Before
+		// releasing the barrier, drain the rest of the batch — claim
+		// every remaining entry and clear its scheduled flag without
+		// reacting — so the round's counter is never left mid-batch: a
+		// stranded scheduled=true instance would be skipped by every
+		// future wake and never run again on restart.
 		if e := recover(); e != nil {
 			r.panicMu.Lock()
 			if r.panicV == nil {
 				r.panicV = e
 			}
 			r.panicMu.Unlock()
+			for {
+				i := int(r.next.Add(1)) - 1
+				if i >= len(r.batch) {
+					break
+				}
+				r.batch[i].scheduled.Store(false)
+			}
 		}
 		r.wg.Done()
 	}()

@@ -42,9 +42,10 @@ type Program struct {
 	scalar      []bool // conn id -> uint64 fast-lane election
 	scalarConns int
 
-	schedule *progSchedule // nil unless levelized/sparse
-	sparse   *progSparse   // nil unless sparse
-	pruned   *progPrune    // nil unless compiled with WithDataflowPrune
+	schedule  *progSchedule  // nil unless levelized/sparse/partitioned
+	sparse    *progSparse    // nil unless sparse
+	pruned    *progPrune     // nil unless compiled with WithDataflowPrune
+	partition *progPartition // nil unless partitioned
 }
 
 // Compile runs the assembly recipe once, compiles the resulting netlist
@@ -127,7 +128,7 @@ func (p *Program) Schedule() *ScheduleInfo {
 // validated netlist: lane election, structural fingerprint and — for the
 // levelized and sparse engines — the static schedule and activity
 // partition. Instance ids must already be assigned (assembly order).
-func compileProgram(instances []Instance, conns []*Conn, sched SchedulerKind, prune bool) *Program {
+func compileProgram(instances []Instance, conns []*Conn, sched SchedulerKind, prune bool, shards int) *Program {
 	p := &Program{sched: sched, nInsts: len(instances), nConns: len(conns)}
 	// Payload-lane inference: a connection joins the uint64 scalar fast
 	// lane when its driver declares PayloadUint64 and its sink does not
@@ -142,11 +143,17 @@ func compileProgram(instances []Instance, conns []*Conn, sched SchedulerKind, pr
 		}
 	}
 	p.fingerprint = fingerprintNetlist(instances, conns)
-	if sched == SchedulerLevelized || sched == SchedulerSparse {
+	if sched == SchedulerLevelized || sched == SchedulerSparse || sched == SchedulerPartitioned {
 		p.schedule = buildSchedule(instances, conns)
 		p.schedule.info.Scheduler = sched
 		p.schedule.info.ScalarConns = p.scalarConns
 		p.schedule.info.SpillConns = len(conns) - p.scalarConns
+	}
+	if sched == SchedulerPartitioned {
+		if shards <= 0 {
+			shards = defaultShards
+		}
+		p.partition = buildPartition(instances, conns, p.schedule, shards)
 	}
 	if sched == SchedulerSparse {
 		p.sparse = buildSparse(instances, conns, p.schedule)

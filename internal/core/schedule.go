@@ -19,16 +19,33 @@ package core
 // per-session state on the Sim.
 
 // ScheduleInfo describes the static schedule computed at compile time for
-// the levelized and sparse schedulers. Sim.Schedule returns nil for
-// other schedulers.
+// the levelized, sparse and partitioned schedulers. Sim.Schedule returns
+// nil for other schedulers.
 type ScheduleInfo struct {
-	// Scheduler is the resolved scheduler kind (SchedulerLevelized or
-	// SchedulerSparse when the info exists).
+	// Scheduler is the resolved scheduler kind (SchedulerLevelized,
+	// SchedulerSparse or SchedulerPartitioned when the info exists).
 	Scheduler SchedulerKind
 	// Workers is the resolved worker count (1 = reactive rounds run on
 	// the calling goroutine). A session property: zero on Program.Schedule,
 	// filled in by Sim.Schedule.
 	Workers int
+	// Shards is the partitioned scheduler's compile-time shard count
+	// (WithShards); zero under other schedulers. Every session stamped
+	// from the program shares the same partition and plane layout.
+	Shards int
+	// StealCount is the number of round entries this session's workers
+	// claimed from shards they do not own — the partitioned scheduler's
+	// cross-shard work stealing. A session property like Workers: zero
+	// on Program.Schedule, filled in by Sim.Schedule. A high rate
+	// relative to reacts means the compile-time partition is imbalanced
+	// for this workload (see LevelImbalance).
+	StealCount uint64
+	// LevelImbalance reports, per forward sweep level, the largest
+	// shard's chunk relative to an even split (1.0 = perfectly
+	// balanced): the compile-time bound on how long a level barrier can
+	// idle waiting for its most loaded shard before stealing evens it
+	// out. Nil under other schedulers.
+	LevelImbalance []float64
 	// Modules is the number of instances in the netlist.
 	Modules int
 	// SCCs is the number of strongly connected components of the module
@@ -117,14 +134,16 @@ type progSchedule struct {
 }
 
 // Schedule returns the static schedule computed at compile time, or nil
-// when the simulator uses neither the levelized nor the sparse
-// scheduler. The returned copy carries this session's worker count.
+// when the simulator uses none of the levelized, sparse or partitioned
+// schedulers. The returned copy carries this session's worker count and
+// steal counter.
 func (s *Sim) Schedule() *ScheduleInfo {
 	if s.schedule == nil {
 		return nil
 	}
 	info := s.schedule.info
 	info.Workers = s.workers
+	info.StealCount = s.stealCount.Load()
 	return &info
 }
 

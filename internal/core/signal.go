@@ -56,7 +56,9 @@ func (p *sigPlane) clearStatus() {
 // clearConn resets one connection's three status cells and spill value —
 // the sparse scheduler's per-connection reset for the active region. The
 // scalar lane is left as is: a stale scalar pins nothing and is
-// unreadable until the next data-Yes store overwrites it.
+// unreadable until the next data-Yes store overwrites it. Indexed by
+// conn id: only the sparse engine calls this, and sparse programs carry
+// no partition, so slot == id.
 func (p *sigPlane) clearConn(id int) {
 	p.lanes[SigData][id].Store(uint32(Unknown))
 	p.lanes[SigEnable][id].Store(uint32(Unknown))
@@ -75,6 +77,13 @@ type Conn struct {
 	srcIdx int   // index of this connection on src
 	dstIdx int   // index of this connection on dst
 	scalar bool  // data values live in the uint64 fast lane (set at Build)
+
+	// slot is the connection's physical index into the signal-plane
+	// lanes. Identical to id except under the partitioned scheduler,
+	// whose compiled plane layout groups each shard's cells into padded,
+	// cache-line-disjoint regions (see buildPartition). All logical
+	// artifacts — schedules, snapshots, hashes — stay keyed by id.
+	slot int32
 
 	sim *Sim
 	pos Pos // spec position of the connect statement, if known
@@ -115,9 +124,9 @@ func (c *Conn) Data() (any, bool) {
 		return nil, false
 	}
 	if c.scalar {
-		return c.sim.plane.scalar[c.id], true
+		return c.sim.plane.scalar[c.slot], true
 	}
-	return c.sim.plane.data[c.id], true
+	return c.sim.plane.data[c.slot], true
 }
 
 // dataValue returns the data-lane value without a handshake check,
@@ -129,9 +138,9 @@ func (c *Conn) dataValue() any {
 		if c.status(SigData) != Yes {
 			return nil
 		}
-		return c.sim.plane.scalar[c.id]
+		return c.sim.plane.scalar[c.slot]
 	}
-	return c.sim.plane.data[c.id]
+	return c.sim.plane.data[c.slot]
 }
 
 // dataUint64 returns the scalar value without boxing. On a spill-lane
@@ -139,9 +148,9 @@ func (c *Conn) dataValue() any {
 // slow) when a connection fell back to the spill lane.
 func (c *Conn) dataUint64() uint64 {
 	if c.scalar {
-		return c.sim.plane.scalar[c.id]
+		return c.sim.plane.scalar[c.slot]
 	}
-	v := c.sim.plane.data[c.id]
+	v := c.sim.plane.data[c.slot]
 	if v == nil {
 		return 0
 	}
@@ -158,7 +167,7 @@ func (c *Conn) String() string {
 }
 
 func (c *Conn) status(k SigKind) Status {
-	return Status(c.sim.plane.lanes[k][c.id].Load())
+	return Status(c.sim.plane.lanes[k][c.slot].Load())
 }
 
 // checkWrite validates that driving a signal is legal right now — the
@@ -208,10 +217,10 @@ func (c *Conn) raiseData(v any) bool {
 				fmt.Sprintf("scalar-lane connection carries uint64 payloads, got %T "+
 					"(send a uint64, or declare PayloadAny on the sink to keep the boxed lane)", v))
 		}
-		pl.scalar[c.id] = u
+		pl.scalar[c.slot] = u
 		return c.resolve(SigData, Yes)
 	}
-	pl.data[c.id] = v
+	pl.data[c.slot] = v
 	if c.resolve(SigData, Yes) {
 		c.sim.spillHits.Add(1)
 		return true
@@ -227,10 +236,10 @@ func (c *Conn) raiseUint64(v uint64) bool {
 	c.checkWrite()
 	pl := &c.sim.plane
 	if c.scalar {
-		pl.scalar[c.id] = v
+		pl.scalar[c.slot] = v
 		return c.resolve(SigData, Yes)
 	}
-	pl.data[c.id] = v
+	pl.data[c.slot] = v
 	if c.resolve(SigData, Yes) {
 		c.sim.spillHits.Add(1)
 		return true
@@ -244,7 +253,7 @@ func (c *Conn) raiseUint64(v uint64) bool {
 // Under a single-worker engine only one goroutine ever raises, so the
 // transition is a plain load + store instead of a bus-locking CAS.
 func (c *Conn) resolve(k SigKind, s Status) bool {
-	cell := &c.sim.plane.lanes[k][c.id]
+	cell := &c.sim.plane.lanes[k][c.slot]
 	if c.sim.workers == 1 {
 		if prev := Status(cell.Load()); prev != Unknown {
 			if prev != s {

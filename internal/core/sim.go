@@ -25,7 +25,7 @@ const (
 // remaining signals, and state commits.
 type Sim struct {
 	seed      int64
-	sched     SchedulerKind // resolved: Sequential, Parallel, Levelized or Sparse
+	sched     SchedulerKind // resolved: Sequential, Parallel, Levelized, Sparse or Partitioned
 	workers   int
 	parMin    int // parallel rounds below this size drain inline
 	tracer    Tracer
@@ -41,6 +41,12 @@ type Sim struct {
 	sparse    *progSparse   // shared: nil unless the sparse scheduler is selected
 	pruned    []bool        // shared: instance id -> handlers never run (WithDataflowPrune); nil otherwise
 	pool      *workerPool
+	part      *progPartition // shared: nil unless the partitioned scheduler is selected
+	ppool     *partPool      // partitioned phase pool; nil unless partitioned with workers > 1
+
+	// stealCount counts rounds entries this session's workers claimed
+	// from shards they do not own (see ScheduleInfo.StealCount).
+	stealCount atomic.Uint64
 
 	// sparseFull requests a full sweep from the next Step (cycle 0, after
 	// InvalidateActivity, a Step error or a Restore). Session state — the
@@ -106,6 +112,11 @@ func (s *Sim) Close() {
 	if s.pool != nil {
 		s.pool.close()
 		s.pool = nil
+		runtime.SetFinalizer(s, nil)
+	}
+	if s.ppool != nil {
+		s.ppool.close()
+		s.ppool = nil
 		runtime.SetFinalizer(s, nil)
 	}
 }
@@ -177,6 +188,14 @@ func (s *Sim) wakeSlow(b *Base) {
 		m.wakes.Add(1)
 	}
 	if s.par {
+		if s.ppool != nil {
+			// Partitioned phase: the wake lands on the woken instance's
+			// shard queue — usually owned by the waking worker itself, so
+			// the per-shard mutex is uncontended, unlike the global
+			// wake mutex below.
+			s.ppool.ph.wake(b, s.part.instShard[b.id])
+			return
+		}
 		s.wakeMu.Lock()
 		s.wakes = append(s.wakes, b)
 		s.wakeMu.Unlock()
@@ -187,7 +206,11 @@ func (s *Sim) wakeSlow(b *Base) {
 
 func (s *Sim) drain() {
 	if s.workers > 1 && len(s.queue)-s.qhead >= s.parMin {
-		s.drainParallel()
+		if s.ppool != nil {
+			s.drainPartitioned()
+		} else {
+			s.drainParallel()
+		}
 		return
 	}
 	// Sequential worklist — also the parallel engine's small-round path:
@@ -208,7 +231,11 @@ func (s *Sim) drain() {
 					m.iters.Add(1)
 				}
 			}
-			s.drainParallel()
+			if s.ppool != nil {
+				s.drainPartitioned()
+			} else {
+				s.drainParallel()
+			}
 			return
 		}
 		b := s.queue[s.qhead]
@@ -356,7 +383,11 @@ func (s *Sim) applyDefaults(full bool) {
 		return
 	}
 	if s.schedule != nil {
-		s.applyDefaultsLevelized()
+		if s.part != nil {
+			s.applyDefaultsPartitioned()
+		} else {
+			s.applyDefaultsLevelized()
+		}
 		return
 	}
 	s.defaultRound(SigData)
@@ -510,6 +541,20 @@ func (s *Sim) Step() (err error) {
 				panic(r)
 			}
 			s.setPhase(phaseIdle)
+			// The cycle aborted mid-drain: clear the scheduled flags of
+			// anything still queued (the sequential worklist tail and
+			// wakes collected during an aborted parallel round), or those
+			// instances would be skipped by every future wake.
+			for _, b := range s.queue[s.qhead:] {
+				b.scheduled.Store(false)
+			}
+			s.queue = s.queue[:0]
+			s.qhead = 0
+			for _, b := range s.wakes {
+				b.scheduled.Store(false)
+			}
+			s.wakes = s.wakes[:0]
+			s.par = false
 			if s.sparse != nil {
 				// The cycle aborted mid-resolution; the plane holds a
 				// partial state no replay may build on.

@@ -91,14 +91,21 @@ func (s *Sim) Snapshot(w io.Writer) error {
 		RngN:        make([]uint64, len(s.bases)),
 		Inst:        make([][]byte, len(s.bases)),
 	}
+	// The lanes serialize by conn id, read through each connection's
+	// physical plane slot (slot == id except under the partitioned
+	// layout, whose padded plane is longer than the conn list), so
+	// snapshots stay portable across plane layouts.
 	for k := range snap.Status {
 		lane := make([]uint32, len(s.conns))
-		for i := range s.plane.lanes[k] {
-			lane[i] = s.plane.lanes[k][i].Load()
+		for i, c := range s.conns {
+			lane[i] = s.plane.lanes[k][c.slot].Load()
 		}
 		snap.Status[k] = lane
 	}
-	snap.Scalar = append([]uint64(nil), s.plane.scalar...)
+	snap.Scalar = make([]uint64, len(s.conns))
+	for i, c := range s.conns {
+		snap.Scalar[i] = s.plane.scalar[c.slot]
+	}
 	for i, b := range s.bases {
 		snap.RngN[i] = b.rsrc.n
 		st, ok := b.self.(Stateful)
@@ -154,10 +161,12 @@ func (p *Program) Restore(r io.Reader, opts ...BuildOption) (*Sim, error) {
 	}
 	for k := range snap.Status {
 		for i, v := range snap.Status[k] {
-			s.plane.lanes[k][i].Store(v)
+			s.plane.lanes[k][s.conns[i].slot].Store(v)
 		}
 	}
-	copy(s.plane.scalar, snap.Scalar)
+	for i, v := range snap.Scalar {
+		s.plane.scalar[s.conns[i].slot] = v
+	}
 	s.cycle = snap.Cycle
 	s.spillHits.Store(snap.SpillHits)
 	// Between cycles the data lanes read as released; the boxed spill

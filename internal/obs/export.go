@@ -45,6 +45,7 @@ type SchedulerStats struct {
 	Reacts           uint64            `json:"reacts"`
 	FixedPointIters  uint64            `json:"fixed_point_iters"`
 	ParallelRounds   uint64            `json:"parallel_rounds"`
+	Steals           uint64            `json:"steals,omitempty"`
 	ActiveInsts      uint64            `json:"active_insts"`
 	SkippedWakes     uint64            `json:"skipped_wakes"`
 	RoundSize        *HistogramStats   `json:"round_size,omitempty"`
@@ -59,6 +60,8 @@ type SchedulerStats struct {
 type ScheduleStats struct {
 	Scheduler       string   `json:"scheduler"`
 	Workers         int      `json:"workers"`
+	Shards          int      `json:"shards,omitempty"`
+	StealCount      uint64   `json:"steal_count,omitempty"`
 	Modules         int      `json:"modules"`
 	SCCs            int      `json:"sccs"`
 	CyclicSCCs      int      `json:"cyclic_sccs"`
@@ -79,12 +82,18 @@ type ScheduleStats struct {
 	ScalarConns     int      `json:"scalar_conns"`
 	SpillConns      int      `json:"spill_conns"`
 	BreakSites      []string `json:"break_sites,omitempty"`
+	// LevelImbalance is the partitioned scheduler's per-forward-level
+	// load skew: largest shard chunk over the even share (1.0 = perfectly
+	// balanced).
+	LevelImbalance []float64 `json:"level_imbalance,omitempty"`
 }
 
 func scheduleStats(info *core.ScheduleInfo) *ScheduleStats {
 	return &ScheduleStats{
 		Scheduler:       info.Scheduler.String(),
 		Workers:         info.Workers,
+		Shards:          info.Shards,
+		StealCount:      info.StealCount,
 		Modules:         info.Modules,
 		SCCs:            info.SCCs,
 		CyclicSCCs:      info.CyclicSCCs,
@@ -105,6 +114,7 @@ func scheduleStats(info *core.ScheduleInfo) *ScheduleStats {
 		ScalarConns:     info.ScalarConns,
 		SpillConns:      info.SpillConns,
 		BreakSites:      info.BreakSites,
+		LevelImbalance:  info.LevelImbalance,
 	}
 }
 
@@ -165,6 +175,7 @@ func TakeSnapshot(s *core.Sim) Snapshot {
 		Reacts:           m.Reacts(),
 		FixedPointIters:  m.FixedPointIters(),
 		ParallelRounds:   m.ParallelRounds(),
+		Steals:           m.Steals(),
 		ActiveInsts:      m.ActiveInstances(),
 		SkippedWakes:     m.SkippedWakes(),
 		DefaultFallbacks: map[string]uint64{},
@@ -251,6 +262,13 @@ func WriteCSV(w io.Writer, s *core.Sim) error {
 	if sd := snap.Schedule; sd != nil {
 		cw.Write([]string{"schedule", "", "scheduler", sd.Scheduler})
 		row("schedule", "", "workers", int64(sd.Workers))
+		if sd.Scheduler == "partitioned" {
+			row("schedule", "", "shards", int64(sd.Shards))
+			row("schedule", "", "steal_count", sd.StealCount)
+			for i, im := range sd.LevelImbalance {
+				row("schedule", strconv.Itoa(i), "level_imbalance", im)
+			}
+		}
 		row("schedule", "", "modules", int64(sd.Modules))
 		row("schedule", "", "sccs", int64(sd.SCCs))
 		row("schedule", "", "cyclic_sccs", int64(sd.CyclicSCCs))
@@ -282,6 +300,7 @@ func WriteCSV(w io.Writer, s *core.Sim) error {
 		row("scheduler", "", "reacts", sc.Reacts)
 		row("scheduler", "", "fixed_point_iters", sc.FixedPointIters)
 		row("scheduler", "", "parallel_rounds", sc.ParallelRounds)
+		row("scheduler", "", "steals", sc.Steals)
 		row("scheduler", "", "active_insts", sc.ActiveInsts)
 		row("scheduler", "", "skipped_wakes", sc.SkippedWakes)
 		for _, k := range sigKinds {

@@ -28,6 +28,16 @@ func WriteScheduleReport(w io.Writer, s *core.Sim) error {
 		info.AckSweepConns, info.AckLevels, info.AckResidueConns)
 	fmt.Fprintf(w, "  payload lanes:  %d conns on the uint64 scalar fast lane, %d on the boxed spill lane\n",
 		info.ScalarConns, info.SpillConns)
+	if info.Scheduler == core.SchedulerPartitioned {
+		maxImb := 1.0
+		for _, im := range info.LevelImbalance {
+			if im > maxImb {
+				maxImb = im
+			}
+		}
+		fmt.Fprintf(w, "  partition:      %d shard(s), worst level imbalance %.2fx, %d steal(s) this session\n",
+			info.Shards, maxImb, info.StealCount)
+	}
 	if info.Scheduler == core.SchedulerSparse {
 		fmt.Fprintf(w, "  activity:       %d/%d instances active (%d seed(s)), %d/%d conns re-resolved per cycle\n",
 			info.ActiveInsts, info.ActiveInsts+info.GatedInsts, info.AlwaysActive,

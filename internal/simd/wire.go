@@ -20,10 +20,11 @@ import (
 // different options compiles into a distinct cached program.
 type BuildOptions struct {
 	// Scheduler selects the engine: "auto" (default), "sequential",
-	// "parallel", "levelized" or "sparse". Sessions always run the
-	// engine their program was compiled for.
+	// "parallel", "levelized", "sparse" or "partitioned". Sessions
+	// always run the engine their program was compiled for.
 	Scheduler string `json:"scheduler,omitempty"`
-	// Workers is the scheduler worker count (parallel engine).
+	// Workers is the scheduler worker count (parallel and partitioned
+	// engines).
 	Workers int `json:"workers,omitempty"`
 	// Strict, when set to "info", "warning" or "error", fails compilation
 	// when static analysis finds diagnostics at or above that severity.
@@ -56,7 +57,8 @@ func (o BuildOptions) buildOptions() ([]core.BuildOption, error) {
 }
 
 // ParseScheduler converts a scheduler name from the wire ("auto",
-// "sequential", "parallel", "levelized", "sparse") into its kind.
+// "sequential", "parallel", "levelized", "sparse", "partitioned") into
+// its kind.
 func ParseScheduler(name string) (core.SchedulerKind, error) {
 	switch name {
 	case "", "auto":
@@ -69,8 +71,10 @@ func ParseScheduler(name string) (core.SchedulerKind, error) {
 		return core.SchedulerLevelized, nil
 	case "sparse":
 		return core.SchedulerSparse, nil
+	case "partitioned":
+		return core.SchedulerPartitioned, nil
 	}
-	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel, levelized or sparse)", name)
+	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel, levelized, sparse or partitioned)", name)
 }
 
 // SubmitProgramRequest is the POST /v1/programs body: one LSS

@@ -372,6 +372,12 @@ const (
 	// gating: regions unreachable from any cycle-start (or autonomous)
 	// instance are resolved once and replayed, not re-resolved per cycle.
 	SchedulerSparse = core.SchedulerSparse
+	// SchedulerPartitioned is the build-time partitioned parallel
+	// engine: the module graph is sharded into connectivity-grown
+	// regions (WithShards) with a cache-line-disjoint signal-plane
+	// layout, and workers run their own shards' work, stealing leftovers
+	// across shards at per-round barriers.
+	SchedulerPartitioned = core.SchedulerPartitioned
 )
 
 // NewBuilder returns a netlist builder over DefaultRegistry, configured
@@ -402,11 +408,16 @@ var (
 	// WithSeed sets the deterministic random seed.
 	WithSeed = core.WithSeed
 	// WithScheduler selects the scheduling engine (see SchedulerAuto,
-	// SchedulerSequential, SchedulerParallel, SchedulerLevelized).
+	// SchedulerSequential, SchedulerParallel, SchedulerLevelized,
+	// SchedulerSparse, SchedulerPartitioned).
 	WithScheduler = core.WithScheduler
 	// WithWorkers selects the scheduler worker count (a pure count knob;
 	// the engine is chosen by WithScheduler alone).
 	WithWorkers = core.WithWorkers
+	// WithShards sets the partitioned scheduler's compile-time shard
+	// count (default 16). A Program property: every session stamped from
+	// the program inherits the partition; workers remain per session.
+	WithShards = core.WithShards
 	// WithTracer attaches a tracer; repeated options compose.
 	WithTracer = core.WithTracer
 	// WithRegistry selects the template registry (NewBuilder only).

@@ -1,0 +1,76 @@
+package liberty_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	core "liberty/internal/core"
+	"liberty/lse"
+)
+
+// TestPartitionedMeshStealRace is the race-focused differential for the
+// partitioned engine on a cyclic-SCC model: the shipped 4x4 mesh (one
+// large router loop in the residue) runs with more executors than shards
+// and a hair-trigger parallel threshold, so every reactive round is
+// phase-pool traffic and the surplus executors can only make progress by
+// stealing. GOMAXPROCS is raised so the executors genuinely interleave
+// even on a single-CPU CI container. Run under -race this exercises the
+// claim/steal/barrier protocol against the cyclic residue; the per-cycle
+// hashes must stay bit-identical to the sequential scanner regardless.
+func TestPartitionedMeshStealRace(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	src, err := os.ReadFile("specs/mesh.lss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 40
+	ref := runSpecUnder(t, string(src), cycles, lse.WithScheduler(lse.SchedulerSequential))
+	got := runSpecUnder(t, string(src), cycles,
+		lse.WithScheduler(lse.SchedulerPartitioned),
+		lse.WithWorkers(4),
+		lse.WithShards(2),
+		lse.WithParallelThreshold(1))
+	diffRuns(t, "mesh-race", "partitioned-stealing", ref, got, true)
+}
+
+// TestPartitionedBusyTorusAgrees pins the benchmark netlist itself: the
+// compute-bound busy torus must produce bit-identical per-cycle hashes
+// under the partitioned engine (all worker counts) as under the
+// sequential scanner.
+func TestPartitionedBusyTorusAgrees(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(opts ...core.BuildOption) []uint64 {
+		h := &cycleHasher{}
+		b := core.NewBuilder(append(opts, core.WithSeed(1), core.WithTracer(h))...)
+		if err := busyTorusAssemble(8, 8)(b); err != nil {
+			t.Fatal(err)
+		}
+		sim, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Close()
+		if err := sim.Run(25); err != nil {
+			t.Fatal(err)
+		}
+		return h.hashes
+	}
+	ref := run(core.WithScheduler(core.SchedulerSequential))
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := run(core.WithScheduler(core.SchedulerPartitioned),
+			core.WithWorkers(workers), core.WithShards(8), core.WithParallelThreshold(1))
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d cycles hashed, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: cycle %d diverges from sequential", workers, i)
+			}
+		}
+	}
+}

@@ -55,6 +55,18 @@ var schedulerMatrix = []struct {
 	{"parallel-inline", true, []lse.BuildOption{lse.WithScheduler(lse.SchedulerParallel),
 		lse.WithWorkers(2), lse.WithParallelThreshold(1 << 20)}},
 	{"sparse", false, []lse.BuildOption{lse.WithScheduler(lse.SchedulerSparse)}},
+	// The partitioned engine must hold exact counts at every worker
+	// count: per-level barriers and the handler-free wavefront keep the
+	// default and break metrics equal to the sequential sweep's.
+	{"partitioned-w1", true, []lse.BuildOption{lse.WithScheduler(lse.SchedulerPartitioned)}},
+	{"partitioned-w2", true, []lse.BuildOption{lse.WithScheduler(lse.SchedulerPartitioned),
+		lse.WithWorkers(2)}},
+	{"partitioned-w4", true, []lse.BuildOption{lse.WithScheduler(lse.SchedulerPartitioned),
+		lse.WithWorkers(4)}},
+	// workers=8 over 4 shards with a hair-trigger parallel threshold:
+	// maximal phase-pool traffic, executors outnumber shards, stealing on.
+	{"partitioned-w8", true, []lse.BuildOption{lse.WithScheduler(lse.SchedulerPartitioned),
+		lse.WithWorkers(8), lse.WithShards(4), lse.WithParallelThreshold(1)}},
 }
 
 type schedRun struct {

@@ -27,6 +27,15 @@
 // far more stable estimate of the code's true cost on a noisy shared
 // host than any single sample, and a genuine regression slows every
 // sample, so taking the min never masks one.
+//
+// Beyond the baseline, -notslower 'A<=B' (repeatable) gates one row of
+// the run against another row of the same run: A's ns/op must not
+// exceed B's by the -notslower-threshold factor (default 1.10 — wide
+// enough for scheduling noise on a single-CPU host, where a parallel
+// engine can only tie, tight enough to catch a real slowdown). This is
+// the partitioned scheduler's scaling gate: workers=8 must never lose
+// to workers=1, on any host. A missing row is a warning, not a failure,
+// so the gate tolerates smoke patterns that skip the pair.
 package main
 
 import (
@@ -37,7 +46,22 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
+
+// notSlowerFlag collects repeated -notslower 'A<=B' pairs.
+type notSlowerFlag [][2]string
+
+func (f *notSlowerFlag) String() string { return "" }
+
+func (f *notSlowerFlag) Set(s string) error {
+	a, b, ok := strings.Cut(s, "<=")
+	if !ok || a == "" || b == "" {
+		return fmt.Errorf("want 'BenchA<=BenchB', got %q", s)
+	}
+	*f = append(*f, [2]string{a, b})
+	return nil
+}
 
 type baseline struct {
 	Benchmarks []struct {
@@ -63,6 +87,9 @@ type sample struct {
 func main() {
 	basePath := flag.String("baseline", "BENCH_5.json", "baseline JSON file (BENCH_*.json layout)")
 	threshold := flag.Float64("threshold", 1.25, "fail when a metric exceeds baseline by this factor")
+	var notSlower notSlowerFlag
+	flag.Var(&notSlower, "notslower", "gate 'A<=B': row A's ns/op must not exceed row B's (repeatable)")
+	nsThreshold := flag.Float64("notslower-threshold", 1.10, "slack factor for -notslower comparisons")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*basePath)
@@ -159,6 +186,22 @@ func main() {
 		if _, ok := best[name]; !ok {
 			fmt.Printf("benchguard: %-50s not in this run\n", name)
 		}
+	}
+	for _, pair := range notSlower {
+		a, okA := best[pair[0]]
+		b, okB := best[pair[1]]
+		if !okA || !okB {
+			fmt.Printf("benchguard: notslower %s<=%s: row(s) missing from this run, skipped\n", pair[0], pair[1])
+			continue
+		}
+		ratio := a.ns / b.ns
+		status := "ok"
+		if ratio > *nsThreshold {
+			status = "SLOWER"
+			failed++
+		}
+		fmt.Printf("benchguard: notslower %s (%.0f ns/op) vs %s (%.0f ns/op): %.2fx  %s\n",
+			pair[0], a.ns, pair[1], b.ns, ratio, status)
 	}
 	if failed > 0 {
 		fatal(fmt.Errorf("%d benchmark metric(s) regressed beyond threshold over %s",
