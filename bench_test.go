@@ -525,6 +525,40 @@ func BenchmarkLevelizedMesh(b *testing.B) {
 	})
 }
 
+// BenchmarkWovenPipeline is the weaving acceptance gate on the 256-deep
+// default-control pipeline: every connection is handler-free and
+// control-free, so the woven plan compiles the entire netlist into
+// constant replay — a steady cycle touches no per-connection state at
+// all, against the levelized engine's full per-level interpreted sweep.
+// The issue target is ≥2x over interpreted levelized at 0 allocs/op.
+func BenchmarkWovenPipeline(b *testing.B) {
+	b.Run("levelized", func(b *testing.B) {
+		benchScheduler(b, buildDefaultChain(b, 256,
+			core.WithScheduler(core.SchedulerLevelized), core.WithMetrics()))
+	})
+	b.Run("woven", func(b *testing.B) {
+		benchScheduler(b, buildDefaultChain(b, 256,
+			core.WithScheduler(core.SchedulerWoven), core.WithMetrics()))
+	})
+}
+
+// BenchmarkWovenMesh runs the same comparison on a 16x16 acyclic grid —
+// the torus's 2D fan-in/fan-out shape without its cyclic SCC. The torus
+// itself is useless here (one big cycle is all interpreted residue, and
+// both engines would run the identical worklist); the acyclic grid
+// levelizes completely, so the woven engine replays all 480 connections
+// while the levelized engine re-resolves them level by level.
+func BenchmarkWovenMesh(b *testing.B) {
+	b.Run("levelized", func(b *testing.B) {
+		benchScheduler(b, buildDefaultAcyclicGrid(b, 16, 16,
+			core.WithScheduler(core.SchedulerLevelized), core.WithMetrics()))
+	})
+	b.Run("woven", func(b *testing.B) {
+		benchScheduler(b, buildDefaultAcyclicGrid(b, 16, 16,
+			core.WithScheduler(core.SchedulerWoven), core.WithMetrics()))
+	})
+}
+
 // BenchmarkSparseIdleMesh compares the levelized engine against the
 // activity-gated sparse engine on a 16x16 torus of handler-less modules —
 // a fully idle fabric. The levelized engine re-resolves all 512

@@ -105,8 +105,8 @@ func runStamped(t *testing.T, prog *core.Program, cycles uint64) ([]uint64, stri
 // session to cycle k, snapshot, restore onto a fresh session and run the
 // remainder. The restored run's per-cycle scheddiff hashes and its final
 // statistics dump must be bit-identical to an uninterrupted run — across
-// the sequential, levelized and sparse engines, and across boxed and
-// typed (uint64-lane) payloads.
+// the sequential, levelized, sparse and woven engines, and across boxed
+// and typed (uint64-lane) payloads.
 func TestCheckpointRestoreBitIdentical(t *testing.T) {
 	const snapAt, total = 60, 140
 	engines := []struct {
@@ -116,6 +116,7 @@ func TestCheckpointRestoreBitIdentical(t *testing.T) {
 		{"sequential", core.SchedulerSequential},
 		{"levelized", core.SchedulerLevelized},
 		{"sparse", core.SchedulerSparse},
+		{"woven", core.SchedulerWoven},
 	}
 	for _, payload := range []string{"any", "uint64"} {
 		for _, eng := range engines {
@@ -174,6 +175,75 @@ func TestCheckpointRestoreBitIdentical(t *testing.T) {
 				simB.Stats().Dump(&st)
 				if st.String() != refStats {
 					t.Fatalf("restored statistics diverge:\n--- uninterrupted\n%s--- restored\n%s",
+						refStats, st.String())
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointCrossEngineWoven pins scheduler independence of the
+// snapshot format: the fingerprint hashes structure, not the engine, so
+// a snapshot taken under the woven engine restores into a levelized
+// compile of the same recipe (and vice versa) and continues the
+// reference hash sequence bit-for-bit. This is the woven engine's
+// strongest external soundness check — its replayed region must land
+// exactly the state the interpreted engines compute.
+func TestCheckpointCrossEngineWoven(t *testing.T) {
+	const snapAt, total = 60, 140
+	for _, payload := range []string{"any", "uint64"} {
+		for _, dir := range []struct {
+			name     string
+			from, to core.SchedulerKind
+		}{
+			{"woven-to-levelized", core.SchedulerWoven, core.SchedulerLevelized},
+			{"levelized-to-woven", core.SchedulerLevelized, core.SchedulerWoven},
+		} {
+			t.Run(fmt.Sprintf("%s/%s", payload, dir.name), func(t *testing.T) {
+				progFrom, err := core.Compile(checkpointAssemble(payload),
+					core.WithSeed(7), core.WithScheduler(dir.from))
+				if err != nil {
+					t.Fatal(err)
+				}
+				progTo, err := core.Compile(checkpointAssemble(payload),
+					core.WithSeed(7), core.WithScheduler(dir.to))
+				if err != nil {
+					t.Fatal(err)
+				}
+				refHashes, refStats := runStamped(t, progTo, total)
+
+				simA, err := progFrom.NewSim()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := simA.Run(snapAt); err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := simA.Snapshot(&buf); err != nil {
+					t.Fatal(err)
+				}
+				simA.Close()
+
+				h := &cycleHasher{}
+				simB, err := progTo.Restore(bytes.NewReader(buf.Bytes()), core.WithTracer(h))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer simB.Close()
+				if err := simB.Run(total - snapAt); err != nil {
+					t.Fatal(err)
+				}
+				for i, got := range h.hashes {
+					if got != refHashes[snapAt+i] {
+						t.Fatalf("cross-engine restore diverges from the %s reference at cycle %d",
+							dir.to, snapAt+i)
+					}
+				}
+				var st bytes.Buffer
+				simB.Stats().Dump(&st)
+				if st.String() != refStats {
+					t.Fatalf("cross-engine statistics diverge:\n--- reference\n%s--- restored\n%s",
 						refStats, st.String())
 				}
 			})

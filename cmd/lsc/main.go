@@ -12,8 +12,8 @@
 //
 //	-cycles N      cycles to simulate (default 1000)
 //	-seed N        deterministic random seed (default 0)
-//	-scheduler S   auto | sequential | parallel | levelized | sparse
-//	               (default auto = sparse)
+//	-scheduler S   auto | sequential | parallel | levelized | sparse |
+//	               partitioned | woven (default auto = sparse)
 //	-schedule      dump the static schedule (SCCs, levels, break sites)
 //	-workers N     scheduler workers; >1 selects the parallel scheduler
 //	               (deprecated as a selector — use -scheduler)
@@ -82,7 +82,7 @@ func (d defines) Set(s string) error {
 func main() {
 	cycles := flag.Uint64("cycles", 1000, "cycles to simulate")
 	seed := flag.Int64("seed", 0, "deterministic random seed")
-	scheduler := flag.String("scheduler", "auto", "scheduling engine: auto, sequential, parallel, levelized, sparse or partitioned")
+	scheduler := flag.String("scheduler", "auto", "scheduling engine: auto, sequential, parallel, levelized, sparse, partitioned or woven")
 	schedule := flag.Bool("schedule", false, "dump the static schedule (levelized scheduler) to stderr")
 	workers := flag.Int("workers", 1, "scheduler workers (>1 = parallel scheduler; deprecated as a selector, use -scheduler)")
 	trace := flag.Bool("trace", false, "dump the signal trace to stderr")
@@ -300,8 +300,10 @@ func schedulerKind(name string) (lse.SchedulerKind, error) {
 		return lse.SchedulerSparse, nil
 	case "partitioned":
 		return lse.SchedulerPartitioned, nil
+	case "woven":
+		return lse.SchedulerWoven, nil
 	}
-	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel, levelized, sparse or partitioned)", name)
+	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel, levelized, sparse, partitioned or woven)", name)
 }
 
 func fatal(err error) {

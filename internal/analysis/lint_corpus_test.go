@@ -33,13 +33,18 @@ func TestLintCorpusGolden(t *testing.T) {
 			{"LSE004", analysis.Warning, "q1"},
 			{"LSE004", analysis.Warning, "q2"},
 			{"LSE002", analysis.Warning, "q1.out[0]->q2.in[0]"},
+			{"LSE014", analysis.Info, "q1.out[0]->q2.in[0]"},
+			{"LSE014", analysis.Info, "q2.out[0]->q1.in[0]"},
 		},
 		"lse003.lss": {{"LSE003", analysis.Warning, conn}},
 		"lse004.lss": {
 			{"LSE004", analysis.Warning, "src"},
 			{"LSE004", analysis.Warning, "q1"},
 			{"LSE004", analysis.Warning, "q2"},
+			{"LSE014", analysis.Info, "src.out[0]->q1.in[0]"},
 			{"LSE002", analysis.Warning, "q1.out[0]->q2.in[0]"},
+			{"LSE014", analysis.Info, "q1.out[0]->q2.in[0]"},
+			{"LSE014", analysis.Info, "q2.out[0]->q1.in[1]"},
 		},
 		"lse005.lss": {{"LSE005", analysis.Info, "unused"}},
 		"lse006.lss": {
@@ -68,6 +73,16 @@ func TestLintCorpusGolden(t *testing.T) {
 			{"LSE011", analysis.Info, conn},
 		},
 		"lse012.lss": {{"LSE012", analysis.Warning, conn}},
+		// lse014 pins the weavability grader: residue taint spreads from
+		// the q1<->q2 ring to its feeder and drain, so every handler-
+		// adjacent connection in the region reports, not just the ring.
+		"lse014.lss": {
+			{"LSE014", analysis.Info, "src.out[0]->q1.in[0]"},
+			{"LSE002", analysis.Warning, "q1.out[0]->q2.in[0]"},
+			{"LSE014", analysis.Info, "q1.out[0]->q2.in[0]"},
+			{"LSE014", analysis.Info, "q2.out[0]->q1.in[1]"},
+			{"LSE014", analysis.Info, "q1.out[1]->snk.in[0]"},
+		},
 		"lse013.lss": {
 			{"LSE010", analysis.Warning, "dsrc"},
 			{"LSE013", analysis.Info, "dsrc"},

@@ -189,9 +189,9 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 	}
 	b.built = true
 	sched, workers := resolveScheduler(b.sched, b.workers)
-	if b.prune && sched != SchedulerSparse {
+	if b.prune && sched != SchedulerSparse && sched != SchedulerWoven {
 		return nil, &BuildError{Op: "build", Where: "?",
-			Detail: fmt.Sprintf("WithDataflowPrune requires the sparse scheduler (the default), not %s: pruning moves provably-dead structure into the replayed gated region", sched)}
+			Detail: fmt.Sprintf("WithDataflowPrune requires the sparse (default) or woven scheduler, not %s: pruning moves provably-dead structure into the replayed region", sched)}
 	}
 	// The compiled artifacts index by instance and connection id; assign
 	// instance ids (assembly order) before compiling or validating.
@@ -226,9 +226,10 @@ func (b *Builder) Build(opts ...BuildOption) (*Sim, error) {
 		stats:     newStatSet(),
 		schedule:  p.schedule,
 		sparse:    p.sparse,
+		weave:     p.weave,
 	}
-	if s.sparse != nil {
-		s.sparseFull = true // cycle 0 establishes the gated region's values
+	if s.sparse != nil || s.weave != nil {
+		s.needFull = true // cycle 0 establishes the replayed region's values
 	}
 	if p.pruned != nil {
 		s.pruned = p.pruned.insts
@@ -302,6 +303,9 @@ func resolveScheduler(sched SchedulerKind, workers int) (SchedulerKind, int) {
 		// Workers honored exactly as given (default one): the shard
 		// partition is compiled into the Program, and a session's
 		// phases cap their live executors at GOMAXPROCS anyway.
+	case SchedulerWoven:
+		// Workers honored exactly as given (default one); extra workers
+		// only parallelize the interpreted fallback's reactive rounds.
 	}
 	return sched, workers
 }

@@ -56,6 +56,24 @@ const (
 	// GOMAXPROCS, so over-provisioned sessions degrade to sequential
 	// execution instead of regressing. See DESIGN.md Appendix H.
 	SchedulerPartitioned
+	// SchedulerWoven is the AOT-woven engine: at compile time the
+	// levelized schedule is fused into specialized step kernels.
+	// Connections whose endpoints bear no cycle-start or reactive
+	// handlers and that sit in the acyclic sweep resolve without any
+	// per-cycle interpretation — default-control resolution is folded to
+	// a compile-time constant and replayed (or, when a port carries a
+	// Control function, compiled into one fused closure with raw plane
+	// stores); only handler-adjacent connections and the cyclic residue
+	// keep the interpreted path, restricted to exactly that fallback
+	// set. Unlike SchedulerSparse, the replayed region is accounted:
+	// results *and* scheduler default/break counts are bit-identical to
+	// SchedulerSequential (under the handler-locality and
+	// control-function-purity contracts, DESIGN.md Appendix I).
+	// WithWorkers is honored exactly as given and parallelizes the
+	// fallback's reactive rounds. Composes with WithDataflowPrune: dead
+	// connections never get a kernel. Sim.InvalidateActivity forces a
+	// full interpreted sweep.
+	SchedulerWoven
 )
 
 func (k SchedulerKind) String() string {
@@ -72,6 +90,8 @@ func (k SchedulerKind) String() string {
 		return "sparse"
 	case SchedulerPartitioned:
 		return "partitioned"
+	case SchedulerWoven:
+		return "woven"
 	}
 	return "invalid"
 }

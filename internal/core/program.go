@@ -42,10 +42,11 @@ type Program struct {
 	scalar      []bool // conn id -> uint64 fast-lane election
 	scalarConns int
 
-	schedule  *progSchedule  // nil unless levelized/sparse/partitioned
+	schedule  *progSchedule  // nil unless levelized/sparse/partitioned/woven
 	sparse    *progSparse    // nil unless sparse
 	pruned    *progPrune     // nil unless compiled with WithDataflowPrune
 	partition *progPartition // nil unless partitioned
+	weave     *progWeave     // nil unless woven
 }
 
 // Compile runs the assembly recipe once, compiles the resulting netlist
@@ -113,7 +114,8 @@ func (p *Program) Conns() int { return p.nConns }
 func (p *Program) Fingerprint() uint64 { return p.fingerprint }
 
 // Schedule returns a copy of the static-schedule introspection info, or
-// nil when the program uses neither the levelized nor the sparse engine.
+// nil when the program uses none of the statically scheduled engines
+// (levelized, sparse, partitioned, woven).
 // The Workers field is zero: worker counts are a session property (see
 // Sim.Schedule).
 func (p *Program) Schedule() *ScheduleInfo {
@@ -143,7 +145,7 @@ func compileProgram(instances []Instance, conns []*Conn, sched SchedulerKind, pr
 		}
 	}
 	p.fingerprint = fingerprintNetlist(instances, conns)
-	if sched == SchedulerLevelized || sched == SchedulerSparse || sched == SchedulerPartitioned {
+	if sched == SchedulerLevelized || sched == SchedulerSparse || sched == SchedulerPartitioned || sched == SchedulerWoven {
 		p.schedule = buildSchedule(instances, conns)
 		p.schedule.info.Scheduler = sched
 		p.schedule.info.ScalarConns = p.scalarConns
@@ -171,6 +173,23 @@ func compileProgram(instances []Instance, conns []*Conn, sched SchedulerKind, pr
 			p.schedule.info.PrunedInsts = p.pruned.nInsts
 		}
 		p.schedule.info.fillActivity(p.sparse)
+	}
+	if sched == SchedulerWoven {
+		var pr *progPrune
+		if prune {
+			// Same prune-independence contract as the sparse branch: the
+			// fingerprint ignores pruning, only the compiled artifacts a
+			// session binds change. The woven compiler consumes the prune
+			// result directly — dead connections never get a kernel and
+			// leave every per-cycle list — so no schedule rewrite happens.
+			ff := analyzeFlow(instances, conns)
+			p.pruned = computePrune(instances, conns, ff)
+			pr = p.pruned
+			p.schedule.info.PrunedConns = pr.nConns
+			p.schedule.info.PrunedInsts = pr.nInsts
+		}
+		p.weave = buildWeave(instances, conns, p.schedule, pr)
+		p.schedule.info.fillWeave(p.weave)
 	}
 	return p
 }

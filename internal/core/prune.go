@@ -2,8 +2,9 @@ package core
 
 // prune.go is the optimizer built on the dataflow analysis (flow.go):
 // WithDataflowPrune deletes provably-dead connections and instances from
-// the sparse scheduler's activity partition at compile time, so sessions
-// never reset, re-resolve or wake them again.
+// the sparse scheduler's activity partition (and from the woven
+// scheduler's kernel plan) at compile time, so sessions never reset,
+// re-resolve or wake them again.
 //
 // Soundness (DESIGN.md Appendix G). A connection is prunable only when
 // the analysis proves all three of its signals resolve No on every cycle
@@ -37,7 +38,7 @@ package core
 // bit-identical to the unpruned program; ScheduleInfo reports the pruned
 // counts.
 //
-// Requires the sparse scheduler (the default): pruning works by moving
+// Requires the sparse (default) or woven scheduler: pruning works by moving
 // provably-dead structure into the replayed gated region. Caveats: a
 // pruned instance's statistics freeze and its handlers never run, and the
 // analysis trusts construction parameters — mutating a module mid-run in

@@ -19,11 +19,12 @@ package core
 // per-session state on the Sim.
 
 // ScheduleInfo describes the static schedule computed at compile time for
-// the levelized, sparse and partitioned schedulers. Sim.Schedule returns
-// nil for other schedulers.
+// the levelized, sparse, partitioned and woven schedulers. Sim.Schedule
+// returns nil for other schedulers.
 type ScheduleInfo struct {
 	// Scheduler is the resolved scheduler kind (SchedulerLevelized,
-	// SchedulerSparse or SchedulerPartitioned when the info exists).
+	// SchedulerSparse, SchedulerPartitioned or SchedulerWoven when the
+	// info exists).
 	Scheduler SchedulerKind
 	// Workers is the resolved worker count (1 = reactive rounds run on
 	// the calling goroutine). A session property: zero on Program.Schedule,
@@ -99,6 +100,16 @@ type ScheduleInfo struct {
 	// structure is excluded from the Active/Gated splits above.
 	PrunedConns int
 	PrunedInsts int
+	// WovenConns/CtrlKernels/FallbackConns describe the woven scheduler's
+	// compile-time kernel specialization (all zero under other
+	// schedulers): WovenConns resolve as replayed compile-time constants,
+	// CtrlKernels resolve through one fused control kernel each, and
+	// FallbackConns — handler-adjacent connections and the cyclic residue
+	// — keep the interpreted path (the LSE014 diagnostic names them).
+	// Pruned connections are counted by PrunedConns, not here.
+	WovenConns    int
+	CtrlKernels   int
+	FallbackConns int
 }
 
 // fillActivity copies the sparse activity partition's shape into the
@@ -109,6 +120,14 @@ func (si *ScheduleInfo) fillActivity(sp *progSparse) {
 	si.AlwaysActive = sp.alwaysActive
 	si.ActiveConns = len(sp.dirty)
 	si.GatedConns = len(sp.connActive) - len(sp.dirty) - si.PrunedConns
+}
+
+// fillWeave copies the woven plan's shape into the schedule
+// introspection info.
+func (si *ScheduleInfo) fillWeave(wv *progWeave) {
+	si.WovenConns = wv.nConst
+	si.CtrlKernels = wv.nCtrl
+	si.FallbackConns = wv.nFallback
 }
 
 // progSchedule is the compiled static schedule, shared read-only across
@@ -134,9 +153,9 @@ type progSchedule struct {
 }
 
 // Schedule returns the static schedule computed at compile time, or nil
-// when the simulator uses none of the levelized, sparse or partitioned
-// schedulers. The returned copy carries this session's worker count and
-// steal counter.
+// when the simulator uses none of the levelized, sparse, partitioned or
+// woven schedulers. The returned copy carries this session's worker
+// count and steal counter.
 func (s *Sim) Schedule() *ScheduleInfo {
 	if s.schedule == nil {
 		return nil

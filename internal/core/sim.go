@@ -25,7 +25,7 @@ const (
 // remaining signals, and state commits.
 type Sim struct {
 	seed      int64
-	sched     SchedulerKind // resolved: Sequential, Parallel, Levelized, Sparse or Partitioned
+	sched     SchedulerKind // resolved: Sequential, Parallel, Levelized, Sparse, Partitioned or Woven
 	workers   int
 	parMin    int // parallel rounds below this size drain inline
 	tracer    Tracer
@@ -37,8 +37,9 @@ type Sim struct {
 	plane     sigPlane // dense signal state, indexed by conn id
 	stats     *StatSet
 	metrics   *Metrics      // nil unless built with WithMetrics
-	schedule  *progSchedule // shared: nil unless the levelized/sparse scheduler is selected
+	schedule  *progSchedule // shared: nil unless a statically scheduled engine is selected
 	sparse    *progSparse   // shared: nil unless the sparse scheduler is selected
+	weave     *progWeave    // shared: nil unless the woven scheduler is selected
 	pruned    []bool        // shared: instance id -> handlers never run (WithDataflowPrune); nil otherwise
 	pool      *workerPool
 	part      *progPartition // shared: nil unless the partitioned scheduler is selected
@@ -48,10 +49,12 @@ type Sim struct {
 	// from shards they do not own (see ScheduleInfo.StealCount).
 	stealCount atomic.Uint64
 
-	// sparseFull requests a full sweep from the next Step (cycle 0, after
-	// InvalidateActivity, a Step error or a Restore). Session state — the
-	// compiled activity partition itself is shared and never written.
-	sparseFull bool
+	// needFull requests a full sweep from the next Step (cycle 0, after
+	// InvalidateActivity, a Step error or a Restore) under the engines
+	// that replay settled resolutions on steady cycles (sparse and
+	// woven). Session state — the compiled activity partition and woven
+	// plan themselves are shared and never written.
+	needFull bool
 
 	// Levelized residue-worklist scratch, per session (the id lists it
 	// walks are the program's). schedRemaining is allocated lazily on the
@@ -378,9 +381,15 @@ func sortWakes(batch []*Base) []*Base {
 // killed at the head. A genuine dependency cycle is broken at the
 // lowest-id unresolved connection.
 func (s *Sim) applyDefaults(full bool) {
-	if s.sparse != nil && !full {
-		s.applyDefaultsSparse()
-		return
+	if !full {
+		if s.sparse != nil {
+			s.applyDefaultsSparse()
+			return
+		}
+		if s.weave != nil {
+			s.applyDefaultsWoven()
+			return
+		}
 	}
 	if s.schedule != nil {
 		if s.part != nil {
@@ -555,20 +564,21 @@ func (s *Sim) Step() (err error) {
 			}
 			s.wakes = s.wakes[:0]
 			s.par = false
-			if s.sparse != nil {
+			if s.sparse != nil || s.weave != nil {
 				// The cycle aborted mid-resolution; the plane holds a
 				// partial state no replay may build on.
-				s.sparseFull = true
+				s.needFull = true
 			}
 			err = ce
 		}
 	}()
-	// The sparse scheduler gates the cycle to the active region except on
-	// full sweeps (cycle 0, after InvalidateActivity, an error or a
-	// Restore), which re-establish the gated region's settled resolution.
-	sp := s.sparse
-	full := sp == nil || s.sparseFull
-	s.sparseFull = false
+	// The sparse scheduler gates the cycle to the active region, and the
+	// woven scheduler replays its compiled region, except on full sweeps
+	// (cycle 0, after InvalidateActivity, an error or a Restore), which
+	// re-establish the replayed region's settled resolution.
+	sp, wv := s.sparse, s.weave
+	full := (sp == nil && wv == nil) || s.needFull
+	s.needFull = false
 	if s.tracer != nil {
 		s.tracer.OnCycleBegin(s.cycle)
 	}
@@ -578,32 +588,48 @@ func (s *Sim) Step() (err error) {
 	if full {
 		// Bulk reset: each status lane is one memclr (Unknown is the zero
 		// status). The data lane was already released at the previous
-		// commit — except when a sparse full sweep invalidates replayed
-		// values, which must go with their statuses.
+		// commit — except when a replaying engine's full sweep invalidates
+		// settled values, which must go with their statuses.
 		s.plane.clearStatus()
-		if sp != nil {
+		if sp != nil || wv != nil {
 			clear(s.plane.data)
 		}
-	} else {
+	} else if sp != nil {
 		for _, id := range sp.dirty {
 			s.plane.clearConn(int(id))
 		}
+	} else {
+		s.clearWovenDirty()
 	}
 	s.setPhase(phaseStart)
-	for i, b := range s.bases {
-		if b.start != nil && (s.pruned == nil || !s.pruned[i]) {
-			b.start()
+	if wv != nil {
+		for _, id := range wv.startList {
+			s.bases[id].start()
+		}
+	} else {
+		for i, b := range s.bases {
+			if b.start != nil && (s.pruned == nil || !s.pruned[i]) {
+				b.start()
+			}
 		}
 	}
 	s.setPhase(phaseReact)
-	if full {
+	switch {
+	case wv != nil:
+		// Full and steady woven cycles wake the same set: every reactive,
+		// unpruned instance (the compiled roster just skips the
+		// O(instances) nil-handler scan).
+		for _, id := range wv.reactWake {
+			s.wake(s.bases[id])
+		}
+	case full:
 		for i, b := range s.bases {
 			if s.pruned != nil && s.pruned[i] {
 				continue
 			}
 			s.wake(b)
 		}
-	} else {
+	default:
 		for _, id := range sp.reactWake {
 			s.wake(s.bases[id])
 		}
@@ -618,36 +644,59 @@ func (s *Sim) Step() (err error) {
 	}
 	s.drain()
 	s.applyDefaults(full)
-	if full {
+	switch {
+	case full:
 		// The resolution counters prove full resolution without a scan
 		// when every signal resolved through the single-worker path.
 		if s.resolved[SigData]+s.resolved[SigEnable]+s.resolved[SigAck] != 3*len(s.conns) {
 			s.verifyResolved(s.conns)
 		}
-	} else {
+	case sp != nil:
 		s.verifyResolvedIDs(sp.dirty)
+	default:
+		// Woven steady cycle: the replayed region is resolved by
+		// construction; the counters (bulk replay accounting plus
+		// single-worker fallback resolutions) prove the rest without a
+		// scan in the common case.
+		if s.resolved[SigData]+s.resolved[SigEnable]+s.resolved[SigAck] != 3*len(s.conns) {
+			s.verifyResolvedIDs(wv.dirty)
+		}
 	}
 	s.setPhase(phaseEnd)
 	if s.tracer != nil {
 		s.tracer.OnCycleEnd(s.cycle)
 	}
-	for i, b := range s.bases {
-		if b.end != nil && (s.pruned == nil || !s.pruned[i]) {
-			b.end()
+	if wv != nil {
+		for _, id := range wv.endList {
+			s.bases[id].end()
+		}
+	} else {
+		for i, b := range s.bases {
+			if b.end != nil && (s.pruned == nil || !s.pruned[i]) {
+				b.end()
+			}
 		}
 	}
 	s.setPhase(phaseIdle)
 	// Commit: release transferred data values now instead of pinning them
-	// until the next cycle's reset. The sparse gated region keeps its
-	// values — they are the replayed resolution. The released flag makes
-	// both lanes read as "not driven" until the next Step, so the kept
-	// values (and stale scalars, which are never cleared) stay
-	// unobservable between cycles.
+	// until the next cycle's reset. The sparse gated region and the woven
+	// compiled region keep their values — they are the replayed
+	// resolution. The released flag makes both lanes read as "not driven"
+	// until the next Step, so the kept values (and stale scalars, which
+	// are never cleared) stay unobservable between cycles.
 	s.released = true
-	if sp == nil {
+	switch {
+	case sp == nil && wv == nil:
 		clear(s.plane.data)
-	} else if !full {
+	case full:
+		// Full replaying cycles release nothing: the whole plane is the
+		// next cycle's replay baseline, hidden by the released flag.
+	case sp != nil:
 		for _, id := range sp.dirty {
+			s.plane.data[id] = nil
+		}
+	default:
+		for _, id := range wv.spill {
 			s.plane.data[id] = nil
 		}
 	}

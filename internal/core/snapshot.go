@@ -173,7 +173,7 @@ func (p *Program) Restore(r io.Reader, opts ...BuildOption) (*Sim, error) {
 	// values themselves are not in the snapshot and are re-derived by the
 	// full sweep the next Step runs.
 	s.released = true
-	s.sparseFull = true
+	s.needFull = true
 	for i, b := range s.bases {
 		// Fast-forward the stream through the counting wrapper so the
 		// draw count advances with it.

@@ -44,7 +44,7 @@ package core
 // a handler is ever replayed.
 //
 // The partition is compiled once and shared read-only across sessions;
-// the full-sweep flag is per-session (Sim.sparseFull). Sim.InvalidateActivity
+// the full-sweep flag is per-session (Sim.needFull). Sim.InvalidateActivity
 // forces a full sweep for harnesses that mutate module state between
 // cycles, and the scheduler falls back to a full sweep automatically on
 // cycle 0 (to establish the gated region's settled values), after any
@@ -178,10 +178,14 @@ func filterConns(ids []int32, keep []bool) []int32 {
 // gated region's settled values. Harnesses that mutate module state
 // between cycles outside the handler phases (e.g. poking registers
 // before resuming) must call it so the sparse scheduler cannot replay a
-// resolution the mutation invalidated. A no-op under other schedulers.
+// resolution the mutation invalidated. Under the woven scheduler it
+// likewise forces a full interpreted sweep (module state cannot change
+// what the handler-free woven region resolves to, but the full sweep
+// also re-runs every reactive handler unconditionally). A no-op under
+// other schedulers.
 func (s *Sim) InvalidateActivity() {
-	if s.sparse != nil {
-		s.sparseFull = true
+	if s.sparse != nil || s.weave != nil {
+		s.needFull = true
 	}
 }
 

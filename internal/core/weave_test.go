@@ -1,0 +1,315 @@
+package core
+
+import (
+	"testing"
+)
+
+// ctrlModule is a handler-free module whose ports carry user Control
+// functions — the shape that compiles to fused control kernels instead
+// of constant replay.
+type ctrlModule struct{ Base }
+
+func newCtrlModule(name string, inOpts, outOpts PortOpts) *ctrlModule {
+	m := &ctrlModule{}
+	m.Init(name, m)
+	m.AddInPort("in", inOpts)
+	m.AddOutPort("out", outOpts)
+	return m
+}
+
+// startDriver bears an OnCycleStart handler and one output — the minimal
+// handler-adjacent instance.
+type startDriver struct {
+	Base
+	out *Port
+}
+
+func newStartDriver(name string) *startDriver {
+	d := &startDriver{}
+	d.Init(name, d)
+	d.out = d.AddOutPort("out")
+	d.OnCycleStart(func() {})
+	return d
+}
+
+// weaveFixture compiles a woven program mixing every class:
+//
+//	drv(start) -> m0 -> m1 -> m2          handler conn, then const conns
+//	k0 -> k1                              control-kernel conn
+//	r0 <-> r1                             handler-free 2-cycle (residue)
+func weaveFixture(t *testing.T) (*Program, *progWeave) {
+	t.Helper()
+	prog, err := Compile(func(b *Builder) error {
+		drv := newStartDriver("drv")
+		m0 := newProgTestModule("m0")
+		m1 := newProgTestModule("m1")
+		m2 := newProgTestModule("m2")
+		b.Add(drv)
+		b.Add(m0)
+		b.Add(m1)
+		b.Add(m2)
+		b.Connect(drv, "out", m0, "in") // conn 0: handler-adjacent
+		b.Connect(m0, "out", m1, "in")  // conn 1: const
+		b.Connect(m1, "out", m2, "in")  // conn 2: const
+
+		ctl := func(data, enable Status, v any) Status { return Yes }
+		k0 := newCtrlModule("k0", PortOpts{}, PortOpts{Control: ctl})
+		k1 := newCtrlModule("k1", PortOpts{}, PortOpts{})
+		b.Add(k0)
+		b.Add(k1)
+		b.Connect(k0, "out", k1, "in") // conn 3: control kernel
+
+		r0 := newProgTestModule("r0")
+		r1 := newProgTestModule("r1")
+		b.Add(r0)
+		b.Add(r1)
+		b.Connect(r0, "out", r1, "in") // conn 4: residue (cycle)
+		b.Connect(r1, "out", r0, "in") // conn 5: residue (cycle)
+		return nil
+	}, WithScheduler(SchedulerWoven))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.weave == nil {
+		t.Fatal("woven compile produced no weave plan")
+	}
+	return prog, prog.weave
+}
+
+// TestWeaveClassification pins the compile-time class of every construct
+// the taxonomy names, and the derived per-cycle lists.
+func TestWeaveClassification(t *testing.T) {
+	prog, wv := weaveFixture(t)
+	want := []WeaveClass{WeaveHandler, WeaveConst, WeaveConst, WeaveKernel, WeaveResidue, WeaveResidue}
+	for id, cls := range wv.class {
+		if cls != want[id] {
+			t.Errorf("conn %d class = %s, want %s", id, cls, want[id])
+		}
+	}
+	if wv.nConst != 2 || wv.nCtrl != 1 || wv.nFallback != 3 {
+		t.Fatalf("counts const/ctrl/fallback = %d/%d/%d, want 2/1/3", wv.nConst, wv.nCtrl, wv.nFallback)
+	}
+	if wv.replay != 3 {
+		t.Fatalf("replay count = %d, want 3 (const + kernel)", wv.replay)
+	}
+	// Fallback dirty set: conn 0 plus the residue pair, as two contiguous
+	// runs [0,1) and [4,6).
+	if len(wv.dirty) != 3 || wv.dirty[0] != 0 || wv.dirty[1] != 4 || wv.dirty[2] != 5 {
+		t.Fatalf("dirty = %v, want [0 4 5]", wv.dirty)
+	}
+	if len(wv.dirtyRuns) != 2 || wv.dirtyRuns[0] != [2]int32{0, 1} || wv.dirtyRuns[1] != [2]int32{4, 6} {
+		t.Fatalf("dirtyRuns = %v, want [[0 1] [4 6]]", wv.dirtyRuns)
+	}
+	// One kernel for conn 3.
+	nk := 0
+	for _, lvl := range wv.kernels {
+		nk += len(lvl)
+	}
+	if nk != 1 {
+		t.Fatalf("compiled %d kernels, want 1", nk)
+	}
+	// Handler rosters: only drv has a start handler; nothing reacts or
+	// runs cycle-end handlers in this fixture.
+	if len(wv.startList) != 1 || len(wv.reactWake) != 0 || len(wv.endList) != 0 {
+		t.Fatalf("rosters start/react/end = %v/%v/%v, want one start only",
+			wv.startList, wv.reactWake, wv.endList)
+	}
+	info := prog.Schedule()
+	if info.WovenConns != 2 || info.CtrlKernels != 1 || info.FallbackConns != 3 {
+		t.Fatalf("ScheduleInfo woven/ctrl/fallback = %d/%d/%d, want 2/1/3",
+			info.WovenConns, info.CtrlKernels, info.FallbackConns)
+	}
+}
+
+// TestWeaveCompositeAliasAdjacency guards the aliasing hazard: a
+// composite with handlers exports a child's port, so the child's
+// connection must classify as handler-adjacent even though the child
+// itself is handler-free.
+func TestWeaveCompositeAliasAdjacency(t *testing.T) {
+	prog, err := Compile(func(b *Builder) error {
+		inner := newProgTestModule("outer/inner")
+		comp := &Composite{}
+		comp.Init("outer", comp)
+		comp.Export("out", inner.ports["out"])
+		comp.OnCycleStart(func() {})
+		b.Add(inner)
+		b.Add(comp)
+		snk := newProgTestModule("snk")
+		b.Add(snk)
+		return b.Connect(comp, "out", snk, "in")
+	}, WithScheduler(SchedulerWoven))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls := prog.weave.class[0]; cls != WeaveHandler {
+		t.Fatalf("composite-aliased conn class = %s, want handler (adjacency must follow export aliases)", cls)
+	}
+}
+
+// statusSnapshot reads every connection's three statuses after a Step.
+func statusSnapshot(s *Sim) [][3]Status {
+	out := make([][3]Status, len(s.conns))
+	for i, c := range s.conns {
+		out[i] = [3]Status{c.status(SigData), c.status(SigEnable), c.status(SigAck)}
+	}
+	return out
+}
+
+// TestWovenAgreesWithSequential steps the mixed fixture under the woven
+// and sequential engines cycle by cycle: statuses and the exact
+// default-fallback counts must match at every cycle, including the
+// steady cycles where the woven region is replayed rather than
+// re-resolved.
+func TestWovenAgreesWithSequential(t *testing.T) {
+	progW, _ := weaveFixture(t)
+	wov, err := progW.NewSim(WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sequential reference re-uses the same recipe via the compiled
+	// program's assemble function under a fresh sequential compile.
+	progS, err := Compile(progW.assemble, WithScheduler(SchedulerSequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := progS.NewSim(WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 12; cycle++ {
+		if err := wov.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.Step(); err != nil {
+			t.Fatal(err)
+		}
+		sw, ss := statusSnapshot(wov), statusSnapshot(seq)
+		for id := range sw {
+			if sw[id] != ss[id] {
+				t.Fatalf("cycle %d conn %d: woven %v, sequential %v", cycle, id, sw[id], ss[id])
+			}
+		}
+		for _, k := range [...]SigKind{SigData, SigEnable, SigAck} {
+			if w, s := wov.metrics.defaults[k].Load(), seq.metrics.defaults[k].Load(); w != s {
+				t.Fatalf("cycle %d: %s defaults %d, sequential %d", cycle, k, w, s)
+			}
+			if w, s := wov.metrics.breaks[k].Load(), seq.metrics.breaks[k].Load(); w != s {
+				t.Fatalf("cycle %d: %s breaks %d, sequential %d", cycle, k, w, s)
+			}
+		}
+	}
+	// The control kernel must have fired: conn 3's enable is forced Yes
+	// by its source Control function every cycle.
+	if st := wov.conns[3].status(SigEnable); st != Yes {
+		t.Fatalf("control-kernel enable = %v, want Yes", st)
+	}
+}
+
+// TestWovenInvalidateActivity proves the full-sweep escape hatch: after
+// InvalidateActivity the next cycle re-resolves everything through the
+// interpreted path and lands on the identical state.
+func TestWovenInvalidateActivity(t *testing.T) {
+	prog, _ := weaveFixture(t)
+	s, err := prog.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := statusSnapshot(s)
+	s.InvalidateActivity()
+	if !s.needFull {
+		t.Fatal("InvalidateActivity did not request a full sweep under the woven scheduler")
+	}
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	after := statusSnapshot(s)
+	for id := range before {
+		if before[id] != after[id] {
+			t.Fatalf("conn %d: full sweep resolved %v, steady replay had %v", id, after[id], before[id])
+		}
+	}
+}
+
+// TestWovenPruneComposition compiles a woven program WithDataflowPrune
+// over a netlist with a provably-dead branch: dead connections must
+// classify as pruned (no kernel, no replay accounting), dead instances
+// must leave the handler rosters, and the program must still run.
+func TestWovenPruneComposition(t *testing.T) {
+	assemble := func(b *Builder) error {
+		drv := newStartDriver("drv")
+		live := newProgTestModule("live")
+		b.Add(drv)
+		b.Add(live)
+		b.Connect(drv, "out", live, "in")
+		// Dead branch: a rate-0 region no data can ever reach, ending in
+		// an instance with a (never-runnable) start handler so the prune
+		// also gates an instance.
+		d0 := newProgTestModule("d0")
+		d1 := newProgTestModule("d1")
+		b.Add(d0)
+		b.Add(d1)
+		return b.Connect(d0, "out", d1, "in")
+	}
+	prog, err := Compile(assemble, WithScheduler(SchedulerWoven), WithDataflowPrune())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wv := prog.weave
+	if prog.pruned == nil || prog.pruned.nConns == 0 {
+		t.Skip("dataflow analysis did not prune the dead branch; nothing to compose")
+	}
+	for id, dead := range prog.pruned.conns {
+		if dead && wv.class[id] != WeavePruned {
+			t.Fatalf("pruned conn %d class = %s, want pruned", id, wv.class[id])
+		}
+	}
+	if wv.replay != wv.nConst+wv.nCtrl {
+		t.Fatalf("replay = %d, want nConst+nCtrl = %d (pruned conns must not be accounted)",
+			wv.replay, wv.nConst+wv.nCtrl)
+	}
+	s, err := prog.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeaveClassesOtherSchedulers: the diagnostic classification is
+// available under every statically scheduled engine (computed on demand)
+// and nil under the dynamic ones.
+func TestWeaveClassesOtherSchedulers(t *testing.T) {
+	prog, _ := weaveFixture(t)
+	lv, err := Compile(prog.assemble, WithScheduler(SchedulerLevelized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := lv.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := s.WeaveClasses()
+	if len(classes) != len(s.conns) {
+		t.Fatalf("levelized WeaveClasses length = %d, want %d", len(classes), len(s.conns))
+	}
+	if classes[1] != WeaveConst || classes[4] != WeaveResidue {
+		t.Fatalf("on-demand classification diverges: %v", classes)
+	}
+	sq, err := Compile(prog.assemble, WithScheduler(SchedulerSequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sq.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.WeaveClasses() != nil {
+		t.Fatal("sequential engine has no static schedule; WeaveClasses must be nil")
+	}
+}

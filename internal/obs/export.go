@@ -79,6 +79,9 @@ type ScheduleStats struct {
 	GatedConns      int      `json:"gated_conns,omitempty"`
 	PrunedInsts     int      `json:"pruned_insts,omitempty"`
 	PrunedConns     int      `json:"pruned_conns,omitempty"`
+	WovenConns      int      `json:"woven_conns,omitempty"`
+	CtrlKernels     int      `json:"ctrl_kernels,omitempty"`
+	FallbackConns   int      `json:"fallback_conns,omitempty"`
 	ScalarConns     int      `json:"scalar_conns"`
 	SpillConns      int      `json:"spill_conns"`
 	BreakSites      []string `json:"break_sites,omitempty"`
@@ -111,6 +114,9 @@ func scheduleStats(info *core.ScheduleInfo) *ScheduleStats {
 		GatedConns:      info.GatedConns,
 		PrunedInsts:     info.PrunedInsts,
 		PrunedConns:     info.PrunedConns,
+		WovenConns:      info.WovenConns,
+		CtrlKernels:     info.CtrlKernels,
+		FallbackConns:   info.FallbackConns,
 		ScalarConns:     info.ScalarConns,
 		SpillConns:      info.SpillConns,
 		BreakSites:      info.BreakSites,
@@ -287,6 +293,13 @@ func WriteCSV(w io.Writer, s *core.Sim) error {
 			row("schedule", "", "always_active", int64(sd.AlwaysActive))
 			row("schedule", "", "active_conns", int64(sd.ActiveConns))
 			row("schedule", "", "gated_conns", int64(sd.GatedConns))
+			row("schedule", "", "pruned_insts", int64(sd.PrunedInsts))
+			row("schedule", "", "pruned_conns", int64(sd.PrunedConns))
+		}
+		if sd.Scheduler == "woven" {
+			row("schedule", "", "woven_conns", int64(sd.WovenConns))
+			row("schedule", "", "ctrl_kernels", int64(sd.CtrlKernels))
+			row("schedule", "", "fallback_conns", int64(sd.FallbackConns))
 			row("schedule", "", "pruned_insts", int64(sd.PrunedInsts))
 			row("schedule", "", "pruned_conns", int64(sd.PrunedConns))
 		}

@@ -47,6 +47,14 @@ func WriteScheduleReport(w io.Writer, s *core.Sim) error {
 				info.PrunedInsts, info.PrunedConns)
 		}
 	}
+	if info.Scheduler == core.SchedulerWoven {
+		fmt.Fprintf(w, "  weave:          %d conn(s) in constant replay, %d fused control kernel(s), %d interpreted fallback\n",
+			info.WovenConns, info.CtrlKernels, info.FallbackConns)
+		if info.PrunedConns > 0 || info.PrunedInsts > 0 {
+			fmt.Fprintf(w, "  dataflow prune: %d instance(s) and %d conn(s) proven dead and removed\n",
+				info.PrunedInsts, info.PrunedConns)
+		}
+	}
 	if len(info.BreakSites) == 0 {
 		_, err := fmt.Fprintf(w, "  cycle breaks:   none — fully static schedule, zero fixed-point iterations\n")
 		return err

@@ -283,6 +283,43 @@ func TestConcurrentSessions(t *testing.T) {
 	}
 }
 
+// TestWovenSchedulerOverWire submits the spec compiled for the woven
+// engine: the wire option must reach the compiler (ProgramInfo reports
+// it back), sessions must stamp and step, and the option must be part
+// of the cache key — the same spec under the default engine is a
+// different program.
+func TestWovenSchedulerOverWire(t *testing.T) {
+	ctx := context.Background()
+	_, client := newTestServer(t, Config{})
+	woven, err := client.SubmitProgram(ctx, SubmitProgramRequest{
+		Spec: testSpec, Name: "simd_test.lss",
+		Options: BuildOptions{Scheduler: "woven"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woven.Scheduler != "woven" {
+		t.Fatalf("program scheduler = %q, want woven", woven.Scheduler)
+	}
+	if plain := submitTestSpec(t, client); plain.ID == woven.ID {
+		t.Fatal("scheduler option did not participate in the program cache key")
+	}
+	ss, err := client.NewSession(ctx, woven.ID, CreateSessionRequest{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := client.Run(ctx, ss.ID, 50); err != nil || st.Cycle != 50 {
+		t.Fatalf("woven session run landed at %+v (err %v)", st, err)
+	}
+	snap, err := client.Observe(ctx, ss.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["snk.received"] == 0 {
+		t.Fatal("woven session moved no data through the pipeline")
+	}
+}
+
 // TestSnapshotRestoreBitIdentical is the service's checkpoint oracle:
 // a session snapshotted over HTTP at cycle 60 and restored — locally and
 // into a fresh server session — must continue bit-identically (scheddiff

@@ -20,8 +20,8 @@ import (
 // different options compiles into a distinct cached program.
 type BuildOptions struct {
 	// Scheduler selects the engine: "auto" (default), "sequential",
-	// "parallel", "levelized", "sparse" or "partitioned". Sessions
-	// always run the engine their program was compiled for.
+	// "parallel", "levelized", "sparse", "partitioned" or "woven".
+	// Sessions always run the engine their program was compiled for.
 	Scheduler string `json:"scheduler,omitempty"`
 	// Workers is the scheduler worker count (parallel and partitioned
 	// engines).
@@ -57,8 +57,8 @@ func (o BuildOptions) buildOptions() ([]core.BuildOption, error) {
 }
 
 // ParseScheduler converts a scheduler name from the wire ("auto",
-// "sequential", "parallel", "levelized", "sparse", "partitioned") into
-// its kind.
+// "sequential", "parallel", "levelized", "sparse", "partitioned",
+// "woven") into its kind.
 func ParseScheduler(name string) (core.SchedulerKind, error) {
 	switch name {
 	case "", "auto":
@@ -73,8 +73,10 @@ func ParseScheduler(name string) (core.SchedulerKind, error) {
 		return core.SchedulerSparse, nil
 	case "partitioned":
 		return core.SchedulerPartitioned, nil
+	case "woven":
+		return core.SchedulerWoven, nil
 	}
-	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel, levelized, sparse or partitioned)", name)
+	return 0, fmt.Errorf("unknown scheduler %q (want auto, sequential, parallel, levelized, sparse, partitioned or woven)", name)
 }
 
 // SubmitProgramRequest is the POST /v1/programs body: one LSS

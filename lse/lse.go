@@ -30,9 +30,10 @@
 // iteration — plus a build-time activity partition that resolves regions
 // unreachable from any cycle-start (or autonomous) instance exactly once
 // and replays their values thereafter. SchedulerSequential and
-// SchedulerParallel are the classic dynamic fixed-point engines. Every
-// scheduler produces bit-identical per-cycle signal assignments and
-// statistics:
+// SchedulerParallel are the classic dynamic fixed-point engines;
+// SchedulerWoven fuses the levelized schedule into specialized
+// compile-time step kernels for handler-free regions. Every scheduler
+// produces bit-identical per-cycle signal assignments and statistics:
 //
 //	sim, _ := b.Build(lse.WithScheduler(lse.SchedulerLevelized))
 //	lse.WriteScheduleReport(os.Stderr, sim) // SCCs, levels, break sites
@@ -378,6 +379,15 @@ const (
 	// layout, and workers run their own shards' work, stealing leftovers
 	// across shards at per-round barriers.
 	SchedulerPartitioned = core.SchedulerPartitioned
+	// SchedulerWoven is the AOT-woven engine: the levelized schedule is
+	// fused at compile time into specialized step kernels — handler-free
+	// acyclic connections resolve as replayed compile-time constants (or
+	// one fused closure each when a port carries a Control function), and
+	// only handler-adjacent connections and the cyclic residue keep the
+	// interpreted path. Unlike SchedulerSparse, its scheduler metrics are
+	// exact: replayed work is accounted per cycle, matching the
+	// sequential reference's default/break counts bit for bit.
+	SchedulerWoven = core.SchedulerWoven
 )
 
 // NewBuilder returns a netlist builder over DefaultRegistry, configured
@@ -409,7 +419,7 @@ var (
 	WithSeed = core.WithSeed
 	// WithScheduler selects the scheduling engine (see SchedulerAuto,
 	// SchedulerSequential, SchedulerParallel, SchedulerLevelized,
-	// SchedulerSparse, SchedulerPartitioned).
+	// SchedulerSparse, SchedulerPartitioned, SchedulerWoven).
 	WithScheduler = core.WithScheduler
 	// WithWorkers selects the scheduler worker count (a pure count knob;
 	// the engine is chosen by WithScheduler alone).

@@ -67,6 +67,15 @@ var schedulerMatrix = []struct {
 	// maximal phase-pool traffic, executors outnumber shards, stealing on.
 	{"partitioned-w8", true, []lse.BuildOption{lse.WithScheduler(lse.SchedulerPartitioned),
 		lse.WithWorkers(8), lse.WithShards(4), lse.WithParallelThreshold(1)}},
+	// The woven engine replays its compiled region but — unlike sparse —
+	// accounts the replay, so it must hold exact default/break counts on
+	// every shape: all-fallback (handler chains, the mesh residue),
+	// all-const (passThrough fabrics) and everything between.
+	{"woven", true, []lse.BuildOption{lse.WithScheduler(lse.SchedulerWoven)}},
+	// Extra workers only parallelize the interpreted fallback's reactive
+	// rounds; a hair-trigger threshold maximizes pool traffic there.
+	{"woven-w4", true, []lse.BuildOption{lse.WithScheduler(lse.SchedulerWoven),
+		lse.WithWorkers(4), lse.WithParallelThreshold(1)}},
 }
 
 type schedRun struct {
@@ -267,6 +276,39 @@ func buildDefaultMesh(t testing.TB, w, h int, opts ...core.BuildOption) *core.Si
 	return sim
 }
 
+// buildDefaultAcyclicGrid wires w×h handler-less modules with east and
+// south neighbor links but no wraparound: the 2D fan-in/fan-out shape of
+// the torus without its cyclic SCC, so the whole netlist levelizes (and
+// under the woven engine, weaves). The mesh benchmark runs on this shape
+// because the torus is one big cycle — all residue, nothing to weave.
+func buildDefaultAcyclicGrid(t testing.TB, w, h int, opts ...core.BuildOption) *core.Sim {
+	t.Helper()
+	b := core.NewBuilder(opts...)
+	grid := make([][]*passThrough, h)
+	for y := range grid {
+		grid[y] = make([]*passThrough, w)
+		for x := range grid[y] {
+			grid[y][x] = newPassThrough(fmt.Sprintf("g%d_%d", y, x))
+			b.Add(grid[y][x])
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.Connect(grid[y][x], "out", grid[y][x+1], "in")
+			}
+			if y+1 < h {
+				b.Connect(grid[y][x], "out", grid[y+1][x], "in")
+			}
+		}
+	}
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
 // TestSchedulersAgreeOnDefaultNetlists covers the default-control-bound
 // shapes the BenchmarkLevelized* benchmarks run: a deep acyclic chain
 // (pure static sweep) and a cyclic torus (pure residue worklist with
@@ -281,6 +323,9 @@ func TestSchedulersAgreeOnDefaultNetlists(t *testing.T) {
 		}},
 		{"torus-8x8", func(t testing.TB, opts ...lse.BuildOption) *core.Sim {
 			return buildDefaultMesh(t, 8, 8, opts...)
+		}},
+		{"grid-8x8", func(t testing.TB, opts ...lse.BuildOption) *core.Sim {
+			return buildDefaultAcyclicGrid(t, 8, 8, opts...)
 		}},
 	}
 	for _, shape := range shapes {
